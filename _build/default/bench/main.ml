@@ -1,0 +1,524 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, runs the ablation benches called out in DESIGN.md, and
+   finishes with Bechamel micro-benchmarks of the core primitives.
+
+       dune exec bench/main.exe                 # everything
+       dune exec bench/main.exe fig5            # one experiment
+       dune exec bench/main.exe ablations       # just the ablations
+       dune exec bench/main.exe micro           # just the micro-benchmarks
+
+   Environment knobs (for bigger GA budgets):
+       INLTUNE_POP (default 16), INLTUNE_GENS (default 12),
+       INLTUNE_SEED (default 42). *)
+
+open Inltune_core
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+module Table = Inltune_support.Table
+module Stats = Inltune_support.Stats
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let budget () =
+  {
+    Tuner.pop = env_int "INLTUNE_POP" 16;
+    gens = env_int "INLTUNE_GENS" 12;
+    seed = env_int "INLTUNE_SEED" 42;
+  }
+
+(* ---- Ablation benches (DESIGN.md section 5) ----------------------------- *)
+
+(* Ablation 1: the hot-call-site heuristic path (Fig. 4).  Disabling it under
+   Adapt forces the static Fig. 3 tests everywhere. *)
+let ablation_hot_path () =
+  let t =
+    Table.create ~title:"Ablation: Adapt without the hot-call-site heuristic (Fig. 4 path)"
+      ~header:[| "benchmark"; "total (hot on)"; "total (hot off)"; "hot-off / hot-on" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right |]
+  in
+  let ratios =
+    List.map
+      (fun bm ->
+        let p = W.Suites.program bm in
+        let on = Runner.measure (Machine.config Machine.Adapt Heuristic.default) Platform.x86 p in
+        let off =
+          Runner.measure
+            (Machine.config ~hot_path_enabled:false Machine.Adapt Heuristic.default)
+            Platform.x86 p
+        in
+        let r = Float.of_int off.Runner.total_cycles /. Float.of_int on.Runner.total_cycles in
+        Table.add_row t
+          [|
+            bm.W.Suites.bname;
+            string_of_int on.Runner.total_cycles;
+            string_of_int off.Runner.total_cycles;
+            Table.fmt_float r;
+          |];
+        r)
+      W.Suites.spec
+  in
+  Table.add_rule t;
+  Table.add_row t
+    [| "geomean"; ""; ""; Table.fmt_float (Stats.geomean (Array.of_list ratios)) |];
+  Table.print t;
+  print_newline ()
+
+(* Ablation 2: inlining's indirect benefit — run the pipeline with the
+   dataflow passes disabled so inlining only removes call overhead. *)
+let ablation_optimizations () =
+  let t =
+    Table.create ~title:"Ablation: inlining without post-inline optimization (Opt scenario)"
+      ~header:[| "benchmark"; "running (opt on)"; "running (opt off)"; "off / on" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right |]
+  in
+  let ratios =
+    List.map
+      (fun bm ->
+        let p = W.Suites.program bm in
+        let on = Runner.measure (Machine.config Machine.Opt Heuristic.default) Platform.x86 p in
+        let off =
+          Runner.measure (Machine.config ~optimize:false Machine.Opt Heuristic.default)
+            Platform.x86 p
+        in
+        let r = Float.of_int off.Runner.running_cycles /. Float.of_int on.Runner.running_cycles in
+        Table.add_row t
+          [|
+            bm.W.Suites.bname;
+            string_of_int on.Runner.running_cycles;
+            string_of_int off.Runner.running_cycles;
+            Table.fmt_float r;
+          |];
+        r)
+      W.Suites.spec
+  in
+  Table.add_rule t;
+  Table.add_row t
+    [| "geomean"; ""; ""; Table.fmt_float (Stats.geomean (Array.of_list ratios)) |];
+  Table.print t;
+  print_newline ()
+
+(* Ablation 3: the I-cache model — without it, deeper inlining is
+   monotonically better and the Fig. 2 curves lose their knee. *)
+let ablation_icache () =
+  let t =
+    Table.create ~title:"Ablation: jess total time vs depth, with and without the I-cache model"
+      ~header:[| "depth"; "icache on (cycles)"; "icache off (cycles)" |]
+      ~aligns:[| Table.Right; Table.Right; Table.Right |]
+  in
+  let p = W.Suites.program (W.Suites.find "jess") in
+  List.iter
+    (fun d ->
+      let h = Heuristic.with_depth Heuristic.default d in
+      let on = Runner.measure (Machine.config Machine.Opt h) Platform.x86 p in
+      let off =
+        Runner.measure (Machine.config ~icache_enabled:false Machine.Opt h) Platform.x86 p
+      in
+      Table.add_row t
+        [|
+          string_of_int d;
+          string_of_int on.Runner.total_cycles;
+          string_of_int off.Runner.total_cycles;
+        |])
+    [ 0; 1; 2; 4; 6; 8; 10 ];
+  Table.print t;
+  print_newline ()
+
+(* Ablation 4: GA vs random search at the same evaluation budget. *)
+let ablation_ga_vs_random () =
+  let suite = [ W.Suites.find "compress"; W.Suites.find "raytrace" ] in
+  let fitness =
+    Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Total
+  in
+  let params =
+    {
+      Inltune_ga.Evolve.default_params with
+      Inltune_ga.Evolve.pop_size = 10;
+      generations = 6;
+      seed = 42;
+    }
+  in
+  let ga = Inltune_ga.Evolve.run ~spec:Params.genome_spec ~params ~fitness () in
+  let _, random_best =
+    Inltune_ga.Evolve.random_search ~spec:Params.genome_spec
+      ~budget:ga.Inltune_ga.Evolve.evaluations ~seed:42 ~fitness ()
+  in
+  let t =
+    Table.create ~title:"Ablation: GA vs random search (same evaluation budget)"
+      ~header:[| "searcher"; "evaluations"; "best fitness (lower = better)" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right |]
+  in
+  Table.add_row t
+    [|
+      "genetic algorithm";
+      string_of_int ga.Inltune_ga.Evolve.evaluations;
+      Table.fmt_float ~digits:4 ga.Inltune_ga.Evolve.best_fitness;
+    |];
+  Table.add_row t
+    [|
+      "random search";
+      string_of_int ga.Inltune_ga.Evolve.evaluations;
+      Table.fmt_float ~digits:4 random_best;
+    |];
+  Table.print t;
+  print_newline ()
+
+(* Ablation 5: guarded devirtualization under Adapt — monomorphic virtual
+   sites become guarded, inlinable static calls. *)
+let ablation_guarded_devirt () =
+  let t =
+    Table.create ~title:"Ablation: Adapt with and without guarded devirtualization"
+      ~header:[| "benchmark"; "running (on)"; "running (off)"; "off / on" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right |]
+  in
+  List.iter
+    (fun name ->
+      let p = W.Suites.program (W.Suites.find name) in
+      let on = Runner.measure (Machine.config Machine.Adapt Heuristic.default) Platform.x86 p in
+      let off =
+        Runner.measure
+          (Machine.config ~guarded_devirt_enabled:false Machine.Adapt Heuristic.default)
+          Platform.x86 p
+      in
+      Table.add_row t
+        [|
+          name;
+          string_of_int on.Runner.running_cycles;
+          string_of_int off.Runner.running_cycles;
+          Table.fmt_float
+            (Float.of_int off.Runner.running_cycles /. Float.of_int on.Runner.running_cycles);
+        |])
+    [ "ipsixql"; "pseudojbb"; "jess"; "pmd" ];
+  Table.print t;
+  print_newline ()
+
+let ablations () =
+  print_endline "==== Ablation benches (DESIGN.md section 5) ====\n";
+  ablation_hot_path ();
+  ablation_optimizations ();
+  ablation_icache ();
+  ablation_guarded_devirt ();
+  ablation_ga_vs_random ()
+
+(* ---- Extensions: related-work baselines --------------------------------- *)
+
+(* The knapsack oracle of Arnold et al. (paper Related Work [3]): full-run
+   profile knowledge, greedy edge selection under a 10% code-growth budget.
+   Compare running time against no inlining and the default heuristic. *)
+let knapsack_baseline () =
+  let t =
+    Table.create
+      ~title:
+        "Knapsack oracle (Arnold et al. [3], 10% growth budget) vs heuristics — running time, Opt x86"
+      ~header:
+        [| "benchmark"; "no-inline"; "default"; "knapsack"; "knapsack vs no-inline"; "edges" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
+  in
+  let ratios =
+    List.map
+      (fun bm ->
+        let p = W.Suites.program bm in
+        let off =
+          Runner.measure (Machine.config ~inline_enabled:false Machine.Opt Heuristic.never)
+            Platform.x86 p
+        in
+        let def = Runner.measure (Machine.config Machine.Opt Heuristic.default) Platform.x86 p in
+        let plan, kn = Knapsack.measure Platform.x86 bm in
+        let r = kn.Measure.running /. Float.of_int off.Runner.running_cycles in
+        Table.add_row t
+          [|
+            bm.W.Suites.bname;
+            string_of_int off.Runner.running_cycles;
+            string_of_int def.Runner.running_cycles;
+            Printf.sprintf "%.0f" kn.Measure.running;
+            Table.fmt_float r;
+            Printf.sprintf "%d/%d" plan.Knapsack.chosen plan.Knapsack.candidates;
+          |];
+        r)
+      W.Suites.spec
+  in
+  Table.add_rule t;
+  Table.add_row t
+    [| "geomean"; ""; ""; ""; Table.fmt_float (Stats.geomean (Array.of_list ratios)); "" |];
+  Table.print t;
+  print_newline ()
+
+(* Search-algorithm shootout on the real tuning objective: GA vs hill
+   climbing vs simulated annealing vs random search, equal budgets. *)
+let search_comparison () =
+  let suite = [ W.Suites.find "compress"; W.Suites.find "raytrace"; W.Suites.find "db" ] in
+  let fitness =
+    Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Total
+  in
+  let params =
+    {
+      Inltune_ga.Evolve.default_params with
+      Inltune_ga.Evolve.pop_size = 10;
+      generations = 8;
+      seed = 42;
+    }
+  in
+  let ga = Inltune_ga.Evolve.run ~spec:Params.genome_spec ~params ~fitness () in
+  let budget = ga.Inltune_ga.Evolve.evaluations in
+  let hc =
+    Inltune_ga.Localsearch.hill_climb ~spec:Params.genome_spec ~budget ~seed:42 ~fitness ()
+  in
+  let sa = Inltune_ga.Localsearch.anneal ~spec:Params.genome_spec ~budget ~seed:42 ~fitness () in
+  let _, rs =
+    Inltune_ga.Evolve.random_search ~spec:Params.genome_spec ~budget ~seed:42 ~fitness ()
+  in
+  let t =
+    Table.create ~title:"Search algorithms on the tuning objective (equal budgets)"
+      ~header:[| "searcher"; "evaluations"; "best fitness"; "best heuristic" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Left |]
+  in
+  Table.add_row t
+    [|
+      "genetic algorithm"; string_of_int budget;
+      Table.fmt_float ~digits:4 ga.Inltune_ga.Evolve.best_fitness;
+      Heuristic.to_string (Heuristic.of_array ga.Inltune_ga.Evolve.best);
+    |];
+  Table.add_row t
+    [|
+      "hill climbing"; string_of_int hc.Inltune_ga.Localsearch.evaluations;
+      Table.fmt_float ~digits:4 hc.Inltune_ga.Localsearch.best_fitness;
+      Heuristic.to_string (Heuristic.of_array hc.Inltune_ga.Localsearch.best);
+    |];
+  Table.add_row t
+    [|
+      "simulated annealing"; string_of_int sa.Inltune_ga.Localsearch.evaluations;
+      Table.fmt_float ~digits:4 sa.Inltune_ga.Localsearch.best_fitness;
+      Heuristic.to_string (Heuristic.of_array sa.Inltune_ga.Localsearch.best);
+    |];
+  Table.add_row t
+    [| "random search"; string_of_int budget; Table.fmt_float ~digits:4 rs; "" |];
+  Table.print t;
+  print_newline ()
+
+(* The multi-level recompilation ladder (baseline -> O1 -> O2), an extension
+   mirroring Jikes RVM's real optimization levels: compare against the
+   paper's two-level Adapt on both time metrics. *)
+let ladder_comparison () =
+  let t =
+    Table.create ~title:"Extension: two-level Adapt vs three-level Ladder (default heuristic, x86)"
+      ~header:
+        [| "benchmark"; "total adapt"; "total ladder"; "ladder/adapt"; "run adapt"; "run ladder" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
+  in
+  let ratios =
+    List.map
+      (fun bm ->
+        let p = W.Suites.program bm in
+        let a = Runner.measure (Machine.config Machine.Adapt Heuristic.default) Platform.x86 p in
+        let l = Runner.measure (Machine.config Machine.Ladder Heuristic.default) Platform.x86 p in
+        let r = Float.of_int l.Runner.total_cycles /. Float.of_int a.Runner.total_cycles in
+        Table.add_row t
+          [|
+            bm.W.Suites.bname;
+            string_of_int a.Runner.total_cycles;
+            string_of_int l.Runner.total_cycles;
+            Table.fmt_float r;
+            string_of_int a.Runner.running_cycles;
+            string_of_int l.Runner.running_cycles;
+          |];
+        r)
+      W.Suites.all
+  in
+  Table.add_rule t;
+  Table.add_row t
+    [| "geomean"; ""; ""; Table.fmt_float (Stats.geomean (Array.of_list ratios)); ""; "" |];
+  Table.print t;
+  print_newline ()
+
+(* Input-size crossover: the paper's motivation section argues Opt suits
+   long-running programs and Adapt short ones.  Sweep the input scale: the
+   winner flips per program as the running phase grows relative to the fixed
+   compile work. *)
+let scaling_crossover () =
+  let t =
+    Table.create
+      ~title:"Extension: Opt vs Adapt total time across input scales (winner per program)"
+      ~header:[| "scale (%)"; "compress Opt"; "compress Adapt"; "compress"; "jess Opt"; "jess Adapt"; "jess" |]
+      ~aligns:
+        [| Table.Right; Table.Right; Table.Right; Table.Left; Table.Right; Table.Right; Table.Left |]
+  in
+  List.iter
+    (fun scale ->
+      let total name scenario =
+        let p = W.Suites.program_scaled (W.Suites.find name) ~scale in
+        (Runner.measure (Machine.config scenario Heuristic.default) Platform.x86 p)
+          .Runner.total_cycles
+      in
+      let co = total "compress" Machine.Opt and ca = total "compress" Machine.Adapt in
+      let jo = total "jess" Machine.Opt and ja = total "jess" Machine.Adapt in
+      Table.add_row t
+        [|
+          string_of_int scale;
+          string_of_int co; string_of_int ca; (if co < ca then "Opt" else "Adapt");
+          string_of_int jo; string_of_int ja; (if jo < ja then "Opt" else "Adapt");
+        |])
+    [ 10; 25; 50; 100; 200; 400 ];
+  Table.print t;
+  print_newline ()
+
+(* GA stability: the tuned result should not hinge on one lucky seed. *)
+let ga_stability () =
+  let suite = [ W.Suites.find "compress"; W.Suites.find "raytrace"; W.Suites.find "db" ] in
+  let fitness =
+    Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Total
+  in
+  let fits =
+    List.map
+      (fun seed ->
+        let params =
+          {
+            Inltune_ga.Evolve.default_params with
+            Inltune_ga.Evolve.pop_size = 10;
+            generations = 6;
+            seed;
+          }
+        in
+        (Inltune_ga.Evolve.run ~spec:Params.genome_spec ~params ~fitness ())
+          .Inltune_ga.Evolve.best_fitness)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let arr = Array.of_list fits in
+  let t =
+    Table.create ~title:"Extension: GA stability across seeds (Opt:Tot objective, 3 benchmarks)"
+      ~header:[| "seed"; "best fitness" |]
+      ~aligns:[| Table.Right; Table.Right |]
+  in
+  List.iteri
+    (fun i f -> Table.add_row t [| string_of_int (i + 1); Table.fmt_float ~digits:4 f |])
+    fits;
+  Table.add_rule t;
+  Table.add_row t
+    [| "mean +- stddev";
+       Printf.sprintf "%.4f +- %.4f" (Stats.mean arr) (Stats.stddev arr) |];
+  Table.print t;
+  print_newline ()
+
+let extensions () =
+  print_endline "==== Extension benches (related-work baselines) ====\n";
+  knapsack_baseline ();
+  ladder_comparison ();
+  scaling_crossover ();
+  ga_stability ();
+  search_comparison ()
+
+(* ---- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  print_endline "==== Bechamel micro-benchmarks (ns per run) ====\n";
+  let compress = W.Suites.program (W.Suites.find "compress") in
+  let jess = W.Suites.program (W.Suites.find "jess") in
+  let jess_main = jess.Inltune_jir.Ir.methods.(jess.Inltune_jir.Ir.main) in
+  (* Pre-inline a jess rule body so the dataflow benches see a big method. *)
+  let rule =
+    Array.to_list jess.Inltune_jir.Ir.methods
+    |> List.find (fun m -> m.Inltune_jir.Ir.mname = "rule_match0")
+  in
+  let inlined_rule, _ =
+    Inline.run ~program:jess ~heuristic:Heuristic.default rule
+  in
+  let sphere g =
+    Array.fold_left (fun acc v -> acc +. (Float.of_int (v - 5) ** 2.0)) 0.0 g
+  in
+  let tests =
+    Test.make_grouped ~name:"inltune"
+      [
+        Test.make ~name:"interp: compress iteration"
+          (Staged.stage (fun () ->
+               let vm =
+                 Machine.create (Machine.config Machine.Opt Heuristic.default) Platform.x86
+                   compress
+               in
+               ignore (Machine.run_iteration vm)));
+        Test.make ~name:"pipeline: optimize jess main"
+          (Staged.stage (fun () ->
+               ignore
+                 (Pipeline.run jess (Pipeline.opt_config Heuristic.default) jess_main)));
+        Test.make ~name:"inline: jess rule body"
+          (Staged.stage (fun () ->
+               ignore (Inline.run ~program:jess ~heuristic:Heuristic.default rule)));
+        Test.make ~name:"constprop: inlined rule body"
+          (Staged.stage (fun () -> ignore (Constprop.run jess inlined_rule)));
+        Test.make ~name:"dce: inlined rule body"
+          (Staged.stage (fun () -> ignore (Dce.run inlined_rule)));
+        Test.make ~name:"ga: 20 generations on sphere"
+          (Staged.stage (fun () ->
+               ignore
+                 (Inltune_ga.Evolve.run
+                    ~spec:(Inltune_ga.Genome.spec [| (0, 10); (0, 10); (0, 10) |])
+                    ~params:
+                      {
+                        Inltune_ga.Evolve.default_params with
+                        Inltune_ga.Evolve.generations = 20;
+                        domains = Some 1;
+                      }
+                    ~fitness:sphere ())));
+        Test.make ~name:"icache: 4k accesses"
+          (Staged.stage
+             (let c = Icache.create ~bytes:16384 ~line_bytes:64 in
+              fun () ->
+                for i = 0 to 4095 do
+                  ignore (Icache.access c (i * 48))
+                done));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t =
+    Table.create ~title:"micro-benchmarks"
+      ~header:[| "benchmark"; "time per run" |]
+      ~aligns:[| Table.Left; Table.Right |]
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let cell =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
+        else if ns > 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
+        else if ns > 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Table.add_row t [| name; cell |])
+    rows;
+  Table.print t;
+  print_newline ()
+
+(* ---- main ----------------------------------------------------------------- *)
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "everything" in
+  let ctx = Experiments.make_ctx ~budget:(budget ()) () in
+  match arg with
+  | "everything" ->
+    print_endline "==== Paper experiments (all tables and figures) ====\n";
+    Experiments.run_all ctx;
+    ablations ();
+    extensions ();
+    micro ()
+  | "ablations" -> ablations ()
+  | "extensions" -> extensions ()
+  | "micro" -> micro ()
+  | id -> Experiments.run_one ctx id

@@ -1,0 +1,1 @@
+bin/calibrate.ml: Float Heuristic Inltune_core Inltune_opt Inltune_vm Inltune_workloads List Machine Measure Platform Printf Runner

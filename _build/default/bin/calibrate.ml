@@ -1,0 +1,31 @@
+(* Calibration scratchpad: run every benchmark under both scenarios with the
+   default heuristic and with inlining disabled, and dump the raw simulator
+   counters.  Not part of the documented CLI; used to sanity-check the cost
+   model while developing. *)
+
+open Inltune_core
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+
+let () =
+  let plat = Platform.x86 in
+  Printf.printf
+    "%-11s %-6s | %9s %9s %9s | %9s %9s | %6s %5s %5s | %8s\n"
+    "bench" "scen" "tot(def)" "run(def)" "comp(def)" "tot(noinl)" "run(noinl)" "steps2" "nopt" "nbase" "missrate";
+  List.iter
+    (fun bm ->
+      List.iter
+        (fun (sname, scenario) ->
+          let d = Measure.run ~scenario ~platform:plat ~heuristic:Heuristic.default bm in
+          let n = Measure.run_no_inlining ~scenario ~platform:plat bm in
+          let raw = d.Measure.raw in
+          Printf.printf
+            "%-11s %-6s | %9d %9d %9d | %9d %9d | %6d %5d %5d | %8.4f\n%!"
+            bm.W.Suites.bname sname raw.Runner.total_cycles raw.Runner.running_cycles
+            raw.Runner.first_compile_cycles n.Measure.raw.Runner.total_cycles
+            n.Measure.raw.Runner.running_cycles
+            raw.Runner.steps raw.Runner.opt_compiles raw.Runner.baseline_compiles
+            (Float.of_int raw.Runner.icache_misses /. Float.of_int (max 1 raw.Runner.icache_accesses)))
+        [ ("opt", Machine.Opt); ("adapt", Machine.Adapt) ])
+    W.Suites.all

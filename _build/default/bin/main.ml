@@ -1,0 +1,281 @@
+(* inltune — command-line interface.
+
+   Subcommands:
+     list                      show the benchmark suites
+     show <bench>              dump a benchmark's JIR and shape statistics
+     run <bench>               simulate one benchmark and report times
+     tune                      GA-tune the heuristic for a scenario
+     experiment <id>           regenerate a paper table/figure (or "all")
+*)
+
+open Cmdliner
+open Inltune_core
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+
+let platform_arg =
+  let doc = "Platform model: x86 or ppc." in
+  Arg.(value & opt string "x86" & info [ "platform"; "p" ] ~docv:"PLATFORM" ~doc)
+
+let scenario_arg =
+  let doc = "Compilation scenario: opt, adapt, or ladder (staged recompilation)." in
+  Arg.(value & opt string "opt" & info [ "scenario"; "s" ] ~docv:"SCENARIO" ~doc)
+
+let heuristic_arg =
+  let doc =
+    "Heuristic parameter overrides, e.g. 'CALLEE_MAX_SIZE=10,MAX_INLINE_DEPTH=2'.  Unset \
+     parameters keep the Jikes RVM defaults."
+  in
+  Arg.(value & opt string "" & info [ "heuristic"; "H" ] ~docv:"PARAMS" ~doc)
+
+let scenario_of_flag = function
+  | "opt" -> Machine.Opt
+  | "adapt" -> Machine.Adapt
+  | "ladder" -> Machine.Ladder
+  | s -> invalid_arg ("unknown scenario " ^ s ^ " (use opt, adapt, or ladder)")
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let dump title suite =
+      Printf.printf "%s:\n" title;
+      List.iter
+        (fun bm ->
+          let p = W.Suites.program bm in
+          Printf.printf "  %-10s %4d methods %5d instrs  %s\n" bm.W.Suites.bname
+            (Array.length p.Inltune_jir.Ir.methods)
+            (Inltune_jir.Ir.program_instr_count p)
+            bm.W.Suites.bdescription)
+        suite
+    in
+    dump "SPECjvm98 (training suite)" W.Suites.spec;
+    dump "DaCapo+JBB (test suite)" W.Suites.dacapo
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suites")
+    Term.(const run $ const ())
+
+(* --- show ---------------------------------------------------------------- *)
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc:"Benchmark name")
+
+let show_cmd =
+  let run bench full =
+    let bm = W.Suites.find bench in
+    let p = W.Suites.program bm in
+    let cg = Inltune_jir.Callgraph.build p in
+    Printf.printf "%s: %s\n" bm.W.Suites.bname bm.W.Suites.bdescription;
+    Printf.printf "  methods: %d   classes: %d   call sites: %d   size estimate: %d\n"
+      (Array.length p.Inltune_jir.Ir.methods)
+      (Array.length p.Inltune_jir.Ir.classes)
+      (Inltune_jir.Callgraph.call_site_count p)
+      (Inltune_jir.Size.of_program p);
+    Printf.printf "  reachable from main: %d methods\n"
+      (List.length (Inltune_jir.Callgraph.reachable cg p.Inltune_jir.Ir.main));
+    if full then print_string (Inltune_jir.Pp.program_to_string p)
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Dump the full JIR") in
+  Cmd.v (Cmd.info "show" ~doc:"Describe a benchmark program")
+    Term.(const run $ bench_arg $ full_arg)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let run bench scenario platform hstring iterations =
+    let bm = W.Suites.find bench in
+    let plat = Platform.by_name platform in
+    let scen = scenario_of_flag scenario in
+    let heuristic = Params.heuristic_of_string hstring in
+    let t = Measure.run ~iterations ~scenario:scen ~platform:plat ~heuristic bm in
+    let d = Measure.run_default ~iterations ~scenario:scen ~platform:plat bm in
+    let raw = t.Measure.raw in
+    Printf.printf "%s under %s on %s with %s\n" bench scenario platform
+      (Heuristic.to_string heuristic);
+    Printf.printf "  total:    %10d cycles (%.6f s)  [vs default: %.3f]\n"
+      raw.Runner.total_cycles
+      (Platform.seconds plat raw.Runner.total_cycles)
+      (t.Measure.total /. d.Measure.total);
+    Printf.printf "  running:  %10d cycles (%.6f s)  [vs default: %.3f]\n"
+      raw.Runner.running_cycles
+      (Platform.seconds plat raw.Runner.running_cycles)
+      (t.Measure.running /. d.Measure.running);
+    Printf.printf "  compile:  %10d cycles   opt-compiled: %d   baseline-compiled: %d\n"
+      raw.Runner.first_compile_cycles raw.Runner.opt_compiles raw.Runner.baseline_compiles;
+    Printf.printf "  code: %d bytes   icache miss rate: %.4f   checksum: %d\n"
+      raw.Runner.code_bytes
+      (Float.of_int raw.Runner.icache_misses /. Float.of_int (max 1 raw.Runner.icache_accesses))
+      raw.Runner.ret
+  in
+  let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations (>= 2)") in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark and report times")
+    Term.(const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters)
+
+(* --- tune ---------------------------------------------------------------- *)
+
+let tune_cmd =
+  let run scenario pop gens seed =
+    let id = Tuner.scenario_of_string scenario in
+    let budget = { Tuner.pop; gens; seed } in
+    let ctx = Experiments.make_ctx ~budget () in
+    let o = Experiments.tuned ctx id in
+    Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
+    Printf.printf "best heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
+    Printf.printf "fitness (geomean vs default, lower is better): %.4f\n" o.Tuner.fitness;
+    Printf.printf "distinct evaluations: %d (cache hits: %d)\n"
+      o.Tuner.ga.Inltune_ga.Evolve.evaluations o.Tuner.ga.Inltune_ga.Evolve.cache_hits
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt string "adapt"
+      & info [ "scenario"; "s" ]
+          ~doc:"Tuning scenario: adapt, opt:bal, opt:tot, adapt-ppc, opt:bal-ppc")
+  in
+  let pop = Arg.(value & opt int 16 & info [ "pop" ] ~doc:"GA population size") in
+  let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
+  Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
+    Term.(const run $ scenario $ pop $ gens $ seed)
+
+(* --- export / run-file ----------------------------------------------------- *)
+
+let export_cmd =
+  let run bench file =
+    let bm = W.Suites.find bench in
+    let text = Inltune_jir.Text.to_string (W.Suites.program bm) in
+    match file with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let file =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output file (default stdout)")
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Serialize a benchmark to the JIR text format")
+    Term.(const run $ bench_arg $ file)
+
+let run_file_cmd =
+  let run path scenario platform hstring =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    match Inltune_jir.Text.parse src with
+    | Error e ->
+      Printf.eprintf "%s: line %d: %s\n" path e.Inltune_jir.Text.line e.Inltune_jir.Text.msg;
+      exit 1
+    | Ok p ->
+      let plat = Platform.by_name platform in
+      let scen = scenario_of_flag scenario in
+      let heuristic = Params.heuristic_of_string hstring in
+      let m = Runner.measure (Machine.config scen heuristic) plat p in
+      Printf.printf "%s under %s on %s with %s\n" p.Inltune_jir.Ir.pname scenario platform
+        (Heuristic.to_string heuristic);
+      Printf.printf "  total: %d cycles   running: %d cycles   compile: %d cycles\n"
+        m.Runner.total_cycles m.Runner.running_cycles m.Runner.first_compile_cycles;
+      Printf.printf "  result: %d\n" m.Runner.ret
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JIR text file")
+  in
+  Cmd.v (Cmd.info "run-file" ~doc:"Simulate a program written in the JIR text format")
+    Term.(const run $ path $ scenario_arg $ platform_arg $ heuristic_arg)
+
+(* --- knapsack --------------------------------------------------------------- *)
+
+let knapsack_cmd =
+  let run bench platform limit =
+    let bm = W.Suites.find bench in
+    let plat = Platform.by_name platform in
+    let plan, kn = Knapsack.measure ~expansion_limit:limit plat bm in
+    let off = Measure.run_no_inlining ~scenario:Machine.Opt ~platform:plat bm in
+    let def = Measure.run_default ~scenario:Machine.Opt ~platform:plat bm in
+    Printf.printf "knapsack oracle on %s (growth budget %.0f%%):\n" bench (100.0 *. limit);
+    Printf.printf "  edges: %d selected of %d candidates; growth %d / %d size units\n"
+      plan.Knapsack.chosen plan.Knapsack.candidates plan.Knapsack.spent plan.Knapsack.budget;
+    Printf.printf "  running: %.0f cycles (no-inline %.0f, default heuristic %.0f)\n"
+      kn.Measure.running off.Measure.running def.Measure.running;
+    Printf.printf "  vs no-inline: %.3f   vs default: %.3f\n"
+      (kn.Measure.running /. off.Measure.running)
+      (kn.Measure.running /. def.Measure.running)
+  in
+  let limit =
+    Arg.(value & opt float 0.10 & info [ "limit" ] ~doc:"Code-growth budget (fraction)")
+  in
+  Cmd.v
+    (Cmd.info "knapsack" ~doc:"Run the Arnold et al. knapsack-oracle inlining baseline")
+    Term.(const run $ bench_arg $ platform_arg $ limit)
+
+(* --- search ------------------------------------------------------------------ *)
+
+let search_cmd =
+  let run algo budget seed =
+    let suite = W.Suites.spec in
+    let fitness =
+      Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+        ~goal:Objective.Total
+    in
+    let best, fit, evals =
+      match algo with
+      | "hill" ->
+        let r = Inltune_ga.Localsearch.hill_climb ~spec:Params.genome_spec ~budget ~seed ~fitness () in
+        (r.Inltune_ga.Localsearch.best, r.Inltune_ga.Localsearch.best_fitness,
+         r.Inltune_ga.Localsearch.evaluations)
+      | "anneal" ->
+        let r = Inltune_ga.Localsearch.anneal ~spec:Params.genome_spec ~budget ~seed ~fitness () in
+        (r.Inltune_ga.Localsearch.best, r.Inltune_ga.Localsearch.best_fitness,
+         r.Inltune_ga.Localsearch.evaluations)
+      | "random" ->
+        let b, f = Inltune_ga.Evolve.random_search ~spec:Params.genome_spec ~budget ~seed ~fitness () in
+        (b, f, budget)
+      | s -> invalid_arg ("unknown searcher " ^ s ^ " (use hill, anneal, or random)")
+    in
+    Printf.printf "%s search: best %s  fitness %.4f  (%d evaluations)\n" algo
+      (Heuristic.to_string (Heuristic.of_array best))
+      fit evals
+  in
+  let algo =
+    Arg.(value & opt string "hill" & info [ "algo"; "a" ] ~doc:"hill, anneal, or random")
+  in
+  let budget = Arg.(value & opt int 80 & info [ "budget" ] ~doc:"Evaluation budget") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Tune with a local-search baseline instead of the GA")
+    Term.(const run $ algo $ budget $ seed)
+
+(* --- experiment ----------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run id pop gens seed quiet =
+    let budget = { Tuner.pop; gens; seed } in
+    let ctx = Experiments.make_ctx ~verbose:(not quiet) ~budget () in
+    Experiments.run_one ctx id
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some (Arg.enum (List.map (fun s -> (s, s)) Experiments.known))) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of: table1 fig1 fig2 table4 fig5..fig10 table5 all")
+  in
+  let pop = Arg.(value & opt int 16 & info [ "pop" ] ~doc:"GA population size") in
+  let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress GA progress on stderr") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ id $ pop $ gens $ seed $ quiet)
+
+let main_cmd =
+  let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in
+  Cmd.group (Cmd.info "inltune" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; show_cmd; run_cmd; tune_cmd; experiment_cmd; export_cmd; run_file_cmd;
+      knapsack_cmd; search_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

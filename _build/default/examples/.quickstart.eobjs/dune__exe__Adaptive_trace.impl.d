@@ -1,0 +1,1 @@
+examples/adaptive_trace.ml: Array Compile Float Heuristic Inltune_jir Inltune_opt Inltune_vm Inltune_workloads List Machine Platform Printf Profile

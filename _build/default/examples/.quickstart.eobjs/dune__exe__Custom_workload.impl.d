@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Builder Float Heuristic Inltune_ga Inltune_jir Inltune_opt Inltune_support Inltune_vm Inltune_workloads Ir Machine Platform Printf Runner Validate

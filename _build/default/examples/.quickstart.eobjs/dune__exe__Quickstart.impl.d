@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Float Heuristic Inltune_jir Inltune_opt Inltune_vm Ir Machine Platform Printf Runner Validate

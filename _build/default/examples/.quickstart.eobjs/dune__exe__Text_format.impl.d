@@ -1,0 +1,1 @@
+examples/text_format.ml: Array Heuristic Inltune_jir Inltune_opt Inltune_vm Inltune_workloads Machine Platform Printf Runner String Text Validate

@@ -1,0 +1,1 @@
+examples/tune_small.ml: Heuristic Inltune_core Inltune_ga Inltune_opt Inltune_workloads List Measure Printf Tuner

@@ -1,0 +1,42 @@
+(* Adaptive-optimization trace: run raytrace under the Adapt scenario and
+   show what the adaptive system did — which methods were baseline-compiled,
+   which got hot and were recompiled, and how iteration times fall as the VM
+   warms up.
+
+       dune exec examples/adaptive_trace.exe
+*)
+
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+
+let () =
+  let bm = W.Suites.find "raytrace" in
+  let p = W.Suites.program bm in
+  let vm = Machine.create (Machine.config Machine.Adapt Heuristic.default) Platform.x86 p in
+  Printf.printf "running %s under the adaptive scenario (x86)\n\n" bm.W.Suites.bname;
+  for iter = 1 to 4 do
+    let it = Machine.run_iteration vm in
+    Printf.printf
+      "iteration %d: exec %8d cycles, compile %7d cycles (%3d baseline, %2d opt compiles so far)\n"
+      iter it.Machine.it_exec_cycles it.Machine.it_compile_cycles
+      (Machine.baseline_compiles vm) (Machine.opt_compiles vm)
+  done;
+  let profile = Machine.profile vm in
+  Printf.printf "\nhottest methods by samples:\n";
+  List.iter
+    (fun mid ->
+      let m = p.Inltune_jir.Ir.methods.(mid) in
+      let tier =
+        match Machine.compiled_method vm mid with
+        | Some { Compile.tier = Compile.Optimized; _ } -> "OPT"
+        | Some { Compile.tier = Compile.O1; _ } -> "O1"
+        | Some { Compile.tier = Compile.Baseline; _ } -> "base"
+        | None -> "-"
+      in
+      Printf.printf "  %-18s samples %4d  invocations %6d  [%s]\n" m.Inltune_jir.Ir.mname
+        (Profile.samples profile mid) (Profile.invocations profile mid) tier)
+    (Profile.hottest profile 10);
+  Printf.printf "\ntotal code space: %d bytes;  icache miss rate %.4f\n"
+    (Machine.code_bytes vm)
+    (Float.of_int (Machine.icache_misses vm) /. Float.of_int (max 1 (Machine.icache_accesses vm)))

@@ -1,0 +1,65 @@
+(* Quickstart: build a tiny JIR program, run it under both compilation
+   scenarios, and compare the Jikes default heuristic against no inlining.
+
+       dune exec examples/quickstart.exe
+*)
+
+open Inltune_jir
+open Inltune_vm
+open Inltune_opt
+module B = Builder
+
+(* A little program: main loops 1000 times calling a small helper chain. *)
+let program () =
+  let b = B.create "quickstart" in
+  let square =
+    B.method_ b ~name:"square" ~nargs:1 (fun mb ->
+        let r = B.mul mb 0 0 in
+        B.ret mb r)
+  in
+  let poly =
+    B.method_ b ~name:"poly" ~nargs:2 (fun mb ->
+        (* poly(x, c) = square(x) + 3x + c *)
+        let sq = B.call mb square [ 0 ] in
+        let three = B.const mb 3 in
+        let lin = B.mul mb three 0 in
+        let t = B.add mb sq lin in
+        let r = B.add mb t 1 in
+        B.ret mb r)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Const (acc, 0));
+        let n = B.const mb 1000 in
+        B.for_loop mb ~n (fun i ->
+            let v = B.call mb poly [ i; acc ] in
+            B.emit mb (Ir.Move (acc, v)));
+        B.print mb acc;
+        B.ret mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+let describe label (m : Runner.measurement) =
+  Printf.printf "%-28s total %8d cycles   running %8d cycles   compile %7d cycles\n" label
+    m.Runner.total_cycles m.Runner.running_cycles m.Runner.first_compile_cycles
+
+let () =
+  let p = program () in
+  Validate.check_exn p;
+  Printf.printf "program: %d methods, %d instructions\n\n" (Array.length p.Ir.methods)
+    (Ir.program_instr_count p);
+  let measure scenario heuristic inline_enabled =
+    Runner.measure (Machine.config ~inline_enabled scenario heuristic) Platform.x86 p
+  in
+  describe "Opt, default heuristic" (measure Machine.Opt Heuristic.default true);
+  describe "Opt, no inlining" (measure Machine.Opt Heuristic.never false);
+  describe "Adapt, default heuristic" (measure Machine.Adapt Heuristic.default true);
+  describe "Adapt, no inlining" (measure Machine.Adapt Heuristic.never false);
+  let on = measure Machine.Opt Heuristic.default true in
+  let off = measure Machine.Opt Heuristic.never false in
+  Printf.printf "\nInlining cuts running time by %.0f%% on this kernel.\n"
+    (100.0
+    *. (1.0
+       -. Float.of_int on.Runner.running_cycles /. Float.of_int off.Runner.running_cycles))

@@ -1,0 +1,64 @@
+(* The JIR text format: write a program as assembly text, parse it, run it,
+   and round-trip a generated benchmark.
+
+       dune exec examples/text_format.exe
+*)
+
+open Inltune_jir
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+
+let fib_src =
+  {|
+# naive fibonacci, called in a loop; fib is a band-size inline candidate
+program fib_demo
+method fib args 1 regs 8
+block
+  const r1 2
+  cmp.lt r2 r0 r1
+  branch r2 1 2
+block
+  ret r0
+block
+  const r3 1
+  sub r4 r0 r3
+  call r5 m0 r4
+  sub r6 r4 r3
+  call r7 m0 r6
+  add r5 r5 r7
+  ret r5
+method main args 0 regs 4
+block
+  const r0 14
+  call r1 m0 r0
+  print r1
+  ret r1
+main m1
+|}
+
+let () =
+  (* 1. Parse and run a handwritten program. *)
+  let p = Text.parse_exn fib_src in
+  Validate.check_exn p;
+  let ret, outputs = Runner.observe Platform.x86 p in
+  Printf.printf "fib(14) = %d (printed: %s)\n" ret
+    (String.concat ", " (Array.to_list (Array.map string_of_int outputs)));
+
+  (* 2. The recursion guard in action: even a maximally aggressive heuristic
+     cannot unroll fib into itself forever. *)
+  let aggressive = Heuristic.of_array [| 50; 20; 15; 4000; 400 |] in
+  let m =
+    Runner.measure (Machine.config Machine.Opt aggressive) Platform.x86 p
+  in
+  Printf.printf "aggressive inlining: total %d cycles, result %d\n" m.Runner.total_cycles
+    m.Runner.ret;
+
+  (* 3. Round-trip a full generated benchmark through the text format. *)
+  let bench = W.Suites.program (W.Suites.find "db") in
+  let text = Text.to_string bench in
+  (match Text.parse text with
+  | Ok p' when p' = bench ->
+    Printf.printf "db round-trips through %d bytes of assembly text\n" (String.length text)
+  | Ok _ -> print_endline "round-trip produced a different program (bug!)"
+  | Error e -> Printf.printf "round-trip failed at line %d: %s\n" e.Text.line e.Text.msg)

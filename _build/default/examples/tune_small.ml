@@ -1,0 +1,40 @@
+(* Scenario tuning in miniature: reproduce the paper's workflow end-to-end
+   on a reduced budget — tune the heuristic for the Opt:Tot scenario on the
+   SPEC-like training suite, then evaluate the tuned heuristic on the unseen
+   DaCapo-like test suite.
+
+       dune exec examples/tune_small.exe
+*)
+
+open Inltune_core
+open Inltune_opt
+module W = Inltune_workloads
+
+let () =
+  let budget = { Tuner.pop = 10; gens = 5; seed = 3 } in
+  Printf.printf "tuning Opt:Tot on the SPEC training suite (pop %d, %d generations)\n"
+    budget.Tuner.pop budget.Tuner.gens;
+  let o =
+    Tuner.tune ~budget
+      ~on_generation:(fun p ->
+        Printf.printf "  gen %d: best %.4f mean %.4f\n%!" p.Inltune_ga.Evolve.generation
+          p.Inltune_ga.Evolve.best_fitness p.Inltune_ga.Evolve.mean_fitness)
+      Tuner.Opt_tot_x86
+  in
+  Printf.printf "\ntuned: %s\n" (Heuristic.to_string o.Tuner.heuristic);
+  Printf.printf "training-suite fitness (total-time geomean vs default): %.4f\n\n" o.Tuner.fitness;
+
+  Printf.printf "evaluating on the unseen DaCapo+JBB test suite:\n";
+  let spec = o.Tuner.spec in
+  List.iter
+    (fun bm ->
+      let d = Measure.run_default ~scenario:spec.Tuner.scenario ~platform:spec.Tuner.platform bm in
+      let t =
+        Measure.run ~scenario:spec.Tuner.scenario ~platform:spec.Tuner.platform
+          ~heuristic:o.Tuner.heuristic bm
+      in
+      Printf.printf "  %-10s total %.3f   running %.3f  (1.0 = default heuristic)\n"
+        bm.W.Suites.bname
+        (t.Measure.total /. d.Measure.total)
+        (t.Measure.running /. d.Measure.running))
+    W.Suites.dacapo

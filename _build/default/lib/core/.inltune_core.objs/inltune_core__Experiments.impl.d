@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Heuristic Inltune_ga Inltune_opt Inltune_support Inltune_vm Inltune_workloads List Machine Measure Params Platform Printf Report Tuner

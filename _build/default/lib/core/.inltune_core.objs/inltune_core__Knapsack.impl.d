@@ -1,0 +1,1 @@
+lib/core/knapsack.ml: Array Callgraph Float Hashtbl Heuristic Inltune_jir Inltune_opt Inltune_vm Inltune_workloads Ir List Machine Measure Platform Profile Runner Size

@@ -1,0 +1,1 @@
+lib/core/knapsack.mli: Hashtbl Inltune_jir Inltune_vm Inltune_workloads Ir Measure Platform

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Float Hashtbl Heuristic Inltune_opt Inltune_vm Inltune_workloads Machine Platform Printf Runner

@@ -1,0 +1,1 @@
+lib/core/measure.mli: Heuristic Inltune_opt Inltune_vm Inltune_workloads Machine Platform Runner

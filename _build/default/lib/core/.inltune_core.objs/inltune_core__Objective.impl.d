@@ -1,0 +1,1 @@
+lib/core/objective.ml: Array Heuristic Inltune_opt Inltune_support List Measure

@@ -1,0 +1,1 @@
+lib/core/objective.mli: Heuristic Inltune_opt Inltune_vm Inltune_workloads Measure

@@ -1,0 +1,1 @@
+lib/core/params.ml: Array Heuristic Inltune_ga Inltune_opt List String

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Heuristic Inltune_ga Inltune_opt Inltune_vm Inltune_workloads Machine Objective Params Platform

@@ -1,0 +1,49 @@
+open Inltune_opt
+open Inltune_vm
+module Workloads = Inltune_workloads
+
+(* Benchmark measurement: one (benchmark, scenario, platform, heuristic)
+   simulation following the paper's two-iteration methodology. *)
+
+type times = {
+  running : float;  (* cycles, as float for the fitness arithmetic *)
+  total : float;
+  compile : float;
+  raw : Runner.measurement;
+}
+
+let of_measurement m =
+  {
+    running = Float.of_int m.Runner.running_cycles;
+    total = Float.of_int m.Runner.total_cycles;
+    compile = Float.of_int m.Runner.first_compile_cycles;
+    raw = m;
+  }
+
+let run ?(iterations = 3) ?(inline_enabled = true) ~scenario ~platform ~heuristic bm =
+  let prog = Workloads.Suites.program bm in
+  let cfg = Machine.config ~inline_enabled scenario heuristic in
+  of_measurement (Runner.measure ~iterations cfg platform prog)
+
+(* Measurements with the default (Jikes) heuristic are requested constantly —
+   every normalized bar divides by one — so memoize those alone.  The cache
+   key is benchmark/scenario/platform; the heuristic is pinned to default.
+   Not used from worker domains (fitness evaluation precomputes baselines
+   up-front), so a plain Hashtbl is fine. *)
+let default_cache : (string, times) Hashtbl.t = Hashtbl.create 64
+
+let run_default ?(iterations = 3) ~scenario ~platform bm =
+  let key =
+    Printf.sprintf "%s/%s/%s/%d" bm.Workloads.Suites.bname (Machine.scenario_name scenario)
+      platform.Platform.pname iterations
+  in
+  match Hashtbl.find_opt default_cache key with
+  | Some t -> t
+  | None ->
+    let t = run ~iterations ~scenario ~platform ~heuristic:Heuristic.default bm in
+    Hashtbl.add default_cache key t;
+    t
+
+(* The Fig. 1 baseline: same scenario, inlining disabled entirely. *)
+let run_no_inlining ?(iterations = 3) ~scenario ~platform bm =
+  run ~iterations ~inline_enabled:false ~scenario ~platform ~heuristic:Heuristic.never bm

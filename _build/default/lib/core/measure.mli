@@ -1,0 +1,44 @@
+open Inltune_opt
+open Inltune_vm
+module Workloads = Inltune_workloads
+
+(** Benchmark measurement following the paper's methodology: one simulated VM
+    per (benchmark, scenario, platform, heuristic) combination. *)
+
+type times = {
+  running : float;  (** best later-iteration exec cycles *)
+  total : float;    (** first-iteration exec + compile cycles *)
+  compile : float;  (** first-iteration compile cycles *)
+  raw : Runner.measurement;
+}
+
+val of_measurement : Runner.measurement -> times
+
+(** [run ~scenario ~platform ~heuristic bm] simulates the benchmark
+    ([iterations] defaults to 3 so the adaptive system reaches steady
+    state).  [inline_enabled:false] is the Fig. 1 no-inlining baseline. *)
+val run :
+  ?iterations:int ->
+  ?inline_enabled:bool ->
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  heuristic:Heuristic.t ->
+  Workloads.Suites.benchmark ->
+  times
+
+(** Like {!run} with the Jikes default heuristic; memoized (normalized bars
+    divide by this constantly).  Not for use from worker domains. *)
+val run_default :
+  ?iterations:int ->
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  Workloads.Suites.benchmark ->
+  times
+
+(** The paper's Fig. 1 baseline: same scenario, inlining disabled. *)
+val run_no_inlining :
+  ?iterations:int ->
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  Workloads.Suites.benchmark ->
+  times

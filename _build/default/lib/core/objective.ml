@@ -1,0 +1,54 @@
+open Inltune_opt
+module Stats = Inltune_support.Stats
+
+(* The paper's fitness functions (Section 3.1): minimize the geometric mean
+   over the training suite of a per-benchmark metric — running time, total
+   time, or the balance  Perf(s) = factor * Running(s) + Total(s)  with
+   factor = Total(s_def) / Running(s_def).
+
+   Each per-benchmark metric is normalized by the default heuristic's value
+   for the same benchmark so the geomean is scale-free (1.0 = exactly the
+   default heuristic's performance). *)
+
+type goal = Running | Total | Balance
+
+let goal_name = function Running -> "running" | Total -> "total" | Balance -> "balance"
+
+let goal_of_string = function
+  | "running" -> Running
+  | "total" -> Total
+  | "balance" -> Balance
+  | s -> invalid_arg ("Objective.goal_of_string: " ^ s)
+
+let perf goal ~(t : Measure.times) ~(default : Measure.times) =
+  match goal with
+  | Running -> t.Measure.running /. default.Measure.running
+  | Total -> t.Measure.total /. default.Measure.total
+  | Balance ->
+    let factor = default.Measure.total /. default.Measure.running in
+    let v = (factor *. t.Measure.running) +. t.Measure.total in
+    let d = (factor *. default.Measure.running) +. default.Measure.total in
+    v /. d
+
+(* A reusable fitness function over a suite.  Baseline (default-heuristic)
+   measurements are taken once, up front, on the calling domain; the returned
+   closure is then safe to call from worker domains. *)
+let fitness ~suite ~scenario ~platform ~goal =
+  let baselines =
+    List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
+  in
+  fun heuristic ->
+    let scores =
+      List.map
+        (fun (bm, default) ->
+          let t = Measure.run ~scenario ~platform ~heuristic bm in
+          perf goal ~t ~default)
+        baselines
+    in
+    Stats.geomean (Array.of_list scores)
+
+(* Genome-level fitness for the GA. *)
+let genome_fitness ~suite ~scenario ~platform ~goal =
+  let f = fitness ~suite ~scenario ~platform ~goal in
+  fun g -> f (Heuristic.of_array g)
+

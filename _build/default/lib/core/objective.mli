@@ -1,0 +1,34 @@
+open Inltune_opt
+
+(** The paper's fitness functions (Section 3.1), normalized so the default
+    heuristic scores exactly 1.0 per benchmark. *)
+
+type goal =
+  | Running  (** minimize running time (later iterations, no compilation) *)
+  | Total    (** minimize total time (first iteration, incl. compilation) *)
+  | Balance  (** minimize [factor * Running(s) + Total(s)],
+                 [factor = Total(s_def) / Running(s_def)] *)
+
+val goal_name : goal -> string
+val goal_of_string : string -> goal
+
+(** Per-benchmark metric, as a ratio to the default heuristic's value. *)
+val perf : goal -> t:Measure.times -> default:Measure.times -> float
+
+(** Suite-level fitness: geometric mean of {!perf} over the suite.  Baseline
+    measurements are taken eagerly on the calling domain; the returned
+    closure is safe to call from worker domains. *)
+val fitness :
+  suite:Inltune_workloads.Suites.benchmark list ->
+  scenario:Inltune_vm.Machine.scenario ->
+  platform:Inltune_vm.Platform.t ->
+  goal:goal ->
+  Heuristic.t -> float
+
+(** {!fitness} composed with the genome decoding, for the GA. *)
+val genome_fitness :
+  suite:Inltune_workloads.Suites.benchmark list ->
+  scenario:Inltune_vm.Machine.scenario ->
+  platform:Inltune_vm.Platform.t ->
+  goal:goal ->
+  int array -> float

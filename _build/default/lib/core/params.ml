@@ -1,0 +1,81 @@
+open Inltune_opt
+
+(* Paper Table 1: the tuned parameters, their meanings and search ranges,
+   plus the Jikes RVM defaults (Table 4, column 1). *)
+
+type row = {
+  pname : string;
+  meaning : string;
+  lo : int;
+  hi : int;
+  default : int;
+}
+
+let table1 =
+  [
+    {
+      pname = "CALLEE_MAX_SIZE";
+      meaning = "Maximum callee size allowable to inline";
+      lo = 1;
+      hi = 50;
+      default = Heuristic.default.Heuristic.callee_max_size;
+    };
+    {
+      pname = "ALWAYS_INLINE_SIZE";
+      meaning = "Callee methods less than this size are always inlined";
+      lo = 1;
+      hi = 20;
+      default = Heuristic.default.Heuristic.always_inline_size;
+    };
+    {
+      pname = "MAX_INLINE_DEPTH";
+      meaning = "Maximum inlining depth at a particular call site";
+      lo = 1;
+      hi = 15;
+      default = Heuristic.default.Heuristic.max_inline_depth;
+    };
+    {
+      pname = "CALLER_MAX_SIZE";
+      meaning = "Maximum caller size to inline into";
+      lo = 1;
+      hi = 4000;
+      default = Heuristic.default.Heuristic.caller_max_size;
+    };
+    {
+      pname = "HOT_CALLEE_MAX_SIZE";
+      meaning = "Maximum hot callee to inline";
+      lo = 1;
+      hi = 400;
+      default = Heuristic.default.Heuristic.hot_callee_max_size;
+    };
+  ]
+
+(* The GA's genome spec is exactly these ranges, in order. *)
+let genome_spec =
+  Inltune_ga.Genome.spec (Array.of_list (List.map (fun r -> (r.lo, r.hi)) table1))
+
+let heuristic_of_genome g = Heuristic.of_array g
+let genome_of_heuristic h = Heuristic.to_array h
+
+(* Parse "k=v,k=v" overrides on top of the default heuristic (CLI syntax). *)
+let heuristic_of_string s =
+  let h = ref (Heuristic.to_array Heuristic.default) in
+  if String.trim s <> "" then
+    String.split_on_char ',' s
+    |> List.iter (fun kv ->
+           match String.split_on_char '=' (String.trim kv) with
+           | [ k; v ] ->
+             let v = int_of_string (String.trim v) in
+             let k = String.uppercase_ascii (String.trim k) in
+             let idx =
+               match k with
+               | "CALLEE_MAX_SIZE" -> 0
+               | "ALWAYS_INLINE_SIZE" -> 1
+               | "MAX_INLINE_DEPTH" -> 2
+               | "CALLER_MAX_SIZE" -> 3
+               | "HOT_CALLEE_MAX_SIZE" -> 4
+               | _ -> invalid_arg ("unknown parameter " ^ k)
+             in
+             !h.(idx) <- v
+           | _ -> invalid_arg ("bad parameter syntax: " ^ kv));
+  Heuristic.of_array !h

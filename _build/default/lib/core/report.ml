@@ -1,0 +1,36 @@
+module Table = Inltune_support.Table
+module Stats = Inltune_support.Stats
+
+(* Rendering helpers shared by the experiment drivers: the paper's figures
+   are bar charts of time normalized to a baseline (1.0 = baseline), which we
+   print as tables with ASCII bars. *)
+
+type bar_row = {
+  label : string;
+  running_ratio : float;
+  total_ratio : float;
+}
+
+let ratio_cell v = Table.fmt_float ~digits:3 v
+
+let bars_table ~title ~baseline_name rows =
+  let t =
+    Table.create ~title
+      ~header:[| "benchmark"; "running"; "total"; Printf.sprintf "total vs %s" baseline_name |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Left |]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [| r.label; ratio_cell r.running_ratio; ratio_cell r.total_ratio; Table.bar r.total_ratio |])
+    rows;
+  Table.add_rule t;
+  let run_avg = Stats.geomean (Array.of_list (List.map (fun r -> r.running_ratio) rows)) in
+  let tot_avg = Stats.geomean (Array.of_list (List.map (fun r -> r.total_ratio) rows)) in
+  Table.add_row t [| "geomean"; ratio_cell run_avg; ratio_cell tot_avg; Table.bar tot_avg |];
+  (t, run_avg, tot_avg)
+
+(* "X% reduction" phrasing used throughout the paper's prose. *)
+let describe_reduction what ratio =
+  if ratio <= 1.0 then Printf.sprintf "%s reduced by %.0f%%" what (Stats.reduction_pct ratio)
+  else Printf.sprintf "%s increased by %.0f%%" what ((ratio -. 1.0) *. 100.0)

@@ -1,0 +1,94 @@
+open Inltune_opt
+open Inltune_vm
+module Workloads = Inltune_workloads
+module Ga = Inltune_ga
+
+(* The paper's compilation scenarios (Section 6 / Table 4 columns) and the
+   GA driver that tunes the heuristic for each. *)
+
+type scenario_id = Adapt_x86 | Opt_bal_x86 | Opt_tot_x86 | Adapt_ppc | Opt_bal_ppc
+
+type scenario_spec = {
+  id : scenario_id;
+  label : string;
+  scenario : Machine.scenario;
+  platform : Platform.t;
+  goal : Objective.goal;
+}
+
+let spec_of = function
+  | Adapt_x86 ->
+    { id = Adapt_x86; label = "Adapt"; scenario = Machine.Adapt; platform = Platform.x86; goal = Objective.Balance }
+  | Opt_bal_x86 ->
+    { id = Opt_bal_x86; label = "Opt:Bal"; scenario = Machine.Opt; platform = Platform.x86; goal = Objective.Balance }
+  | Opt_tot_x86 ->
+    { id = Opt_tot_x86; label = "Opt:Tot"; scenario = Machine.Opt; platform = Platform.x86; goal = Objective.Total }
+  | Adapt_ppc ->
+    { id = Adapt_ppc; label = "Adapt (PPC)"; scenario = Machine.Adapt; platform = Platform.ppc; goal = Objective.Balance }
+  | Opt_bal_ppc ->
+    { id = Opt_bal_ppc; label = "Opt:Bal (PPC)"; scenario = Machine.Opt; platform = Platform.ppc; goal = Objective.Balance }
+
+let all_scenarios = [ Adapt_x86; Opt_bal_x86; Opt_tot_x86; Adapt_ppc; Opt_bal_ppc ]
+
+let scenario_of_string = function
+  | "adapt" -> Adapt_x86
+  | "opt:bal" -> Opt_bal_x86
+  | "opt:tot" -> Opt_tot_x86
+  | "adapt-ppc" -> Adapt_ppc
+  | "opt:bal-ppc" -> Opt_bal_ppc
+  | s -> invalid_arg ("Tuner.scenario_of_string: " ^ s)
+
+(* Search effort.  The paper evolves 20 individuals over 500 generations on
+   real hardware over days; the simulator makes far smaller budgets converge
+   because the fitness landscape is deterministic. *)
+type budget = { pop : int; gens : int; seed : int }
+
+let default_budget = { pop = 16; gens = 10; seed = 42 }
+
+type outcome = {
+  spec : scenario_spec;
+  heuristic : Heuristic.t;
+  fitness : float;  (* geomean vs default; < 1 is an improvement *)
+  ga : Ga.Evolve.result;
+}
+
+(* Tune the heuristic for one scenario over the training suite. *)
+let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec) id =
+  let spec = spec_of id in
+  let fitness =
+    Objective.genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
+      ~goal:spec.goal
+  in
+  let params =
+    {
+      Ga.Evolve.default_params with
+      Ga.Evolve.pop_size = budget.pop;
+      generations = budget.gens;
+      seed = budget.seed;
+    }
+  in
+  let ga = Ga.Evolve.run ?on_generation ~spec:Params.genome_spec ~params ~fitness () in
+  {
+    spec;
+    heuristic = Heuristic.of_array ga.Ga.Evolve.best;
+    fitness = ga.Ga.Evolve.best_fitness;
+    ga;
+  }
+
+(* Per-program tuning for running time (paper Fig. 10). *)
+let tune_per_program ?(budget = default_budget) bm =
+  let suite = [ bm ] in
+  let fitness =
+    Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Running
+  in
+  let params =
+    {
+      Ga.Evolve.default_params with
+      Ga.Evolve.pop_size = budget.pop;
+      generations = budget.gens;
+      seed = budget.seed;
+    }
+  in
+  let ga = Ga.Evolve.run ~spec:Params.genome_spec ~params ~fitness () in
+  (Heuristic.of_array ga.Ga.Evolve.best, ga.Ga.Evolve.best_fitness)

@@ -1,0 +1,1 @@
+lib/ga/evolve.ml: Array Genome Hashtbl Inltune_support List

@@ -1,0 +1,1 @@
+lib/ga/genome.mli: Inltune_support

@@ -1,0 +1,1 @@
+lib/ga/localsearch.ml: Array Float Genome Inltune_support

@@ -1,0 +1,1 @@
+lib/ga/localsearch.mli: Genome

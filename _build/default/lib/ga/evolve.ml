@@ -1,0 +1,179 @@
+module Rng = Inltune_support.Rng
+module Pool = Inltune_support.Pool
+module Stats = Inltune_support.Stats
+
+(* Generational genetic algorithm over integer-vector genomes, minimizing a
+   fitness function — the role ECJ plays in the paper.
+
+   One generation: keep the [elites] best individuals, then fill the
+   population with offspring produced by tournament selection, one-point
+   crossover and per-gene reset mutation.  Fitness evaluations are memoized
+   (the GA revisits genotypes constantly) and cache misses of a generation
+   are evaluated in parallel across domains. *)
+
+type params = {
+  pop_size : int;
+  generations : int;
+  crossover_prob : float;
+  mutation_prob : float;  (* per gene: reset uniformly within its range *)
+  tournament : int;
+  elites : int;
+  seed : int;
+  domains : int option;   (* None = Pool's default; Some 1 = sequential *)
+}
+
+let default_params =
+  {
+    pop_size = 20;
+    generations = 50;
+    crossover_prob = 0.9;
+    mutation_prob = 0.1;
+    tournament = 2;
+    elites = 2;
+    seed = 42;
+    domains = None;
+  }
+
+type progress = {
+  generation : int;
+  best_fitness : float;
+  mean_fitness : float;
+  evaluations : int;  (* cumulative distinct evaluations so far *)
+}
+
+type result = {
+  best : int array;
+  best_fitness : float;
+  history : progress list;  (* oldest first *)
+  evaluations : int;
+  cache_hits : int;
+}
+
+let crossover rng a b =
+  let n = Array.length a in
+  if n < 2 then (Array.copy a, Array.copy b)
+  else begin
+    let cut = 1 + Rng.int rng (n - 1) in
+    let child1 = Array.init n (fun i -> if i < cut then a.(i) else b.(i)) in
+    let child2 = Array.init n (fun i -> if i < cut then b.(i) else a.(i)) in
+    (child1, child2)
+  end
+
+let mutate spec params rng g =
+  Array.mapi
+    (fun i v ->
+      if Rng.chance rng params.mutation_prob then
+        let lo, hi = Genome.range spec i in
+        Rng.range rng lo hi
+      else v)
+    g
+
+let run ?on_generation ~spec ~params ~fitness () =
+  if params.pop_size < 2 then invalid_arg "Evolve.run: population too small";
+  if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
+  if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
+  let rng = Rng.create params.seed in
+  let cache : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let evaluations = ref 0 in
+  let cache_hits = ref 0 in
+  let evaluate_all pop =
+    (* Partition into cached and new genotypes; evaluate the new ones in
+       parallel, then read everything from the cache. *)
+    let fresh = Hashtbl.create 16 in
+    Array.iter
+      (fun g ->
+        let k = Genome.key g in
+        if Hashtbl.mem cache k then incr cache_hits
+        else if not (Hashtbl.mem fresh k) then Hashtbl.add fresh k g)
+      pop;
+    let todo = Hashtbl.fold (fun _ g acc -> g :: acc) fresh [] |> Array.of_list in
+    (* Sort for a deterministic evaluation order independent of hashing. *)
+    Array.sort compare todo;
+    let scores = Pool.map ?domains:params.domains fitness todo in
+    Array.iteri
+      (fun i g ->
+        Hashtbl.replace cache (Genome.key g) scores.(i);
+        incr evaluations)
+      todo;
+    Array.map (fun g -> Hashtbl.find cache (Genome.key g)) pop
+  in
+  let pop = ref (Array.init params.pop_size (fun _ -> Genome.random spec rng)) in
+  let fits = ref (evaluate_all !pop) in
+  let best = ref !pop.(0) in
+  let best_fit = ref infinity in
+  let history = ref [] in
+  let note_generation gen =
+    Array.iteri
+      (fun i f ->
+        if f < !best_fit then begin
+          best_fit := f;
+          best := Array.copy !pop.(i)
+        end)
+      !fits;
+    let p =
+      {
+        generation = gen;
+        best_fitness = !best_fit;
+        mean_fitness = Stats.mean !fits;
+        evaluations = !evaluations;
+      }
+    in
+    history := p :: !history;
+    match on_generation with Some f -> f p | None -> ()
+  in
+  note_generation 0;
+  let select () =
+    (* Tournament: best (lowest fitness) of [tournament] uniform picks. *)
+    let best_i = ref (Rng.int rng params.pop_size) in
+    for _ = 2 to params.tournament do
+      let i = Rng.int rng params.pop_size in
+      if !fits.(i) < !fits.(!best_i) then best_i := i
+    done;
+    !pop.(!best_i)
+  in
+  for gen = 1 to params.generations do
+    (* Elites: indices of the best [elites] individuals. *)
+    let order = Array.init params.pop_size (fun i -> i) in
+    Array.sort (fun a b -> compare !fits.(a) !fits.(b)) order;
+    let next = Inltune_support.Vec.create () in
+    for e = 0 to params.elites - 1 do
+      Inltune_support.Vec.push next (Array.copy !pop.(order.(e)))
+    done;
+    while Inltune_support.Vec.length next < params.pop_size do
+      let a = select () and b = select () in
+      let c1, c2 =
+        if Rng.chance rng params.crossover_prob then crossover rng a b
+        else (Array.copy a, Array.copy b)
+      in
+      Inltune_support.Vec.push next (mutate spec params rng c1);
+      if Inltune_support.Vec.length next < params.pop_size then
+        Inltune_support.Vec.push next (mutate spec params rng c2)
+    done;
+    pop := Inltune_support.Vec.to_array next;
+    fits := evaluate_all !pop;
+    note_generation gen
+  done;
+  {
+    best = !best;
+    best_fitness = !best_fit;
+    history = List.rev !history;
+    evaluations = !evaluations;
+    cache_hits = !cache_hits;
+  }
+
+(* Random search with the same evaluation budget — the ablation baseline the
+   GA is compared against. *)
+let random_search ~spec ~budget ~seed ~fitness () =
+  if budget < 1 then invalid_arg "Evolve.random_search";
+  let rng = Rng.create seed in
+  let best = ref (Genome.random spec rng) in
+  let best_fit = ref (fitness !best) in
+  for _ = 2 to budget do
+    let g = Genome.random spec rng in
+    let f = fitness g in
+    if f < !best_fit then begin
+      best := g;
+      best_fit := f
+    end
+  done;
+  (!best, !best_fit)

@@ -1,0 +1,35 @@
+module Rng = Inltune_support.Rng
+
+(* Integer-vector genomes with per-gene inclusive ranges — the genome class
+   the paper configures ECJ with (one gene per inlining parameter). *)
+
+type spec = { ranges : (int * int) array }
+
+let spec ranges =
+  Array.iter (fun (lo, hi) -> if lo > hi then invalid_arg "Genome.spec: empty range") ranges;
+  { ranges }
+
+let length s = Array.length s.ranges
+
+let random s rng = Array.map (fun (lo, hi) -> Rng.range rng lo hi) s.ranges
+
+let clamp s g =
+  Array.mapi
+    (fun i v ->
+      let lo, hi = s.ranges.(i) in
+      max lo (min hi v))
+    g
+
+let valid s g =
+  Array.length g = length s
+  && Array.for_all2 (fun v (lo, hi) -> v >= lo && v <= hi) g s.ranges
+
+(* Stable key for fitness memoization. *)
+let key g = String.concat "," (Array.to_list (Array.map string_of_int g))
+
+(* Size of the search space, as a float (2.4e10 for the paper's Table 1
+   ranges; the paper itself quotes ~3e11). *)
+let space_size s =
+  Array.fold_left (fun acc (lo, hi) -> acc *. Float.of_int (hi - lo + 1)) 1.0 s.ranges
+
+let range s i = s.ranges.(i)

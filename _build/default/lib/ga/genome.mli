@@ -1,0 +1,26 @@
+(** Integer-vector genomes with per-gene inclusive ranges. *)
+
+type spec
+
+(** Build a spec; raises if any range is empty. *)
+val spec : (int * int) array -> spec
+
+val length : spec -> int
+
+(** Uniform random individual within the ranges. *)
+val random : spec -> Inltune_support.Rng.t -> int array
+
+(** Clamp each gene into its range. *)
+val clamp : spec -> int array -> int array
+
+(** Whether the individual has the right arity and every gene is in range. *)
+val valid : spec -> int array -> bool
+
+(** Stable string key for memoization. *)
+val key : int array -> string
+
+(** Cardinality of the search space as a float. *)
+val space_size : spec -> float
+
+(** Inclusive range of gene [i]. *)
+val range : spec -> int -> int * int

@@ -1,0 +1,1 @@
+lib/jir/builder.ml: Array Inltune_support Ir

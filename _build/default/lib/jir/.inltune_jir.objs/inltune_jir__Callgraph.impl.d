@@ -1,0 +1,1 @@
+lib/jir/callgraph.ml: Array Hashtbl Int Ir List Set

@@ -1,0 +1,1 @@
+lib/jir/callgraph.mli: Ir

@@ -1,0 +1,1 @@
+lib/jir/defuse.ml: Array Ir List Queue

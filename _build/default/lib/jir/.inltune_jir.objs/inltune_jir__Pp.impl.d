@@ -1,0 +1,1 @@
+lib/jir/pp.ml: Array Fmt Ir Size

@@ -1,0 +1,1 @@
+lib/jir/size.ml: Array Ir

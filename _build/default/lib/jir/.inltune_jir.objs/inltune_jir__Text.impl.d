@@ -1,0 +1,1 @@
+lib/jir/text.ml: Array Buffer Inltune_support Ir List Printf String Validate

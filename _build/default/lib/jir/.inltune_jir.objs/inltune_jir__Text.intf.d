@@ -1,0 +1,1 @@
+lib/jir/text.mli: Ir

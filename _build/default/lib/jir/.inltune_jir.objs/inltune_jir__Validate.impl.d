@@ -1,0 +1,1 @@
+lib/jir/validate.ml: Array Ir List Printf

@@ -1,0 +1,233 @@
+(* Imperative construction of JIR programs.
+
+   Methods may be mutually recursive, so building is two-phase: [declare]
+   reserves a method id (usable immediately in call instructions), [define]
+   fills in the body.  [finish] checks that everything declared was defined
+   and produces an immutable [Ir.program]. *)
+
+module Vec = Inltune_support.Vec
+
+type pending_block = {
+  pb_instrs : Ir.instr Vec.t;
+  mutable pb_term : Ir.terminator option;
+}
+
+type mb = {
+  mb_mid : Ir.mid;
+  mb_name : string;
+  mb_nargs : int;
+  mutable mb_nregs : int;
+  mb_blocks : pending_block Vec.t;
+  mutable mb_current : int;
+}
+
+type decl = {
+  d_name : string;
+  d_nargs : int;
+  mutable d_body : Ir.methd option;
+}
+
+type t = {
+  b_name : string;
+  b_methods : decl Vec.t;
+  b_classes : Ir.klass Vec.t;
+  mutable b_main : Ir.mid option;
+}
+
+let create pname = { b_name = pname; b_methods = Vec.create (); b_classes = Vec.create (); b_main = None }
+
+let declare t ~name ~nargs =
+  if nargs < 0 then invalid_arg "Builder.declare: negative arity";
+  let mid = Vec.length t.b_methods in
+  Vec.push t.b_methods { d_name = name; d_nargs = nargs; d_body = None };
+  mid
+
+let new_class t ~name ~vtable =
+  let kid = Vec.length t.b_classes in
+  Vec.push t.b_classes { Ir.kid; kname = name; vtable = Array.copy vtable };
+  kid
+
+let set_main t mid = t.b_main <- Some mid
+
+(* --- method bodies --- *)
+
+let fresh_block mb =
+  let l = Vec.length mb.mb_blocks in
+  Vec.push mb.mb_blocks { pb_instrs = Vec.create (); pb_term = None };
+  l
+
+let select mb l =
+  if l < 0 || l >= Vec.length mb.mb_blocks then invalid_arg "Builder.select";
+  mb.mb_current <- l
+
+let current mb = mb.mb_current
+
+let fresh_reg mb =
+  let r = mb.mb_nregs in
+  mb.mb_nregs <- r + 1;
+  r
+
+let emit mb i =
+  let blk = Vec.get mb.mb_blocks mb.mb_current in
+  (match blk.pb_term with
+  | Some _ -> invalid_arg "Builder.emit: block already terminated"
+  | None -> ());
+  Vec.push blk.pb_instrs i
+
+let terminate mb term =
+  let blk = Vec.get mb.mb_blocks mb.mb_current in
+  match blk.pb_term with
+  | Some _ -> invalid_arg "Builder.terminate: block already terminated"
+  | None -> blk.pb_term <- Some term
+
+let jump mb l = terminate mb (Ir.Jump l)
+let branch mb c ~ifso ~ifnot = terminate mb (Ir.Branch (c, ifso, ifnot))
+let ret mb r = terminate mb (Ir.Ret r)
+
+(* Convenience emitters returning a fresh destination register. *)
+let const mb n =
+  let d = fresh_reg mb in
+  emit mb (Ir.Const (d, n));
+  d
+
+let move mb src =
+  let d = fresh_reg mb in
+  emit mb (Ir.Move (d, src));
+  d
+
+let binop mb op a b =
+  let d = fresh_reg mb in
+  emit mb (Ir.Binop (op, d, a, b));
+  d
+
+let add mb a b = binop mb Ir.Add a b
+let sub mb a b = binop mb Ir.Sub a b
+let mul mb a b = binop mb Ir.Mul a b
+
+let cmp mb op a b =
+  let d = fresh_reg mb in
+  emit mb (Ir.Cmp (op, d, a, b));
+  d
+
+let load mb obj off =
+  let d = fresh_reg mb in
+  emit mb (Ir.Load (d, obj, off));
+  d
+
+let store mb obj off src = emit mb (Ir.Store (obj, off, src))
+
+let load_idx mb obj idx =
+  let d = fresh_reg mb in
+  emit mb (Ir.LoadIdx (d, obj, idx));
+  d
+
+let store_idx mb obj idx src = emit mb (Ir.StoreIdx (obj, idx, src))
+
+let class_of mb obj =
+  let d = fresh_reg mb in
+  emit mb (Ir.ClassOf (d, obj));
+  d
+
+let alloc mb kid ~slots =
+  let d = fresh_reg mb in
+  emit mb (Ir.Alloc (d, kid, slots));
+  d
+
+let call mb target args =
+  let d = fresh_reg mb in
+  emit mb (Ir.Call (d, target, Array.of_list args));
+  d
+
+let call_virt mb ~slot recv args =
+  let d = fresh_reg mb in
+  emit mb (Ir.CallVirt (d, slot, recv, Array.of_list args));
+  d
+
+let print mb r = emit mb (Ir.Print r)
+
+let define t mid f =
+  let decl = Vec.get t.b_methods mid in
+  (match decl.d_body with
+  | Some _ -> invalid_arg ("Builder.define: already defined: " ^ decl.d_name)
+  | None -> ());
+  let mb =
+    {
+      mb_mid = mid;
+      mb_name = decl.d_name;
+      mb_nargs = decl.d_nargs;
+      mb_nregs = decl.d_nargs;
+      mb_blocks = Vec.create ();
+      mb_current = 0;
+    }
+  in
+  let entry = fresh_block mb in
+  select mb entry;
+  f mb;
+  let blocks =
+    Array.map
+      (fun pb ->
+        match pb.pb_term with
+        | None -> invalid_arg ("Builder.define: unterminated block in " ^ decl.d_name)
+        | Some term -> { Ir.instrs = Vec.to_array pb.pb_instrs; term })
+      (Vec.to_array mb.mb_blocks)
+  in
+  decl.d_body <-
+    Some { Ir.mid; mname = decl.d_name; nargs = decl.d_nargs; nregs = mb.mb_nregs; blocks }
+
+(* Declare-and-define in one step for non-recursive methods. *)
+let method_ t ~name ~nargs f =
+  let mid = declare t ~name ~nargs in
+  define t mid f;
+  mid
+
+let finish t =
+  let main =
+    match t.b_main with
+    | None -> invalid_arg "Builder.finish: no main method set"
+    | Some m -> m
+  in
+  let methods =
+    Array.map
+      (fun d ->
+        match d.d_body with
+        | None -> invalid_arg ("Builder.finish: undefined method " ^ d.d_name)
+        | Some m -> m)
+      (Vec.to_array t.b_methods)
+  in
+  { Ir.pname = t.b_name; methods; classes = Vec.to_array t.b_classes; main }
+
+(* Structured helpers ----------------------------------------------------- *)
+
+(* Counted loop: executes [body] with the induction register, counting from 0
+   to [n]-1 where [n] is a register.  The loop variable register is fresh. *)
+let for_loop mb ~n body =
+  let i = fresh_reg mb in
+  emit mb (Ir.Const (i, 0));
+  let head = fresh_block mb in
+  let body_l = fresh_block mb in
+  let exit = fresh_block mb in
+  jump mb head;
+  select mb head;
+  let c = cmp mb Ir.Lt i n in
+  branch mb c ~ifso:body_l ~ifnot:exit;
+  select mb body_l;
+  body i;
+  let one = const mb 1 in
+  emit mb (Ir.Binop (Ir.Add, i, i, one));
+  jump mb head;
+  select mb exit
+
+(* if-then-else on a condition register; both arms must leave the builder on
+   a non-terminated block; control rejoins afterwards. *)
+let if_ mb c ~then_ ~else_ =
+  let t_l = fresh_block mb in
+  let e_l = fresh_block mb in
+  let join = fresh_block mb in
+  branch mb c ~ifso:t_l ~ifnot:e_l;
+  select mb t_l;
+  then_ ();
+  jump mb join;
+  select mb e_l;
+  else_ ();
+  jump mb join;
+  select mb join

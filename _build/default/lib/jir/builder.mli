@@ -1,0 +1,72 @@
+(** Imperative construction of {!Ir.program} values.
+
+    Methods are declared first (reserving a method id usable in call
+    instructions, enabling mutual recursion) and defined afterwards.  A method
+    definition runs inside a method-builder [mb] that tracks fresh registers,
+    blocks, and the "current" block that emitters append to. *)
+
+type t
+type mb
+
+(** Start building a program with the given name. *)
+val create : string -> t
+
+(** Reserve a method id. *)
+val declare : t -> name:string -> nargs:int -> Ir.mid
+
+(** Register a class with a vtable of method ids (copied). *)
+val new_class : t -> name:string -> vtable:Ir.mid array -> Ir.kid
+
+val set_main : t -> Ir.mid -> unit
+
+(** Fill in the body of a declared method.  The callback receives a method
+    builder positioned on the (fresh) entry block.  Every block must be
+    terminated when the callback returns. *)
+val define : t -> Ir.mid -> (mb -> unit) -> unit
+
+(** [declare] + [define] in one step. *)
+val method_ : t -> name:string -> nargs:int -> (mb -> unit) -> Ir.mid
+
+(** Check completeness and produce the immutable program. *)
+val finish : t -> Ir.program
+
+(** {1 Method-builder primitives} *)
+
+val fresh_block : mb -> int
+val select : mb -> int -> unit
+val current : mb -> int
+val fresh_reg : mb -> Ir.reg
+val emit : mb -> Ir.instr -> unit
+val terminate : mb -> Ir.terminator -> unit
+val jump : mb -> int -> unit
+val branch : mb -> Ir.reg -> ifso:int -> ifnot:int -> unit
+val ret : mb -> Ir.reg -> unit
+
+(** {1 Emitters returning a fresh destination register} *)
+
+val const : mb -> int -> Ir.reg
+val move : mb -> Ir.reg -> Ir.reg
+val binop : mb -> Ir.binop -> Ir.reg -> Ir.reg -> Ir.reg
+val add : mb -> Ir.reg -> Ir.reg -> Ir.reg
+val sub : mb -> Ir.reg -> Ir.reg -> Ir.reg
+val mul : mb -> Ir.reg -> Ir.reg -> Ir.reg
+val cmp : mb -> Ir.cmpop -> Ir.reg -> Ir.reg -> Ir.reg
+val load : mb -> Ir.reg -> int -> Ir.reg
+val store : mb -> Ir.reg -> int -> Ir.reg -> unit
+val load_idx : mb -> Ir.reg -> Ir.reg -> Ir.reg
+val store_idx : mb -> Ir.reg -> Ir.reg -> Ir.reg -> unit
+val class_of : mb -> Ir.reg -> Ir.reg
+val alloc : mb -> Ir.kid -> slots:int -> Ir.reg
+val call : mb -> Ir.mid -> Ir.reg list -> Ir.reg
+val call_virt : mb -> slot:int -> Ir.reg -> Ir.reg list -> Ir.reg
+val print : mb -> Ir.reg -> unit
+
+(** {1 Structured control flow} *)
+
+(** [for_loop mb ~n body] runs [body i] for the induction register [i]
+    counting 0, 1, ... while [i < n]. *)
+val for_loop : mb -> n:Ir.reg -> (Ir.reg -> unit) -> unit
+
+(** [if_ mb c ~then_ ~else_] emits a diamond; both arms rejoin and the builder
+    is left on the join block. *)
+val if_ : mb -> Ir.reg -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit

@@ -1,0 +1,81 @@
+(* Static call graph: the set of possible callees of each method.  Virtual
+   call sites contribute every class's implementation of the slot (a sound
+   over-approximation).  Used by the inliner's recursion guard, by workload
+   sanity tests, and by the examples to describe program shape. *)
+
+module ISet = Set.Make (Int)
+
+type t = {
+  callees : ISet.t array;  (* index = caller mid *)
+  callers : ISet.t array;
+}
+
+let build p =
+  let n = Array.length p.Ir.methods in
+  let callees = Array.make n ISet.empty in
+  let callers = Array.make n ISet.empty in
+  let edge caller callee =
+    callees.(caller) <- ISet.add callee callees.(caller);
+    callers.(callee) <- ISet.add caller callers.(callee)
+  in
+  Array.iter
+    (fun m ->
+      Array.iter
+        (fun blk ->
+          Array.iter
+            (fun i ->
+              match i with
+              | Ir.Call (_, callee, _) -> edge m.Ir.mid callee
+              | Ir.CallVirt (_, slot, _, _) ->
+                Array.iter
+                  (fun k ->
+                    if slot < Array.length k.Ir.vtable then edge m.Ir.mid k.Ir.vtable.(slot))
+                  p.Ir.classes
+              | _ -> ())
+            blk.Ir.instrs)
+        m.Ir.blocks)
+    p.Ir.methods;
+  { callees; callers }
+
+let callees t m = ISet.elements t.callees.(m)
+let callers t m = ISet.elements t.callers.(m)
+
+(* Methods reachable from [root] (including it). *)
+let reachable t root =
+  let seen = Hashtbl.create 64 in
+  let rec go m =
+    if not (Hashtbl.mem seen m) then begin
+      Hashtbl.add seen m ();
+      ISet.iter go t.callees.(m)
+    end
+  in
+  go root;
+  Hashtbl.fold (fun m () acc -> m :: acc) seen [] |> List.sort compare
+
+(* Whether [m] can reach itself through calls. *)
+let recursive t m =
+  let seen = Hashtbl.create 16 in
+  let rec go cur =
+    ISet.exists
+      (fun callee ->
+        callee = m
+        ||
+        if Hashtbl.mem seen callee then false
+        else begin
+          Hashtbl.add seen callee ();
+          go callee
+        end)
+      t.callees.(cur)
+  in
+  go m
+
+let call_site_count p =
+  Array.fold_left
+    (fun acc m ->
+      Array.fold_left
+        (fun acc blk ->
+          Array.fold_left
+            (fun acc i -> match i with Ir.Call _ | Ir.CallVirt _ -> acc + 1 | _ -> acc)
+            acc blk.Ir.instrs)
+        acc m.Ir.blocks)
+    0 p.Ir.methods

@@ -1,0 +1,21 @@
+(** Static call graph over a program; virtual sites are over-approximated by
+    every class's implementation of the slot. *)
+
+type t
+
+val build : Ir.program -> t
+
+(** Possible callees of a method, sorted. *)
+val callees : t -> Ir.mid -> Ir.mid list
+
+(** Possible callers of a method, sorted. *)
+val callers : t -> Ir.mid -> Ir.mid list
+
+(** Methods reachable from [root] through calls, including [root], sorted. *)
+val reachable : t -> Ir.mid -> Ir.mid list
+
+(** Whether the method can reach itself through calls. *)
+val recursive : t -> Ir.mid -> bool
+
+(** Number of static call sites (static + virtual) in the program. *)
+val call_site_count : Ir.program -> int

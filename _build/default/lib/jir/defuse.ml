@@ -1,0 +1,85 @@
+(* Definite-assignment analysis: JIR's define-before-use convention, checked.
+
+   The interpreter zero-initializes registers, so reading an unwritten
+   register is not a crash — but the *inliner* relies on bodies never reading
+   a register before writing it on every path (a spliced body re-entered
+   inside a loop sees stale values from the previous iteration in registers
+   it has not yet rewritten).  This module makes the convention checkable:
+   generators and optimizer outputs are audited by tests.
+
+   Standard forward must-analysis: a register is definitely-assigned at a
+   point if every path from entry writes it first.  In-states meet by
+   intersection; unreachable blocks stay at top (no false positives). *)
+
+type issue = {
+  iblock : int;
+  iindex : int;  (* instruction index; -1 for the terminator *)
+  ireg : Ir.reg;
+}
+
+let check (m : Ir.methd) =
+  let nblocks = Array.length m.Ir.blocks in
+  let nregs = m.Ir.nregs in
+  (* in_defined.(b).(r): definitely assigned at entry of b.  Top = all true. *)
+  let in_defined = Array.init nblocks (fun _ -> Array.make nregs true) in
+  let entry = Array.init nregs (fun r -> r < m.Ir.nargs) in
+  Array.blit entry 0 in_defined.(0) 0 nregs;
+  let reached = Array.make nblocks false in
+  reached.(0) <- true;
+  let work = Queue.create () in
+  Queue.add 0 work;
+  let out_of bi =
+    let defined = Array.copy in_defined.(bi) in
+    Array.iter
+      (fun i -> match Ir.def_of i with Some d -> defined.(d) <- true | None -> ())
+      m.Ir.blocks.(bi).Ir.instrs;
+    defined
+  in
+  while not (Queue.is_empty work) do
+    let bi = Queue.take work in
+    let out = out_of bi in
+    List.iter
+      (fun succ ->
+        let dst = in_defined.(succ) in
+        let changed = ref false in
+        if not reached.(succ) then begin
+          Array.blit out 0 dst 0 nregs;
+          reached.(succ) <- true;
+          changed := true
+        end
+        else
+          for r = 0 to nregs - 1 do
+            let v = dst.(r) && out.(r) in
+            if v <> dst.(r) then begin
+              dst.(r) <- v;
+              changed := true
+            end
+          done;
+        if !changed then Queue.add succ work)
+      (Ir.successors m.Ir.blocks.(bi).Ir.term)
+  done;
+  (* Report reads of possibly-unassigned registers, in program order. *)
+  let issues = ref [] in
+  for bi = nblocks - 1 downto 0 do
+    if reached.(bi) then begin
+      let defined = Array.copy in_defined.(bi) in
+      let blk = m.Ir.blocks.(bi) in
+      (* walk forward, but collect in reverse order to keep the fold cheap *)
+      let local = ref [] in
+      Array.iteri
+        (fun k i ->
+          List.iter
+            (fun r -> if not defined.(r) then local := { iblock = bi; iindex = k; ireg = r } :: !local)
+            (Ir.uses_of i);
+          match Ir.def_of i with Some d -> defined.(d) <- true | None -> ())
+        blk.Ir.instrs;
+      List.iter
+        (fun r -> if not defined.(r) then local := { iblock = bi; iindex = -1; ireg = r } :: !local)
+        (Ir.term_uses blk.Ir.term);
+      issues := List.rev_append !local !issues
+    end
+  done;
+  !issues
+
+let check_program (p : Ir.program) =
+  Array.fold_left (fun acc m -> acc @ List.map (fun i -> (m.Ir.mid, i)) (check m)) [] p.Ir.methods

@@ -1,0 +1,15 @@
+(** Definite-assignment analysis: checks JIR's define-before-use convention
+    (the invariant the inliner relies on). *)
+
+type issue = {
+  iblock : int;
+  iindex : int;  (** instruction index within the block; -1 = terminator *)
+  ireg : Ir.reg;
+}
+
+(** Reads of registers not definitely assigned on every path from entry.
+    [[]] means the method obeys the convention. *)
+val check : Ir.methd -> issue list
+
+(** All issues across a program, tagged with the method id. *)
+val check_program : Ir.program -> (Ir.mid * issue) list

@@ -1,0 +1,161 @@
+(* JIR: a compact register-based IR standing in for Java bytecode / Jikes
+   RVM's HIR.  Programs are closed: a method table indexed by method id and a
+   class table indexed by class id.  Control flow is explicit basic blocks.
+
+   Semantics conventions (chosen to keep the language total, which makes
+   random-program property testing possible):
+   - all values are OCaml ints;
+   - division and modulus by zero yield 0;
+   - shift amounts are masked to [0..62];
+   - heap objects are blocks of slots, slot 0 holds the class id; [Load] and
+     [Store] use slot offsets >= 1 for fields;
+   - out-of-range heap accesses are a trap (the interpreter raises). *)
+
+type reg = int
+type mid = int
+type kid = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type cmpop = Lt | Le | Eq | Ne | Gt | Ge
+
+type instr =
+  | Const of reg * int
+  | Move of reg * reg
+  | Binop of binop * reg * reg * reg  (* dst, lhs, rhs *)
+  | Cmp of cmpop * reg * reg * reg    (* dst <- 0/1 *)
+  | Load of reg * reg * int           (* dst <- heap[obj + off] *)
+  | Store of reg * int * reg          (* heap[obj + off] <- src *)
+  | LoadIdx of reg * reg * reg        (* dst <- heap[obj + 1 + idx] *)
+  | StoreIdx of reg * reg * reg       (* heap[obj + 1 + idx] <- src *)
+  | ClassOf of reg * reg              (* dst <- class id of the object *)
+  | Alloc of reg * kid * int          (* dst <- new object, n field slots *)
+  | Call of reg * mid * reg array     (* dst <- m(args), static target *)
+  | CallVirt of reg * int * reg * reg array
+      (* dst <- recv.vtable[slot](recv, args) *)
+  | Print of reg                      (* observable output *)
+
+type terminator =
+  | Jump of int
+  | Branch of reg * int * int         (* non-zero ? then : else *)
+  | Ret of reg
+
+type block = {
+  instrs : instr array;
+  term : terminator;
+}
+
+type methd = {
+  mid : mid;
+  mname : string;
+  nargs : int;  (* arguments arrive in registers 0 .. nargs-1 *)
+  nregs : int;
+  blocks : block array;  (* entry is block 0; never empty *)
+}
+
+type klass = {
+  kid : kid;
+  kname : string;
+  vtable : mid array;
+}
+
+type program = {
+  pname : string;
+  methods : methd array;  (* index = mid *)
+  classes : klass array;  (* index = kid *)
+  main : mid;             (* entry point; must have nargs = 0 *)
+}
+
+let method_of p m =
+  if m < 0 || m >= Array.length p.methods then invalid_arg "Ir.method_of";
+  p.methods.(m)
+
+let class_of p k =
+  if k < 0 || k >= Array.length p.classes then invalid_arg "Ir.class_of";
+  p.classes.(k)
+
+(* Destination register written by an instruction, if any. *)
+let def_of = function
+  | Const (d, _)
+  | Move (d, _)
+  | Binop (_, d, _, _)
+  | Cmp (_, d, _, _)
+  | Load (d, _, _)
+  | LoadIdx (d, _, _)
+  | ClassOf (d, _)
+  | Alloc (d, _, _)
+  | Call (d, _, _)
+  | CallVirt (d, _, _, _) -> Some d
+  | Store _ | StoreIdx _ | Print _ -> None
+
+(* Registers read by an instruction. *)
+let uses_of = function
+  | Const _ -> []
+  | Move (_, s) -> [ s ]
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) -> [ a; b ]
+  | Load (_, o, _) -> [ o ]
+  | Store (o, _, s) -> [ o; s ]
+  | LoadIdx (_, o, i) -> [ o; i ]
+  | StoreIdx (o, i, s) -> [ o; i; s ]
+  | ClassOf (_, o) -> [ o ]
+  | Alloc _ -> []
+  | Call (_, _, args) -> Array.to_list args
+  | CallVirt (_, _, recv, args) -> recv :: Array.to_list args
+  | Print s -> [ s ]
+
+let term_uses = function
+  | Jump _ -> []
+  | Branch (c, _, _) -> [ c ]
+  | Ret r -> [ r ]
+
+let successors = function
+  | Jump l -> [ l ]
+  | Branch (_, t, f) -> [ t; f ]
+  | Ret _ -> []
+
+(* Whether removing the instruction is unobservable when its destination is
+   dead.  Calls may have side effects (prints, stores) and must be kept. *)
+let pure = function
+  | Const _ | Move _ | Binop _ | Cmp _ | Load _ | LoadIdx _ | ClassOf _ | Alloc _ -> true
+  | Call _ | CallVirt _ | Store _ | StoreIdx _ | Print _ -> false
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Shr -> a asr (b land 62)
+
+let eval_cmp op a b =
+  let r =
+    match op with
+    | Lt -> a < b
+    | Le -> a <= b
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let instr_count m =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs + 1) 0 m.blocks
+
+let program_instr_count p =
+  Array.fold_left (fun acc m -> acc + instr_count m) 0 p.methods

@@ -1,0 +1,67 @@
+(* Human-readable dumps of JIR, for debugging and the examples. *)
+
+let binop_name = function
+  | Ir.Add -> "add"
+  | Ir.Sub -> "sub"
+  | Ir.Mul -> "mul"
+  | Ir.Div -> "div"
+  | Ir.Mod -> "mod"
+  | Ir.And -> "and"
+  | Ir.Or -> "or"
+  | Ir.Xor -> "xor"
+  | Ir.Shl -> "shl"
+  | Ir.Shr -> "shr"
+
+let cmpop_name = function
+  | Ir.Lt -> "lt"
+  | Ir.Le -> "le"
+  | Ir.Eq -> "eq"
+  | Ir.Ne -> "ne"
+  | Ir.Gt -> "gt"
+  | Ir.Ge -> "ge"
+
+let pp_args ppf args =
+  Fmt.pf ppf "%a" Fmt.(array ~sep:(any ", ") (fmt "r%d")) args
+
+let pp_instr ppf = function
+  | Ir.Const (d, n) -> Fmt.pf ppf "r%d = const %d" d n
+  | Ir.Move (d, s) -> Fmt.pf ppf "r%d = r%d" d s
+  | Ir.Binop (op, d, a, b) -> Fmt.pf ppf "r%d = %s r%d, r%d" d (binop_name op) a b
+  | Ir.Cmp (op, d, a, b) -> Fmt.pf ppf "r%d = cmp.%s r%d, r%d" d (cmpop_name op) a b
+  | Ir.Load (d, o, off) -> Fmt.pf ppf "r%d = load r%d[%d]" d o off
+  | Ir.Store (o, off, s) -> Fmt.pf ppf "store r%d[%d] = r%d" o off s
+  | Ir.LoadIdx (d, o, i) -> Fmt.pf ppf "r%d = load r%d[1 + r%d]" d o i
+  | Ir.StoreIdx (o, i, s) -> Fmt.pf ppf "store r%d[1 + r%d] = r%d" o i s
+  | Ir.ClassOf (d, o) -> Fmt.pf ppf "r%d = classof r%d" d o
+  | Ir.Alloc (d, kid, slots) -> Fmt.pf ppf "r%d = new k%d (%d slots)" d kid slots
+  | Ir.Call (d, m, args) -> Fmt.pf ppf "r%d = call m%d(%a)" d m pp_args args
+  | Ir.CallVirt (d, slot, recv, args) ->
+    Fmt.pf ppf "r%d = callvirt r%d.[%d](%a)" d recv slot pp_args args
+  | Ir.Print r -> Fmt.pf ppf "print r%d" r
+
+let pp_term ppf = function
+  | Ir.Jump l -> Fmt.pf ppf "jump B%d" l
+  | Ir.Branch (c, t, f) -> Fmt.pf ppf "branch r%d ? B%d : B%d" c t f
+  | Ir.Ret r -> Fmt.pf ppf "ret r%d" r
+
+let pp_method ppf m =
+  Fmt.pf ppf "method m%d %s(%d args, %d regs, size %d):@." m.Ir.mid m.Ir.mname m.Ir.nargs
+    m.Ir.nregs (Size.of_method m);
+  Array.iteri
+    (fun bi blk ->
+      Fmt.pf ppf "  B%d:@." bi;
+      Array.iter (fun i -> Fmt.pf ppf "    %a@." pp_instr i) blk.Ir.instrs;
+      Fmt.pf ppf "    %a@." pp_term blk.Ir.term)
+    m.Ir.blocks
+
+let pp_program ppf p =
+  Fmt.pf ppf "program %s: %d methods, %d classes, main=m%d@." p.Ir.pname
+    (Array.length p.Ir.methods) (Array.length p.Ir.classes) p.Ir.main;
+  Array.iter (fun k ->
+      Fmt.pf ppf "class k%d %s vtable=[%a]@." k.Ir.kid k.Ir.kname
+        Fmt.(array ~sep:(any " ") (fmt "m%d")) k.Ir.vtable)
+    p.Ir.classes;
+  Array.iter (pp_method ppf) p.Ir.methods
+
+let method_to_string m = Fmt.str "%a" pp_method m
+let program_to_string p = Fmt.str "%a" pp_program p

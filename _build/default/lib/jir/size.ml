@@ -1,0 +1,40 @@
+(* Estimated machine-code size, the quantity the inlining heuristic tests
+   against CALLEE_MAX_SIZE / CALLER_MAX_SIZE / etc.  Mirrors Jikes RVM's
+   "estimated number of machine instructions" for a method: a per-bytecode
+   weight, summed.  Units are abstract "instruction estimate" points chosen so
+   typical small helpers land under the default ALWAYS_INLINE_SIZE of 11 and
+   big parser methods run into the hundreds, matching the paper's Table 1
+   ranges. *)
+
+let instr_weight = function
+  | Ir.Const _ -> 1
+  | Ir.Move _ -> 1
+  | Ir.Binop ((Ir.Div | Ir.Mod), _, _, _) -> 3
+  | Ir.Binop (_, _, _, _) -> 1
+  | Ir.Cmp _ -> 1
+  | Ir.Load _ -> 2
+  | Ir.Store _ -> 2
+  | Ir.LoadIdx _ -> 3
+  | Ir.StoreIdx _ -> 3
+  | Ir.ClassOf _ -> 2
+  | Ir.Alloc _ -> 6
+  | Ir.Call (_, _, args) -> 4 + Array.length args
+  | Ir.CallVirt (_, _, _, args) -> 6 + Array.length args
+  | Ir.Print _ -> 4
+
+let term_weight = function
+  | Ir.Jump _ -> 1
+  | Ir.Branch _ -> 2
+  | Ir.Ret _ -> 1
+
+let block b =
+  Array.fold_left (fun acc i -> acc + instr_weight i) (term_weight b.Ir.term) b.Ir.instrs
+
+let of_method m = Array.fold_left (fun acc b -> acc + block b) 0 m.Ir.blocks
+
+let of_program p = Array.fold_left (fun acc m -> acc + of_method m) 0 p.Ir.methods
+
+(* Machine-code bytes occupied by a compiled method; drives the I-cache
+   footprint.  [expansion] is the compiler-dependent bytes-per-estimate factor
+   (baseline code is bulkier than optimized code). *)
+let code_bytes ~expansion m = of_method m * expansion

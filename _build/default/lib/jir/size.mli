@@ -1,0 +1,16 @@
+(** Estimated machine-code size of methods — the input to the inlining
+    heuristic's size tests, mirroring Jikes RVM's per-bytecode estimate. *)
+
+val instr_weight : Ir.instr -> int
+val term_weight : Ir.terminator -> int
+val block : Ir.block -> int
+
+(** Size estimate of a whole method (sum of its blocks). *)
+val of_method : Ir.methd -> int
+
+(** Sum over all methods of a program. *)
+val of_program : Ir.program -> int
+
+(** [code_bytes ~expansion m] is the compiled footprint in bytes given a
+    compiler's bytes-per-estimate expansion factor. *)
+val code_bytes : expansion:int -> Ir.methd -> int

@@ -1,0 +1,207 @@
+(* A plain-text serialization of JIR programs: a prefix-form, line-based
+   assembly that round-trips exactly ([parse (to_string p) = Ok p]).  Used by
+   the CLI to export benchmarks and run user-written programs.
+
+   Format (whitespace-tokenized, '#' starts a comment):
+
+     program <name>
+     class <name> <mid>*          # vtable entries in slot order
+     method <name> args <n> regs <n>
+     block
+       const r2 5
+       move r3 r2
+       add|sub|mul|div|mod|and|or|xor|shl|shr r4 r2 r3
+       cmp.lt|le|eq|ne|gt|ge r5 r2 r3
+       load r5 r3 1
+       store r3 1 r5
+       loadidx r5 r3 r4
+       storeidx r3 r4 r5
+       classof r5 r3
+       alloc r5 k0 3
+       call r6 m2 r0 r1 ...
+       callvirt r6 0 r5 r0 ...    # slot, receiver, args
+       print r3
+       jump 2 | branch r4 1 2 | ret r3   # exactly one terminator per block
+     main m0
+
+   Classes and methods are referenced positionally (k<i>, m<i>) in
+   declaration order; names are preserved. *)
+
+type error = { line : int; msg : string }
+
+let binop_names =
+  [
+    (Ir.Add, "add"); (Ir.Sub, "sub"); (Ir.Mul, "mul"); (Ir.Div, "div"); (Ir.Mod, "mod");
+    (Ir.And, "and"); (Ir.Or, "or"); (Ir.Xor, "xor"); (Ir.Shl, "shl"); (Ir.Shr, "shr");
+  ]
+
+let cmpop_names =
+  [ (Ir.Lt, "cmp.lt"); (Ir.Le, "cmp.le"); (Ir.Eq, "cmp.eq"); (Ir.Ne, "cmp.ne");
+    (Ir.Gt, "cmp.gt"); (Ir.Ge, "cmp.ge") ]
+
+let binop_name op = List.assoc op binop_names
+let cmpop_name op = List.assoc op cmpop_names
+
+(* ---- printing ------------------------------------------------------------ *)
+
+let to_string (p : Ir.program) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let reg r = "r" ^ string_of_int r in
+  let regs rs = String.concat " " (Array.to_list (Array.map reg rs)) in
+  pf "program %s\n" p.Ir.pname;
+  Array.iter
+    (fun k ->
+      pf "class %s%s\n" k.Ir.kname
+        (Array.fold_left (fun acc m -> acc ^ " m" ^ string_of_int m) "" k.Ir.vtable))
+    p.Ir.classes;
+  Array.iter
+    (fun m ->
+      pf "method %s args %d regs %d\n" m.Ir.mname m.Ir.nargs m.Ir.nregs;
+      Array.iter
+        (fun blk ->
+          pf "block\n";
+          Array.iter
+            (fun i ->
+              match i with
+              | Ir.Const (d, v) -> pf "  const %s %d\n" (reg d) v
+              | Ir.Move (d, s) -> pf "  move %s %s\n" (reg d) (reg s)
+              | Ir.Binop (op, d, a, b) ->
+                pf "  %s %s %s %s\n" (binop_name op) (reg d) (reg a) (reg b)
+              | Ir.Cmp (op, d, a, b) ->
+                pf "  %s %s %s %s\n" (cmpop_name op) (reg d) (reg a) (reg b)
+              | Ir.Load (d, o, off) -> pf "  load %s %s %d\n" (reg d) (reg o) off
+              | Ir.Store (o, off, s) -> pf "  store %s %d %s\n" (reg o) off (reg s)
+              | Ir.LoadIdx (d, o, ix) -> pf "  loadidx %s %s %s\n" (reg d) (reg o) (reg ix)
+              | Ir.StoreIdx (o, ix, s) -> pf "  storeidx %s %s %s\n" (reg o) (reg ix) (reg s)
+              | Ir.ClassOf (d, o) -> pf "  classof %s %s\n" (reg d) (reg o)
+              | Ir.Alloc (d, kid, slots) -> pf "  alloc %s k%d %d\n" (reg d) kid slots
+              | Ir.Call (d, t, args) ->
+                pf "  call %s m%d%s\n" (reg d) t
+                  (if Array.length args = 0 then "" else " " ^ regs args)
+              | Ir.CallVirt (d, slot, recv, args) ->
+                pf "  callvirt %s %d %s%s\n" (reg d) slot (reg recv)
+                  (if Array.length args = 0 then "" else " " ^ regs args)
+              | Ir.Print r -> pf "  print %s\n" (reg r))
+            blk.Ir.instrs;
+          match blk.Ir.term with
+          | Ir.Jump l -> pf "  jump %d\n" l
+          | Ir.Branch (c, t, f) -> pf "  branch %s %d %d\n" (reg c) t f
+          | Ir.Ret r -> pf "  ret %s\n" (reg r))
+        m.Ir.blocks)
+    p.Ir.methods;
+  pf "main m%d\n" p.Ir.main;
+  Buffer.contents buf
+
+(* ---- parsing ------------------------------------------------------------- *)
+
+exception Parse_fail of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_fail (line, msg))) fmt
+
+let parse_prefixed ~line ~prefix tok =
+  let pl = String.length prefix in
+  if String.length tok > pl && String.sub tok 0 pl = prefix then
+    match int_of_string_opt (String.sub tok pl (String.length tok - pl)) with
+    | Some n when n >= 0 -> n
+    | _ -> fail line "bad token %s" tok
+  else fail line "expected %s<n>, got %s" prefix tok
+
+let parse_int ~line tok =
+  match int_of_string_opt tok with Some n -> n | None -> fail line "expected integer, got %s" tok
+
+let parse (src : string) : (Ir.program, error) result =
+  let module Vec = Inltune_support.Vec in
+  try
+    let pname = ref "" in
+    let classes : Ir.klass Vec.t = Vec.create () in
+    (* methods under construction *)
+    let methods : (string * int * int * Ir.block Vec.t) Vec.t = Vec.create () in
+    let main = ref (-1) in
+    let cur_instrs : Ir.instr Vec.t = Vec.create () in
+    let in_block = ref false in
+    let flush_block ~line term =
+      if not !in_block then fail line "terminator outside a block";
+      if Vec.is_empty methods then fail line "block outside a method";
+      let _, _, _, blocks = Vec.last methods in
+      Vec.push blocks { Ir.instrs = Vec.to_array cur_instrs; term };
+      Vec.clear cur_instrs;
+      in_block := false
+    in
+    let lines = String.split_on_char '\n' src in
+    List.iteri
+      (fun idx raw ->
+        let line = idx + 1 in
+        let body = match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw in
+        let toks =
+          String.split_on_char ' ' body
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        let r tok = parse_prefixed ~line ~prefix:"r" tok in
+        match toks with
+        | [] -> ()
+        | "program" :: rest -> pname := String.concat " " rest
+        | "class" :: name :: vtable ->
+          let vt = List.map (parse_prefixed ~line ~prefix:"m") vtable in
+          Vec.push classes { Ir.kid = Vec.length classes; kname = name; vtable = Array.of_list vt }
+        | "method" :: name :: "args" :: a :: "regs" :: g :: [] ->
+          if !in_block then fail line "method begins inside an unterminated block";
+          Vec.push methods (name, parse_int ~line a, parse_int ~line g, Vec.create ())
+        | [ "block" ] ->
+          if !in_block then fail line "previous block not terminated";
+          in_block := true
+        | [ "main"; m ] -> main := parse_prefixed ~line ~prefix:"m" m
+        | [ "jump"; l ] -> flush_block ~line (Ir.Jump (parse_int ~line l))
+        | [ "branch"; c; t; f ] ->
+          flush_block ~line (Ir.Branch (r c, parse_int ~line t, parse_int ~line f))
+        | [ "ret"; x ] -> flush_block ~line (Ir.Ret (r x))
+        | op :: rest ->
+          if not !in_block then fail line "instruction outside a block";
+          let i =
+            match (op, rest) with
+            | "const", [ d; v ] -> Ir.Const (r d, parse_int ~line v)
+            | "move", [ d; s ] -> Ir.Move (r d, r s)
+            | "load", [ d; o; off ] -> Ir.Load (r d, r o, parse_int ~line off)
+            | "store", [ o; off; s ] -> Ir.Store (r o, parse_int ~line off, r s)
+            | "loadidx", [ d; o; ix ] -> Ir.LoadIdx (r d, r o, r ix)
+            | "storeidx", [ o; ix; s ] -> Ir.StoreIdx (r o, r ix, r s)
+            | "classof", [ d; o ] -> Ir.ClassOf (r d, r o)
+            | "alloc", [ d; k; slots ] ->
+              Ir.Alloc (r d, parse_prefixed ~line ~prefix:"k" k, parse_int ~line slots)
+            | "print", [ x ] -> Ir.Print (r x)
+            | "call", d :: m :: args ->
+              Ir.Call (r d, parse_prefixed ~line ~prefix:"m" m, Array.of_list (List.map r args))
+            | "callvirt", d :: slot :: recv :: args ->
+              Ir.CallVirt (r d, parse_int ~line slot, r recv, Array.of_list (List.map r args))
+            | _, [ a; b; c ] when List.exists (fun (_, n) -> n = op) binop_names ->
+              let bop = fst (List.find (fun (_, n) -> n = op) binop_names) in
+              Ir.Binop (bop, r a, r b, r c)
+            | _, [ a; b; c ] when List.exists (fun (_, n) -> n = op) cmpop_names ->
+              let cop = fst (List.find (fun (_, n) -> n = op) cmpop_names) in
+              Ir.Cmp (cop, r a, r b, r c)
+            | _ -> fail line "unknown instruction %s" op
+          in
+          Vec.push cur_instrs i)
+      lines;
+    if !in_block then fail (List.length lines) "unterminated block at end of input";
+    if !main < 0 then fail (List.length lines) "no main directive";
+    let methods =
+      Array.of_list
+        (List.mapi
+           (fun mid (name, nargs, nregs, blocks) ->
+             { Ir.mid; mname = name; nargs; nregs; blocks = Vec.to_array blocks })
+           (Array.to_list (Vec.to_array methods)))
+    in
+    let p =
+      { Ir.pname = !pname; methods; classes = Vec.to_array classes; main = !main }
+    in
+    (match Validate.check p with
+    | [] -> Ok p
+    | { Validate.where; what } :: _ -> Error { line = 0; msg = where ^ ": " ^ what })
+  with Parse_fail (line, msg) -> Error { line; msg }
+
+let parse_exn src =
+  match parse src with
+  | Ok p -> p
+  | Error { line; msg } -> invalid_arg (Printf.sprintf "Text.parse: line %d: %s" line msg)

@@ -1,0 +1,15 @@
+(** Plain-text serialization of JIR programs (a small assembly format).
+
+    The representation round-trips exactly: [parse (to_string p) = Ok p] for
+    every well-formed program. *)
+
+type error = { line : int; msg : string }
+
+val to_string : Ir.program -> string
+
+(** Parse and validate.  [Error] carries the offending line (0 when the
+    failure is a whole-program validation error). *)
+val parse : string -> (Ir.program, error) result
+
+(** Like {!parse}; raises [Invalid_argument] with a located message. *)
+val parse_exn : string -> Ir.program

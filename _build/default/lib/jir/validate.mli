@@ -1,0 +1,10 @@
+(** Structural validation of JIR programs: register/label/method-id ranges,
+    call arities, vtable consistency, main arity. *)
+
+type error = { where : string; what : string }
+
+(** All validation errors, in program order ([[]] means well-formed). *)
+val check : Ir.program -> error list
+
+(** Raise [Invalid_argument] summarizing the first error, if any. *)
+val check_exn : Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/opt/cleanup.mli: Inltune_jir Ir

@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Array Inltune_jir Ir List Option Queue

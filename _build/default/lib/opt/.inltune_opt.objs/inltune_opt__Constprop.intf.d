@@ -1,0 +1,1 @@
+lib/opt/constprop.mli: Inltune_jir Ir

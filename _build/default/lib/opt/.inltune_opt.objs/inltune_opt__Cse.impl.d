@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Array Hashtbl Inltune_jir Ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Inltune_jir Int Ir List Queue Seq Set

@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Inltune_jir Ir

@@ -1,0 +1,1 @@
+lib/opt/guarded_devirt.ml: Array Hashtbl Inltune_jir Inltune_support Ir Option

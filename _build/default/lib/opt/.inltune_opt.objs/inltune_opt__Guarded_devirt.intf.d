@@ -1,0 +1,1 @@
+lib/opt/guarded_devirt.mli: Inltune_jir Ir

@@ -1,0 +1,1 @@
+lib/opt/heuristic.ml: Array Printf

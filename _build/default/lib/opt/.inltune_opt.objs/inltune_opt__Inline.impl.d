@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Hashtbl Heuristic Inltune_jir Inltune_support Ir List Size

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Cleanup Constprop Copyprop Cse Dce Guarded_devirt Heuristic Inline Inltune_jir Ir Size

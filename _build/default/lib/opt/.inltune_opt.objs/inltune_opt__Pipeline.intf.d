@@ -1,0 +1,1 @@
+lib/opt/pipeline.mli: Guarded_devirt Heuristic Inltune_jir Ir

@@ -1,0 +1,78 @@
+open Inltune_jir
+(* Control-flow cleanup: jump threading through empty blocks, folding of
+   branches whose arms coincide, and removal of unreachable blocks (with
+   label compaction).  Run last so the I-cache footprint reflects code that
+   would really be emitted. *)
+
+(* Resolve a label through chains of empty forwarding blocks.  A cycle of
+   empty blocks (an empty infinite loop) is left alone. *)
+let forward_map m =
+  let nblocks = Array.length m.Ir.blocks in
+  let resolve l =
+    let rec go l seen =
+      let blk = m.Ir.blocks.(l) in
+      if Array.length blk.Ir.instrs > 0 then l
+      else
+        match blk.Ir.term with
+        | Ir.Jump l' when not (List.mem l' seen) -> go l' (l' :: seen)
+        | _ -> l
+    in
+    go l [ l ]
+  in
+  Array.init nblocks resolve
+
+let thread m =
+  let fwd = forward_map m in
+  let blocks =
+    Array.map
+      (fun blk ->
+        let term =
+          match blk.Ir.term with
+          | Ir.Jump l -> Ir.Jump fwd.(l)
+          | Ir.Branch (c, t, f) ->
+            let t = fwd.(t) and f = fwd.(f) in
+            if t = f then Ir.Jump t else Ir.Branch (c, t, f)
+          | Ir.Ret r -> Ir.Ret r
+        in
+        { blk with Ir.term })
+      m.Ir.blocks
+  in
+  { m with Ir.blocks }
+
+let drop_unreachable m =
+  let nblocks = Array.length m.Ir.blocks in
+  let reached = Array.make nblocks false in
+  let rec visit l =
+    if not reached.(l) then begin
+      reached.(l) <- true;
+      List.iter visit (Ir.successors m.Ir.blocks.(l).Ir.term)
+    end
+  in
+  visit 0;
+  let remap = Array.make nblocks (-1) in
+  let count = ref 0 in
+  for l = 0 to nblocks - 1 do
+    if reached.(l) then begin
+      remap.(l) <- !count;
+      incr count
+    end
+  done;
+  if !count = nblocks then m
+  else begin
+    let blocks = Array.make !count m.Ir.blocks.(0) in
+    for l = 0 to nblocks - 1 do
+      if reached.(l) then begin
+        let blk = m.Ir.blocks.(l) in
+        let term =
+          match blk.Ir.term with
+          | Ir.Jump t -> Ir.Jump remap.(t)
+          | Ir.Branch (c, t, f) -> Ir.Branch (c, remap.(t), remap.(f))
+          | Ir.Ret r -> Ir.Ret r
+        in
+        blocks.(remap.(l)) <- { blk with Ir.term }
+      end
+    done;
+    { m with Ir.blocks }
+  end
+
+let run m = drop_unreachable (thread m)

@@ -1,0 +1,5 @@
+open Inltune_jir
+(** Control-flow cleanup: jump threading through empty blocks, branch
+    unification, unreachable-block removal with label compaction. *)
+
+val run : Ir.methd -> Ir.methd

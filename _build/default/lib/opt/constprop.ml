@@ -1,0 +1,211 @@
+open Inltune_jir
+(* Forward constant propagation with a small class-analysis extension.
+
+   This pass carries the *indirect* benefit of inlining: once a callee body
+   sits inside its caller, constant actual arguments flow into it and whole
+   computations fold away — exactly the effect the paper credits inlining with
+   ("increasing the opportunities for compiler optimization").
+
+   Lattice per register:
+     Undef  — no definition seen on any path yet (bottom)
+     Const  — known integer value
+     Obj    — known allocation class (enables devirtualization)
+     Any    — top
+
+   A standard worklist fixpoint over the CFG, then a rewrite:
+   - binops/cmps whose operands are all constant become [Const];
+   - algebraic identities with one constant operand simplify (x+0, x*1, x*0,
+     x-0, x and 0, x or 0, shifts by 0);
+   - moves of known constants become [Const];
+   - branches on constant conditions become [Jump];
+   - virtual calls whose receiver has a known class become static [Call]s
+     (receiver passed as first argument), which the inliner can then see. *)
+
+type value = Undef | Const of int | Obj of Ir.kid | Any
+
+let join a b =
+  match (a, b) with
+  | Undef, x | x, Undef -> x
+  | Const x, Const y when x = y -> Const x
+  | Obj x, Obj y when x = y -> Obj x
+  | _ -> Any
+
+let value_equal a b =
+  match (a, b) with
+  | Undef, Undef | Any, Any -> true
+  | Const x, Const y -> x = y
+  | Obj x, Obj y -> x = y
+  | _ -> false
+
+let transfer_instr env i =
+  let set d v = env.(d) <- v in
+  match i with
+  | Ir.Const (d, n) -> set d (Const n)
+  | Ir.Move (d, s) -> set d env.(s)
+  | Ir.Binop (op, d, a, b) -> (
+    match (env.(a), env.(b)) with
+    | Const x, Const y -> set d (Const (Ir.eval_binop op x y))
+    | _ -> set d Any)
+  | Ir.Cmp (op, d, a, b) -> (
+    match (env.(a), env.(b)) with
+    | Const x, Const y -> set d (Const (Ir.eval_cmp op x y))
+    | _ -> set d Any)
+  | Ir.Load (d, _, _) -> set d Any
+  | Ir.LoadIdx (d, _, _) -> set d Any
+  | Ir.ClassOf (d, o) -> set d (match env.(o) with Obj kid -> Const kid | _ -> Any)
+  | Ir.Store _ | Ir.StoreIdx _ -> ()
+  | Ir.Alloc (d, kid, _) -> set d (Obj kid)
+  | Ir.Call (d, _, _) -> set d Any
+  | Ir.CallVirt (d, _, _, _) -> set d Any
+  | Ir.Print _ -> ()
+
+let analyze m =
+  let nblocks = Array.length m.Ir.blocks in
+  let nregs = m.Ir.nregs in
+  let in_states = Array.init nblocks (fun _ -> Array.make nregs Undef) in
+  (* Entry: arguments hold caller-supplied values; all other registers are
+     zero-initialized by the calling convention (see [Interp]), so Const 0 is
+     both sound and precise. *)
+  for r = 0 to nregs - 1 do
+    in_states.(0).(r) <- (if r < m.Ir.nargs then Any else Const 0)
+  done;
+  let preds_done = Array.make nblocks false in
+  preds_done.(0) <- true;
+  let work = Queue.create () in
+  Queue.add 0 work;
+  while not (Queue.is_empty work) do
+    let bi = Queue.take work in
+    let env = Array.copy in_states.(bi) in
+    let blk = m.Ir.blocks.(bi) in
+    Array.iter (transfer_instr env) blk.Ir.instrs;
+    List.iter
+      (fun succ ->
+        let changed = ref false in
+        let dst = in_states.(succ) in
+        if not preds_done.(succ) then begin
+          (* First flow into this block: adopt env wholesale. *)
+          Array.blit env 0 dst 0 nregs;
+          preds_done.(succ) <- true;
+          changed := true
+        end
+        else
+          for r = 0 to nregs - 1 do
+            let v = join dst.(r) env.(r) in
+            if not (value_equal v dst.(r)) then begin
+              dst.(r) <- v;
+              changed := true
+            end
+          done;
+        if !changed then Queue.add succ work)
+      (Ir.successors blk.Ir.term)
+  done;
+  in_states
+
+(* Algebraic simplification of a binop with one known-constant operand.
+   Returns a replacement instruction, or None to keep the original. *)
+let simplify_binop op d a b va vb =
+  let move s = Some (Ir.Move (d, s)) in
+  let const n = Some (Ir.Const (d, n)) in
+  match (op, va, vb) with
+  | Ir.Add, Const 0, _ -> move b
+  | Ir.Add, _, Const 0 -> move a
+  | Ir.Sub, _, Const 0 -> move a
+  | Ir.Mul, Const 1, _ -> move b
+  | Ir.Mul, _, Const 1 -> move a
+  | Ir.Mul, Const 0, _ | Ir.Mul, _, Const 0 -> const 0
+  | Ir.And, Const 0, _ | Ir.And, _, Const 0 -> const 0
+  | Ir.Or, Const 0, _ -> move b
+  | Ir.Or, _, Const 0 -> move a
+  | Ir.Xor, Const 0, _ -> move b
+  | Ir.Xor, _, Const 0 -> move a
+  | (Ir.Shl | Ir.Shr), _, Const 0 -> move a
+  | Ir.Div, _, Const 1 -> move a
+  | _ -> None
+
+type rewrite_stats = { mutable folded : int; mutable devirtualized : int; mutable branches_folded : int }
+
+let rewrite prog m in_states =
+  let stats = { folded = 0; devirtualized = 0; branches_folded = 0 } in
+  let blocks =
+    Array.mapi
+      (fun bi blk ->
+        let env = Array.copy in_states.(bi) in
+        let instrs =
+          Array.map
+            (fun i ->
+              let replacement =
+                match i with
+                | Ir.Binop (op, d, a, b) -> (
+                  match (env.(a), env.(b)) with
+                  | Const x, Const y ->
+                    stats.folded <- stats.folded + 1;
+                    Some (Ir.Const (d, Ir.eval_binop op x y))
+                  | va, vb ->
+                    let r = simplify_binop op d a b va vb in
+                    if r <> None then stats.folded <- stats.folded + 1;
+                    r)
+                | Ir.Cmp (op, d, a, b) -> (
+                  match (env.(a), env.(b)) with
+                  | Const x, Const y ->
+                    stats.folded <- stats.folded + 1;
+                    Some (Ir.Const (d, Ir.eval_cmp op x y))
+                  | _ -> None)
+                | Ir.Move (d, s) -> (
+                  match env.(s) with
+                  | Const x ->
+                    stats.folded <- stats.folded + 1;
+                    Some (Ir.Const (d, x))
+                  | _ -> None)
+                | Ir.ClassOf (d, o) -> (
+                  match env.(o) with
+                  | Obj kid ->
+                    stats.folded <- stats.folded + 1;
+                    Some (Ir.Const (d, kid))
+                  | _ -> None)
+                | Ir.CallVirt (d, slot, recv, args) -> (
+                  match env.(recv) with
+                  | Obj kid ->
+                    let k = prog.Ir.classes.(kid) in
+                    if slot < Array.length k.Ir.vtable then begin
+                      stats.devirtualized <- stats.devirtualized + 1;
+                      Some (Ir.Call (d, k.Ir.vtable.(slot), Array.append [| recv |] args))
+                    end
+                    else None
+                  | _ -> None)
+                | _ -> None
+              in
+              let i' = Option.value replacement ~default:i in
+              transfer_instr env i';
+              i')
+            blk.Ir.instrs
+        in
+        let term =
+          match blk.Ir.term with
+          | Ir.Branch (c, t, f) -> (
+            match env.(c) with
+            | Const 0 ->
+              stats.branches_folded <- stats.branches_folded + 1;
+              Ir.Jump f
+            | Const _ ->
+              stats.branches_folded <- stats.branches_folded + 1;
+              Ir.Jump t
+            | _ -> blk.Ir.term)
+          | t -> t
+        in
+        { Ir.instrs; term })
+      m.Ir.blocks
+  in
+  ({ m with Ir.blocks }, stats)
+
+(* Dataflow state is O(blocks * registers); on monster methods produced by
+   maximally aggressive inlining a real compiler bails to a cheaper strategy,
+   and so do we: beyond this budget the method is returned unchanged. *)
+let analysis_budget = 2_000_000
+
+let run prog m =
+  if Array.length m.Ir.blocks * m.Ir.nregs > analysis_budget then
+    (m, { folded = 0; devirtualized = 0; branches_folded = 0 })
+  else begin
+    let in_states = analyze m in
+    rewrite prog m in_states
+  end

@@ -1,0 +1,14 @@
+open Inltune_jir
+(** Forward constant propagation, algebraic simplification, branch folding,
+    and allocation-site devirtualization (virtual calls whose receiver class
+    is proven become static calls, exposing them to the inliner). *)
+
+type rewrite_stats = {
+  mutable folded : int;            (** instructions folded or simplified *)
+  mutable devirtualized : int;     (** virtual sites turned into static calls *)
+  mutable branches_folded : int;   (** conditional branches made unconditional *)
+}
+
+(** [run prog m] returns the rewritten method and rewrite statistics.  The
+    transformation is semantics-preserving. *)
+val run : Ir.program -> Ir.methd -> Ir.methd * rewrite_stats

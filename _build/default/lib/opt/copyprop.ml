@@ -1,0 +1,70 @@
+open Inltune_jir
+(* Block-local copy propagation: within a basic block, uses of a register
+   that was assigned [Move (d, s)] are rewritten to use [s] directly while
+   neither register has been redefined.  Cleans up the argument-binding moves
+   the inliner introduces when caller and callee cooperate within a block;
+   cross-block copies are left to the interpreter (they model the real
+   register moves Jikes emits after inlining). *)
+
+let analysis_budget = 2_000_000
+
+let run m =
+  if Array.length m.Ir.blocks * m.Ir.nregs > analysis_budget then (m, 0)
+  else
+  let rewritten = ref 0 in
+  let blocks =
+    Array.map
+      (fun blk ->
+        (* copy_of.(r) = Some s when r currently holds a copy of s. *)
+        let copy_of = Array.make m.Ir.nregs None in
+        let resolve r =
+          match copy_of.(r) with
+          | Some s ->
+            incr rewritten;
+            s
+          | None -> r
+        in
+        let invalidate d =
+          copy_of.(d) <- None;
+          Array.iteri (fun r c -> if c = Some d then copy_of.(r) <- None) copy_of
+        in
+        let instrs =
+          Array.map
+            (fun i ->
+              let i' =
+                match i with
+                | Ir.Const (d, n) -> Ir.Const (d, n)
+                | Ir.Move (d, s) -> Ir.Move (d, resolve s)
+                | Ir.Binop (op, d, a, b) -> Ir.Binop (op, d, resolve a, resolve b)
+                | Ir.Cmp (op, d, a, b) -> Ir.Cmp (op, d, resolve a, resolve b)
+                | Ir.Load (d, o, off) -> Ir.Load (d, resolve o, off)
+                | Ir.Store (o, off, s) -> Ir.Store (resolve o, off, resolve s)
+                | Ir.LoadIdx (d, o, i) -> Ir.LoadIdx (d, resolve o, resolve i)
+                | Ir.StoreIdx (o, i, s) -> Ir.StoreIdx (resolve o, resolve i, resolve s)
+                | Ir.ClassOf (d, o) -> Ir.ClassOf (d, resolve o)
+                | Ir.Alloc (d, k, s) -> Ir.Alloc (d, k, s)
+                | Ir.Call (d, t, args) -> Ir.Call (d, t, Array.map resolve args)
+                | Ir.CallVirt (d, slot, recv, args) ->
+                  Ir.CallVirt (d, slot, resolve recv, Array.map resolve args)
+                | Ir.Print r -> Ir.Print (resolve r)
+              in
+              (match Ir.def_of i' with
+              | Some d ->
+                invalidate d;
+                (match i' with
+                | Ir.Move (d, s) when d <> s -> copy_of.(d) <- Some s
+                | _ -> ())
+              | None -> ());
+              i')
+            blk.Ir.instrs
+        in
+        let term =
+          match blk.Ir.term with
+          | Ir.Jump l -> Ir.Jump l
+          | Ir.Branch (c, t, f) -> Ir.Branch (resolve c, t, f)
+          | Ir.Ret r -> Ir.Ret (resolve r)
+        in
+        { Ir.instrs; term })
+      m.Ir.blocks
+  in
+  ({ m with Ir.blocks }, !rewritten)

@@ -1,0 +1,5 @@
+open Inltune_jir
+(** Block-local copy propagation.  Returns the rewritten method and the
+    number of operand rewrites performed. *)
+
+val run : Ir.methd -> Ir.methd * int

@@ -1,0 +1,100 @@
+open Inltune_jir
+
+(* Block-local common-subexpression elimination by value numbering over
+   pure operators.  After inlining, the merged body frequently recomputes
+   the same subexpression (the callee and caller both computed it), so CSE
+   is another slice of inlining's indirect benefit.
+
+   Available expressions are tracked per block as a map from an operator
+   signature over *current* value numbers to the register holding the
+   result.  Loads are not value-numbered (stores and calls would have to
+   invalidate them); this pass only touches arithmetic. *)
+
+type key =
+  | Kbin of Ir.binop * int * int
+  | Kcmp of Ir.cmpop * int * int
+  | Kconst of int
+
+let commutative = function
+  | Ir.Add | Ir.Mul | Ir.And | Ir.Or | Ir.Xor -> true
+  | Ir.Sub | Ir.Div | Ir.Mod | Ir.Shl | Ir.Shr -> false
+
+let run m =
+  let replaced = ref 0 in
+  let blocks =
+    Array.map
+      (fun blk ->
+        (* vn.(r) = the value number currently held by register r. *)
+        let vn = Array.init m.Ir.nregs (fun r -> -r - 1) in
+        let next_vn = ref 0 in
+        let fresh_vn r =
+          incr next_vn;
+          vn.(r) <- !next_vn
+        in
+        let table : (key, Ir.reg) Hashtbl.t = Hashtbl.create 16 in
+        (* When a register is redefined, stale table entries pointing at it
+           must not be reused: we key the check on value numbers, so it is
+           enough to verify that the memoized register still holds the value
+           number it had when inserted. *)
+        let holder : (key, int) Hashtbl.t = Hashtbl.create 16 in
+        let lookup key =
+          match (Hashtbl.find_opt table key, Hashtbl.find_opt holder key) with
+          | Some r, Some v when vn.(r) = v -> Some r
+          | _ -> None
+        in
+        let remember key r =
+          Hashtbl.replace table key r;
+          Hashtbl.replace holder key vn.(r)
+        in
+        let instrs =
+          Array.map
+            (fun i ->
+              match i with
+              | Ir.Binop (op, d, a, b) ->
+                let va, vb =
+                  if commutative op && vn.(a) > vn.(b) then (vn.(b), vn.(a)) else (vn.(a), vn.(b))
+                in
+                let key = Kbin (op, va, vb) in
+                (match lookup key with
+                | Some r ->
+                  incr replaced;
+                  vn.(d) <- vn.(r);
+                  Ir.Move (d, r)
+                | None ->
+                  fresh_vn d;
+                  remember key d;
+                  i)
+              | Ir.Cmp (op, d, a, b) ->
+                let key = Kcmp (op, vn.(a), vn.(b)) in
+                (match lookup key with
+                | Some r ->
+                  incr replaced;
+                  vn.(d) <- vn.(r);
+                  Ir.Move (d, r)
+                | None ->
+                  fresh_vn d;
+                  remember key d;
+                  i)
+              | Ir.Const (d, v) ->
+                let key = Kconst v in
+                (match lookup key with
+                | Some r ->
+                  incr replaced;
+                  vn.(d) <- vn.(r);
+                  Ir.Move (d, r)
+                | None ->
+                  fresh_vn d;
+                  remember key d;
+                  i)
+              | Ir.Move (d, s) ->
+                vn.(d) <- vn.(s);
+                i
+              | _ ->
+                (match Ir.def_of i with Some d -> fresh_vn d | None -> ());
+                i)
+            blk.Ir.instrs
+        in
+        { blk with Ir.instrs })
+      m.Ir.blocks
+  in
+  ({ m with Ir.blocks }, !replaced)

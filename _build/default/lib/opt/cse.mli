@@ -1,0 +1,8 @@
+open Inltune_jir
+
+(** Block-local common-subexpression elimination by value numbering over
+    pure arithmetic.  Returns the rewritten method and the number of
+    recomputations replaced by moves (DCE then removes the dead originals
+    when the whole chain became redundant). *)
+
+val run : Ir.methd -> Ir.methd * int

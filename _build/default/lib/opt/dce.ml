@@ -1,0 +1,96 @@
+open Inltune_jir
+(* Dead-code elimination by global liveness.
+
+   Backward dataflow: a register is live at a point if some path from there
+   reads it before writing it.  Pure instructions (no side effect beyond
+   their destination) whose destination is dead are deleted.  Calls, stores
+   and prints are always kept.
+
+   Together with constant propagation this removes the computation that
+   folding made redundant — most of the code-size payback the optimizing
+   compiler gets for having inlined. *)
+
+module ISet = Set.Make (Int)
+
+let liveness m =
+  let nblocks = Array.length m.Ir.blocks in
+  let live_in = Array.make nblocks ISet.empty in
+  let live_out = Array.make nblocks ISet.empty in
+  (* Predecessor lists for the backward worklist. *)
+  let preds = Array.make nblocks [] in
+  Array.iteri
+    (fun bi blk ->
+      List.iter (fun s -> preds.(s) <- bi :: preds.(s)) (Ir.successors blk.Ir.term))
+    m.Ir.blocks;
+  let transfer bi =
+    let blk = m.Ir.blocks.(bi) in
+    let live = ref live_out.(bi) in
+    live := List.fold_left (fun acc r -> ISet.add r acc) !live (Ir.term_uses blk.Ir.term);
+    for k = Array.length blk.Ir.instrs - 1 downto 0 do
+      let i = blk.Ir.instrs.(k) in
+      (match Ir.def_of i with Some d -> live := ISet.remove d !live | None -> ());
+      List.iter (fun r -> live := ISet.add r !live) (Ir.uses_of i)
+    done;
+    !live
+  in
+  let work = Queue.create () in
+  for bi = nblocks - 1 downto 0 do
+    Queue.add bi work
+  done;
+  while not (Queue.is_empty work) do
+    let bi = Queue.take work in
+    let out =
+      List.fold_left
+        (fun acc s -> ISet.union acc live_in.(s))
+        ISet.empty
+        (Ir.successors m.Ir.blocks.(bi).Ir.term)
+    in
+    live_out.(bi) <- out;
+    let inn = transfer bi in
+    if not (ISet.equal inn live_in.(bi)) then begin
+      live_in.(bi) <- inn;
+      List.iter (fun p -> Queue.add p work) preds.(bi)
+    end
+  done;
+  (live_in, live_out)
+
+(* Liveness is O(blocks * registers); monster methods produced by maximally
+   aggressive inlining are skipped, mirroring [Constprop.analysis_budget]. *)
+let analysis_budget = 2_000_000
+
+let run m =
+  if Array.length m.Ir.blocks * m.Ir.nregs > analysis_budget then (m, 0)
+  else
+  let _, live_out = liveness m in
+  let removed = ref 0 in
+  let blocks =
+    Array.mapi
+      (fun bi blk ->
+        let live = ref live_out.(bi) in
+        live := List.fold_left (fun acc r -> ISet.add r acc) !live (Ir.term_uses blk.Ir.term);
+        let keep = Array.make (Array.length blk.Ir.instrs) true in
+        for k = Array.length blk.Ir.instrs - 1 downto 0 do
+          let i = blk.Ir.instrs.(k) in
+          let dead =
+            Ir.pure i
+            && match Ir.def_of i with Some d -> not (ISet.mem d !live) | None -> false
+          in
+          if dead then begin
+            keep.(k) <- false;
+            incr removed
+          end
+          else begin
+            (match Ir.def_of i with Some d -> live := ISet.remove d !live | None -> ());
+            List.iter (fun r -> live := ISet.add r !live) (Ir.uses_of i)
+          end
+        done;
+        let instrs =
+          Array.of_seq
+            (Seq.filter_map
+               (fun (k, i) -> if keep.(k) then Some i else None)
+               (Array.to_seqi blk.Ir.instrs))
+        in
+        { blk with Ir.instrs })
+      m.Ir.blocks
+  in
+  ({ m with Ir.blocks }, !removed)

@@ -1,0 +1,7 @@
+open Inltune_jir
+(** Global liveness-based dead-code elimination.
+
+    [run m] removes pure instructions whose destination register is dead and
+    returns the rewritten method with the number of instructions removed. *)
+
+val run : Ir.methd -> Ir.methd * int

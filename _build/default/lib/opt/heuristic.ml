@@ -1,0 +1,95 @@
+(* The tuned object of the paper: Jikes RVM's five-parameter inlining
+   heuristic, transcribed from the paper's Figures 3 and 4.
+
+   [consider] is the optimizing compiler's test sequence (Fig. 3); note the
+   order matters and is part of the heuristic's semantics: tiny callees are
+   inlined *before* the depth and caller-size limits are consulted.
+   [consider_hot] is the single test used for profile-identified hot call
+   sites under the adaptive scenario (Fig. 4). *)
+
+type t = {
+  callee_max_size : int;
+  always_inline_size : int;
+  max_inline_depth : int;
+  caller_max_size : int;
+  hot_callee_max_size : int;
+}
+
+(* Default values shipped with Jikes RVM (paper Table 4, first column). *)
+let default =
+  {
+    callee_max_size = 23;
+    always_inline_size = 11;
+    max_inline_depth = 5;
+    caller_max_size = 2048;
+    hot_callee_max_size = 135;
+  }
+
+(* A heuristic that never inlines: callee_size >= 1 > 0 always fails the
+   first test.  Used for the paper's "no inlining" baselines (Fig. 1). *)
+let never =
+  {
+    callee_max_size = 0;
+    always_inline_size = 0;
+    max_inline_depth = 0;
+    caller_max_size = 0;
+    hot_callee_max_size = 0;
+  }
+
+let consider t ~callee_size ~inline_depth ~caller_size =
+  if callee_size > t.callee_max_size then false
+  else if callee_size < t.always_inline_size then true
+  else if inline_depth > t.max_inline_depth then false
+  else if caller_size > t.caller_max_size then false
+  else true
+
+let consider_hot t ~callee_size = callee_size <= t.hot_callee_max_size
+
+(* Genome encoding used by the genetic algorithm: the five parameters in
+   Table 1 order. *)
+let to_array t =
+  [|
+    t.callee_max_size;
+    t.always_inline_size;
+    t.max_inline_depth;
+    t.caller_max_size;
+    t.hot_callee_max_size;
+  |]
+
+let of_array a =
+  if Array.length a <> 5 then invalid_arg "Heuristic.of_array: need 5 genes";
+  {
+    callee_max_size = a.(0);
+    always_inline_size = a.(1);
+    max_inline_depth = a.(2);
+    caller_max_size = a.(3);
+    hot_callee_max_size = a.(4);
+  }
+
+let equal a b = a = b
+
+let to_string t =
+  Printf.sprintf "{callee_max=%d always=%d depth=%d caller_max=%d hot_callee=%d}"
+    t.callee_max_size t.always_inline_size t.max_inline_depth t.caller_max_size
+    t.hot_callee_max_size
+
+let param_names =
+  [|
+    "CALLEE_MAX_SIZE";
+    "ALWAYS_INLINE_SIZE";
+    "MAX_INLINE_DEPTH";
+    "CALLER_MAX_SIZE";
+    "HOT_CALLEE_MAX_SIZE";
+  |]
+
+(* Paper Table 1: the GA's search ranges. *)
+let ranges = [| (1, 50); (1, 20); (1, 15); (1, 4000); (1, 400) |]
+
+let clamp_to_ranges a =
+  Array.mapi
+    (fun i v ->
+      let lo, hi = ranges.(i) in
+      max lo (min hi v))
+    a
+
+let with_depth t d = { t with max_inline_depth = d }

@@ -1,0 +1,47 @@
+(** Jikes RVM's five-parameter inlining heuristic (paper Figs. 3–4, Table 1).
+
+    This record is the object being tuned: the GA searches over its five
+    integer fields within the Table 1 ranges. *)
+
+type t = {
+  callee_max_size : int;      (** max estimated callee size to inline *)
+  always_inline_size : int;   (** callees below this are always inlined *)
+  max_inline_depth : int;     (** max inlining depth at a call site *)
+  caller_max_size : int;      (** max expanded caller size to inline into *)
+  hot_callee_max_size : int;  (** max hot-callee size (adaptive scenario) *)
+}
+
+(** Jikes RVM's shipped values: 23 / 11 / 5 / 2048 / 135. *)
+val default : t
+
+(** Refuses every inlining opportunity (the "no inlining" baseline). *)
+val never : t
+
+(** The optimizing compiler's decision (paper Fig. 3).  [inline_depth] is the
+    depth of the call chain at this site (direct calls in the method being
+    compiled have depth 1). *)
+val consider : t -> callee_size:int -> inline_depth:int -> caller_size:int -> bool
+
+(** The hot-call-site decision (paper Fig. 4), adaptive scenario only. *)
+val consider_hot : t -> callee_size:int -> bool
+
+(** Genome encoding: the five parameters in Table 1 order. *)
+val to_array : t -> int array
+
+(** Inverse of {!to_array}; raises on wrong length. *)
+val of_array : int array -> t
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** Parameter names in Table 1 order. *)
+val param_names : string array
+
+(** Search ranges from paper Table 1, in the same order. *)
+val ranges : (int * int) array
+
+(** Clamp a genome into the Table 1 ranges. *)
+val clamp_to_ranges : int array -> int array
+
+(** Convenience for the Fig. 2 depth sweep. *)
+val with_depth : t -> int -> t

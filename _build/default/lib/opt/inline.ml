@@ -1,0 +1,215 @@
+open Inltune_jir
+(* Method inlining: splice callee bodies into the caller at call sites chosen
+   by the heuristic.
+
+   The transformation mirrors what Jikes RVM's optimizing compiler does at
+   bytecode-inline time:
+   - decisions use the *static* size estimate of the callee's original body,
+     the current depth of the inline chain, and the *expanded* size of the
+     caller so far (the caller grows as we inline);
+   - hot call sites (adaptive scenario, identified by the profile-supplied
+     [hot_site] predicate) use the single-test hot heuristic instead;
+   - nested calls inside an inlined body are considered at depth + 1;
+   - a method already on the current inline chain is never inlined again
+     (recursion guard — Jikes similarly refuses recursive expansion), and a
+     hard [max_expanded_size] cap stops pathological growth that the
+     heuristic's own caller-size test would permit via ALWAYS_INLINE_SIZE.
+
+   Mechanically: output blocks are allocated so the caller's original labels
+   are preserved (block i of the input is block i of the output); a call being
+   inlined terminates the current output block with a jump to the copied
+   callee entry, callee returns become a move to the call's destination plus a
+   jump to a fresh continuation block, and filling resumes there. *)
+
+module Vec = Inltune_support.Vec
+
+type stats = {
+  mutable sites_seen : int;
+  mutable sites_inlined : int;
+  mutable hot_sites_seen : int;
+  mutable hot_sites_inlined : int;
+}
+
+let fresh_stats () =
+  { sites_seen = 0; sites_inlined = 0; hot_sites_seen = 0; hot_sites_inlined = 0 }
+
+(* Absolute growth cap, in size-estimate units.  Twice CALLER_MAX_SIZE's
+   upper range: the heuristic's own caller test normally stops expansion
+   first; this is the code-space sanity net (Jikes has an equivalent absolute
+   limit), and it also bounds the register pressure downstream dataflow
+   passes must tolerate. *)
+let max_expanded_size = 8_000
+
+type out_block = {
+  oi : Ir.instr Vec.t;
+  mutable oterm : Ir.terminator option;
+}
+
+(* What decides each call site.  [Heuristic_policy] is the paper's Fig. 3/4
+   procedure (with an optional hot-site predicate selecting the Fig. 4
+   path); [Custom] lets alternative inlining strategies — e.g. the knapsack
+   baseline of Arnold et al. — reuse the same transformation. *)
+type policy =
+  | Heuristic_policy of Heuristic.t * (site_owner:Ir.mid -> callee:Ir.mid -> bool) option
+  | Custom of
+      (site_owner:Ir.mid ->
+      callee:Ir.mid ->
+      callee_size:int ->
+      inline_depth:int ->
+      caller_size:int ->
+      bool)
+
+type ctx = {
+  prog : Ir.program;
+  policy : policy;
+  callee_size : Ir.mid -> int;  (* cached static size estimates *)
+  out : out_block Vec.t;
+  mutable nregs : int;
+  mutable size : int;      (* expanded caller size so far *)
+  mutable cur : int;       (* output block being filled *)
+  stats : stats;
+}
+
+let new_block ctx =
+  Vec.push ctx.out { oi = Vec.create (); oterm = None };
+  Vec.length ctx.out - 1
+
+let push ctx i = Vec.push (Vec.get ctx.out ctx.cur).oi i
+
+let terminate ctx t =
+  let b = Vec.get ctx.out ctx.cur in
+  assert (b.oterm = None);
+  b.oterm <- Some t
+
+let decide ctx ~site_owner ~callee ~depth =
+  let callee_size = ctx.callee_size callee in
+  ctx.stats.sites_seen <- ctx.stats.sites_seen + 1;
+  let yes =
+    match ctx.policy with
+    | Heuristic_policy (h, hot_site) ->
+      let hot = match hot_site with Some f -> f ~site_owner ~callee | None -> false in
+      if hot then begin
+        ctx.stats.hot_sites_seen <- ctx.stats.hot_sites_seen + 1;
+        Heuristic.consider_hot h ~callee_size
+      end
+      else Heuristic.consider h ~callee_size ~inline_depth:depth ~caller_size:ctx.size
+    | Custom f ->
+      f ~site_owner ~callee ~callee_size ~inline_depth:depth ~caller_size:ctx.size
+  in
+  yes && ctx.size + callee_size <= max_expanded_size
+
+(* Copy [body]'s blocks into the output with registers shifted by [base] and
+   labels mapped through [label_map]; recursively processes nested calls.
+   [chain] is the set of method ids on the current inline chain. *)
+let rec splice ctx ~owner ~depth ~chain ~dst body =
+  let base = ctx.nregs in
+  ctx.nregs <- ctx.nregs + body.Ir.nregs;
+  ctx.size <- ctx.size + ctx.callee_size body.Ir.mid;
+  let nblocks = Array.length body.Ir.blocks in
+  let label_map = Array.init nblocks (fun _ -> new_block ctx) in
+  let cont = new_block ctx in
+  terminate ctx (Ir.Jump label_map.(0));
+  let remap r = r + base in
+  fill_blocks ctx ~owner ~depth ~chain ~remap ~label_map
+    ~on_ret:(fun r ->
+      push ctx (Ir.Move (dst, r));
+      terminate ctx (Ir.Jump cont))
+    body.Ir.blocks;
+  ctx.cur <- cont;
+  base
+
+and fill_blocks ctx ~owner ~depth ~chain ~remap ~label_map ~on_ret blocks =
+  Array.iteri
+    (fun bi blk ->
+      ctx.cur <- label_map.(bi);
+      Array.iter (fun i -> emit_instr ctx ~owner ~depth ~chain ~remap i) blk.Ir.instrs;
+      match blk.Ir.term with
+      | Ir.Jump l -> terminate ctx (Ir.Jump label_map.(l))
+      | Ir.Branch (c, t, f) -> terminate ctx (Ir.Branch (remap c, label_map.(t), label_map.(f)))
+      | Ir.Ret r -> on_ret (remap r))
+    blocks
+
+and emit_instr ctx ~owner ~depth ~chain ~remap i =
+  match i with
+  | Ir.Call (dst, callee, args) ->
+    let dst = remap dst and args = Array.map remap args in
+    if (not (List.mem callee chain)) && decide ctx ~site_owner:owner ~callee ~depth:(depth + 1)
+    then begin
+      ctx.stats.sites_inlined <- ctx.stats.sites_inlined + 1;
+      (match ctx.policy with
+      | Heuristic_policy (_, Some f) when f ~site_owner:owner ~callee ->
+        ctx.stats.hot_sites_inlined <- ctx.stats.hot_sites_inlined + 1
+      | Heuristic_policy _ | Custom _ -> ());
+      let body = ctx.prog.Ir.methods.(callee) in
+      (* Bind formal parameters: callee registers 0..nargs-1 live at
+         [base..base+nargs-1] after the shift performed by [splice]. *)
+      let base_preview = ctx.nregs in
+      Array.iteri (fun k a -> push ctx (Ir.Move (base_preview + k, a))) args;
+      let base = splice ctx ~owner:callee ~depth:(depth + 1) ~chain:(callee :: chain) ~dst body in
+      assert (base = base_preview)
+    end
+    else push ctx (Ir.Call (dst, callee, args))
+  | Ir.CallVirt (dst, slot, recv, args) ->
+    (* Virtual sites are never inlined directly; devirtualization (constant
+       propagation proving the receiver class) turns them into static calls
+       before inlining runs. *)
+    push ctx (Ir.CallVirt (remap dst, slot, remap recv, Array.map remap args))
+  | Ir.Const (d, n) -> push ctx (Ir.Const (remap d, n))
+  | Ir.Move (d, s) -> push ctx (Ir.Move (remap d, remap s))
+  | Ir.Binop (op, d, a, b) -> push ctx (Ir.Binop (op, remap d, remap a, remap b))
+  | Ir.Cmp (op, d, a, b) -> push ctx (Ir.Cmp (op, remap d, remap a, remap b))
+  | Ir.Load (d, o, off) -> push ctx (Ir.Load (remap d, remap o, off))
+  | Ir.Store (o, off, s) -> push ctx (Ir.Store (remap o, off, remap s))
+  | Ir.LoadIdx (d, o, i2) -> push ctx (Ir.LoadIdx (remap d, remap o, remap i2))
+  | Ir.StoreIdx (o, i2, s) -> push ctx (Ir.StoreIdx (remap o, remap i2, remap s))
+  | Ir.ClassOf (d, o) -> push ctx (Ir.ClassOf (remap d, remap o))
+  | Ir.Alloc (d, k, s) -> push ctx (Ir.Alloc (remap d, k, s))
+  | Ir.Print r -> push ctx (Ir.Print (remap r))
+
+let run_policy ~program ~policy m =
+  let size_cache = Hashtbl.create 64 in
+  let callee_size mid =
+    match Hashtbl.find_opt size_cache mid with
+    | Some s -> s
+    | None ->
+      let s = Size.of_method program.Ir.methods.(mid) in
+      Hashtbl.add size_cache mid s;
+      s
+  in
+  let ctx =
+    {
+      prog = program;
+      policy;
+      callee_size;
+      out = Vec.create ();
+      nregs = m.Ir.nregs;
+      size = Size.of_method m;
+      cur = 0;
+      stats = fresh_stats ();
+    }
+  in
+  let nblocks = Array.length m.Ir.blocks in
+  let label_map = Array.init nblocks (fun _ -> new_block ctx) in
+  fill_blocks ctx ~owner:m.Ir.mid ~depth:0 ~chain:[ m.Ir.mid ] ~remap:(fun r -> r)
+    ~label_map
+    ~on_ret:(fun r -> terminate ctx (Ir.Ret r))
+    m.Ir.blocks;
+  let blocks =
+    Array.map
+      (fun ob ->
+        match ob.oterm with
+        | None ->
+          (* Unreached continuation of a block whose filling ended in returns
+             on all paths cannot happen: every output block is either a mapped
+             input block (always terminated) or a continuation that filling
+             resumed on.  Defensive: make it an empty self-loop-free return. *)
+          assert false
+        | Some t -> { Ir.instrs = Vec.to_array ob.oi; term = t })
+      (Vec.to_array ctx.out)
+  in
+  ({ m with Ir.nregs = ctx.nregs; blocks }, ctx.stats)
+
+let run ?hot_site ~program ~heuristic m =
+  run_policy ~program ~policy:(Heuristic_policy (heuristic, hot_site)) m
+
+let run_custom ~decide ~program m = run_policy ~program ~policy:(Custom decide) m

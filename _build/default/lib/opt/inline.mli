@@ -1,0 +1,44 @@
+open Inltune_jir
+(** Heuristic-driven method inlining (the transformation the tuned heuristic
+    controls).  Semantics-preserving for well-formed (define-before-use)
+    programs. *)
+
+type stats = {
+  mutable sites_seen : int;
+  mutable sites_inlined : int;
+  mutable hot_sites_seen : int;
+  mutable hot_sites_inlined : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** Hard cap on the expanded size of any single method, in size-estimate
+    units; a code-space sanity net above anything the heuristic's caller test
+    normally allows. *)
+val max_expanded_size : int
+
+(** [run ~program ~heuristic m] inlines call sites in [m] per the heuristic.
+    [hot_site] (adaptive scenario) selects call sites that take the
+    single-test hot path; [site_owner] is the method whose source body the
+    call site originally belonged to. *)
+val run :
+  ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
+  program:Ir.program ->
+  heuristic:Heuristic.t ->
+  Ir.methd ->
+  Ir.methd * stats
+
+(** Same transformation driven by an arbitrary per-site decision procedure
+    (used by alternative inlining strategies such as the knapsack baseline).
+    The hard size cap still applies on top of [decide]. *)
+val run_custom :
+  decide:
+    (site_owner:Ir.mid ->
+    callee:Ir.mid ->
+    callee_size:int ->
+    inline_depth:int ->
+    caller_size:int ->
+    bool) ->
+  program:Ir.program ->
+  Ir.methd ->
+  Ir.methd * stats

@@ -1,0 +1,117 @@
+open Inltune_jir
+(* The optimizing compiler's middle end, in Jikes order: devirtualize what is
+   provable, inline under the heuristic, then let constant propagation /
+   copy propagation / DCE collect the payoff, and clean the CFG.
+
+   The returned [stats] carry the size trajectory the VM's compile-time model
+   charges for: [size_before] (input bytecode), [size_peak] (right after
+   inlining, the IR every downstream pass must chew through — this is where
+   over-aggressive inlining costs compile time), and [size_after] (emitted
+   code, which is what occupies the I-cache). *)
+
+type site_decision =
+  site_owner:Ir.mid ->
+  callee:Ir.mid ->
+  callee_size:int ->
+  inline_depth:int ->
+  caller_size:int ->
+  bool
+
+type config = {
+  heuristic : Heuristic.t;
+  inline_enabled : bool;
+  optimize : bool;  (* run the dataflow passes; off only for ablations *)
+  hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+  custom_inliner : site_decision option;
+      (* overrides the heuristic entirely (e.g. the knapsack baseline) *)
+  devirt_oracle : Guarded_devirt.site_oracle option;
+      (* adaptive scenario: guard-devirtualize monomorphic virtual sites *)
+}
+
+let opt_config ?hot_site heuristic =
+  { heuristic; inline_enabled = true; optimize = true; hot_site; custom_inliner = None; devirt_oracle = None }
+
+let no_inline_config =
+  {
+    heuristic = Heuristic.never;
+    inline_enabled = false;
+    optimize = true;
+    hot_site = None;
+    custom_inliner = None;
+    devirt_oracle = None;
+  }
+
+let custom_config decide =
+  {
+    heuristic = Heuristic.never;
+    inline_enabled = true;
+    optimize = true;
+    hot_site = None;
+    custom_inliner = Some decide;
+    devirt_oracle = None;
+  }
+
+type stats = {
+  size_before : int;
+  size_peak : int;
+  size_after : int;
+  sites_seen : int;
+  sites_inlined : int;
+  hot_sites_seen : int;
+  hot_sites_inlined : int;
+  sites_guarded : int;
+  folded : int;
+  devirtualized : int;
+  cse_replaced : int;
+  copies_propagated : int;
+  dce_removed : int;
+}
+
+let run program config m =
+  let size_before = Size.of_method m in
+  (* Round 0: profile-guided guarded devirtualization (adaptive recompiles
+     only) so monomorphic virtual sites become inlinable static calls. *)
+  let m, gstats =
+    match config.devirt_oracle with
+    | Some oracle -> Guarded_devirt.run ~program ~oracle m
+    | None -> (m, { Guarded_devirt.sites_guarded = 0 })
+  in
+  (* Round 1: make provable virtual dispatch static so the inliner sees it. *)
+  let m, cp1 =
+    if config.optimize then Constprop.run program m
+    else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
+  in
+  let m, istats =
+    if not config.inline_enabled then (m, Inline.fresh_stats ())
+    else
+      match config.custom_inliner with
+      | Some decide -> Inline.run_custom ~decide ~program m
+      | None -> Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m
+  in
+  let size_peak = Size.of_method m in
+  let m, cp2 =
+    if config.optimize then Constprop.run program m
+    else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
+  in
+  let m, cse = if config.optimize then Cse.run m else (m, 0) in
+  let m, copies = if config.optimize then Copyprop.run m else (m, 0) in
+  let m, removed = if config.optimize then Dce.run m else (m, 0) in
+  let m = Cleanup.run m in
+  let stats =
+    {
+      size_before;
+      size_peak;
+      size_after = Size.of_method m;
+      sites_seen = istats.Inline.sites_seen;
+      sites_inlined = istats.Inline.sites_inlined;
+      hot_sites_seen = istats.Inline.hot_sites_seen;
+      hot_sites_inlined = istats.Inline.hot_sites_inlined;
+      sites_guarded = gstats.Guarded_devirt.sites_guarded;
+      folded = cp1.Constprop.folded + cp2.Constprop.folded;
+      devirtualized = cp1.Constprop.devirtualized + cp2.Constprop.devirtualized;
+      cse_replaced = cse;
+      copies_propagated = copies;
+      dce_removed = removed;
+    }
+  in
+  (m, stats)

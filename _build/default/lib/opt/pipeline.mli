@@ -1,0 +1,51 @@
+open Inltune_jir
+(** The optimizing compiler's middle end: devirtualization, heuristic-driven
+    inlining, constant/copy propagation, DCE, CFG cleanup. *)
+
+type site_decision =
+  site_owner:Ir.mid ->
+  callee:Ir.mid ->
+  callee_size:int ->
+  inline_depth:int ->
+  caller_size:int ->
+  bool
+
+type config = {
+  heuristic : Heuristic.t;
+  inline_enabled : bool;
+  optimize : bool;
+  hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+      (** adaptive scenario: which call sites take the hot-heuristic path *)
+  custom_inliner : site_decision option;
+      (** overrides the heuristic entirely (e.g. the knapsack baseline) *)
+  devirt_oracle : Guarded_devirt.site_oracle option;
+      (** adaptive scenario: guard-devirtualize monomorphic virtual sites *)
+}
+
+(** Standard optimizing configuration around a heuristic. *)
+val opt_config : ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) -> Heuristic.t -> config
+
+(** Optimizations on, inlining off (the paper's Fig. 1 baseline). *)
+val no_inline_config : config
+
+(** Optimizations on, inlining decided per call site by [decide]. *)
+val custom_config : site_decision -> config
+
+type stats = {
+  size_before : int;   (** size estimate of the input method *)
+  size_peak : int;     (** size right after inlining (compile-cost driver) *)
+  size_after : int;    (** size of the emitted code (I-cache driver) *)
+  sites_seen : int;
+  sites_inlined : int;
+  hot_sites_seen : int;
+  hot_sites_inlined : int;
+  sites_guarded : int;  (** virtual sites guard-devirtualized *)
+  folded : int;
+  devirtualized : int;
+  cse_replaced : int;
+  copies_propagated : int;
+  dce_removed : int;
+}
+
+(** Optimize one method of [program].  Semantics-preserving. *)
+val run : Ir.program -> config -> Ir.methd -> Ir.methd * stats

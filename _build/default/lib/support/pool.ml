@@ -1,0 +1,53 @@
+(* Parallel map across OCaml 5 domains.
+
+   GA fitness evaluation is embarrassingly parallel: each individual's
+   simulation touches only freshly allocated VM state.  We spawn [domains - 1]
+   worker domains per call and share work through an atomic index counter; the
+   calling domain participates too.  Exceptions raised by [f] are captured and
+   re-raised on the caller once all domains have joined, so no work is
+   leaked. *)
+
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+exception Worker_failure of exn
+
+let map ?domains f input =
+  let n = Array.length input in
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f input.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+            (* First failure wins; racing stores of a different exception are
+               harmless because we only ever re-raise one. *)
+            Atomic.set failure (Some e);
+            continue := false
+      done
+    in
+    let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some e -> raise (Worker_failure e)
+    | None ->
+      Array.map
+        (function
+          | Some y -> y
+          | None -> invalid_arg "Pool.map: missing result (worker aborted)")
+        results
+  end
+
+let mapi ?domains f input =
+  let indexed = Array.mapi (fun i x -> (i, x)) input in
+  map ?domains (fun (i, x) -> f i x) indexed

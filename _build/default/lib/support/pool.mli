@@ -1,0 +1,18 @@
+(** Parallel array map over OCaml 5 domains.
+
+    Intended for pure, CPU-bound work items (e.g. GA fitness evaluations).
+    The function [f] must not share mutable state across items. *)
+
+(** Raised by {!map} when any work item raised; carries the first failure. *)
+exception Worker_failure of exn
+
+(** Number of domains used by default (bounded, >= 1). *)
+val default_domains : unit -> int
+
+(** [map ?domains f a] is [Array.map f a] computed in parallel.  Result order
+    matches input order.  If any application of [f] raises, all domains are
+    drained and [Worker_failure] is raised on the caller. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Indexed variant of {!map}. *)
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array

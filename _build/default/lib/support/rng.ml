@@ -1,0 +1,52 @@
+(* Splitmix64: a small, fast, high-quality deterministic PRNG.  Every random
+   choice in the system (program generation, GA operators, sampling jitter)
+   flows through one of these generators so that runs are reproducible from a
+   single integer seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative int in [0, 2^62). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+(* Inclusive range. *)
+let range t lo hi =
+  if lo > hi then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Float.of_int (bits t) /. 4.611686018427387904e18 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bernoulli trial with probability [p]. *)
+let chance t p = float t 1.0 < p
+
+let split t = create (Int64.to_int (next_int64 t))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

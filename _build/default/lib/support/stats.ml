@@ -1,0 +1,33 @@
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. Float.of_int (Array.length xs)
+
+(* Geometric mean, the paper's aggregate over a benchmark suite:
+   Perf(S) = (prod Perf(s))^(1/|S|).  Computed in log space to avoid
+   overflow on long suites. *)
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty";
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive") xs;
+  let s = Array.fold_left (fun acc x -> acc +. Float.log x) 0.0 xs in
+  Float.exp (s /. Float.of_int (Array.length xs))
+
+let min_of xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_of: empty";
+  Array.fold_left Float.min xs.(0) xs
+
+let max_of xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_of: empty";
+  Array.fold_left Float.max xs.(0) xs
+
+let stddev xs =
+  let m = mean xs in
+  let n = Float.of_int (Array.length xs) in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. n in
+  Float.sqrt var
+
+(* Percentage reduction relative to a baseline: 0.83 -> 17.%. *)
+let reduction_pct ratio = (1.0 -. ratio) *. 100.0
+
+let ratio ~baseline x =
+  if baseline <= 0.0 then invalid_arg "Stats.ratio: non-positive baseline";
+  x /. baseline

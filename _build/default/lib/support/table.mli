@@ -1,0 +1,27 @@
+(** Plain-text tables for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title ~header ~aligns] starts an empty table; [header] and
+    [aligns] must have equal length. *)
+val create : title:string -> header:string array -> aligns:align array -> t
+
+(** Append a data row (arity must match the header). *)
+val add_row : t -> string array -> unit
+
+(** Append a horizontal rule. *)
+val add_rule : t -> unit
+
+(** Format a float with [digits] decimals (default 3). *)
+val fmt_float : ?digits:int -> float -> string
+
+(** Format a signed percentage, e.g. [+12.5%]. *)
+val fmt_pct : float -> string
+
+val render : t -> string
+val print : t -> unit
+
+(** ASCII bar for a value normalized around 1.0 (the baseline mark). *)
+val bar : ?width:int -> float -> string

@@ -1,0 +1,1 @@
+lib/vm/compile.ml: Array Codespace Heuristic Inltune_jir Inltune_opt Ir Pipeline Platform Regalloc Size

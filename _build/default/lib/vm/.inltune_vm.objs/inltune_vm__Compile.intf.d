@@ -1,0 +1,1 @@
+lib/vm/compile.mli: Codespace Inltune_jir Inltune_opt Ir Pipeline Platform

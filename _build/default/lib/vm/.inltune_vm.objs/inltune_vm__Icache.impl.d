@@ -1,0 +1,1 @@
+lib/vm/icache.ml: Array Float

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Codespace Compile Guarded_devirt Heuristic Icache Inltune_jir Inltune_opt Inltune_support Ir Pipeline Platform Profile Validate

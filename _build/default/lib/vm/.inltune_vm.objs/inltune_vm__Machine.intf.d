@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Codespace Compile Heuristic Icache Inltune_jir Inltune_opt Inltune_support Ir Pipeline Platform Profile

@@ -1,0 +1,1 @@
+lib/vm/platform.ml: Array Float Inltune_jir Ir

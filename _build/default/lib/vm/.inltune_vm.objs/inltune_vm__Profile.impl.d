@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Array Float Hashtbl Option

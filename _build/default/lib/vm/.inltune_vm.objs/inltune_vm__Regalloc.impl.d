@@ -1,0 +1,1 @@
+lib/vm/regalloc.ml: Array Inltune_jir Ir List Platform

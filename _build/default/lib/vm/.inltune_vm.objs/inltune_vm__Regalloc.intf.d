@@ -1,0 +1,1 @@
+lib/vm/regalloc.mli: Inltune_jir Ir Platform

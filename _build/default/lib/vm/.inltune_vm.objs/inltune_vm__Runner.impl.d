@@ -1,0 +1,1 @@
+lib/vm/runner.ml: Inltune_opt Machine

@@ -1,0 +1,1 @@
+lib/vm/runner.mli: Heuristic Inltune_jir Inltune_opt Ir Machine Platform

@@ -1,0 +1,16 @@
+(* Bump allocator for compiled-code addresses.  Recompiled methods get fresh
+   addresses (the old code is abandoned, as in a real JIT without code GC), so
+   recompilation churn shows up as I-cache pressure. *)
+
+type t = { mutable next : int; mutable total : int }
+
+let create () = { next = 0x1000; total = 0 }
+
+let alloc t bytes =
+  if bytes < 0 then invalid_arg "Codespace.alloc";
+  let addr = t.next in
+  t.next <- t.next + bytes;
+  t.total <- t.total + bytes;
+  addr
+
+let allocated t = t.total

@@ -1,0 +1,12 @@
+(** Bump allocator for compiled-code addresses. *)
+
+type t
+
+val create : unit -> t
+
+(** Reserve [bytes] of code space; returns the start address. *)
+val alloc : t -> int -> int
+
+(** Total bytes ever allocated (includes abandoned code of recompiled
+    methods). *)
+val allocated : t -> int

@@ -1,0 +1,105 @@
+open Inltune_jir
+open Inltune_opt
+
+(* The two compiler tiers.
+
+   Baseline: no transformation at all (bytecode is executed as-is) but the
+   code runs with a quality penalty and occupies more space — fast to
+   compile, slow to run, exactly Jikes RVM's non-optimizing compiler.
+
+   Optimizing: runs the full [Pipeline] (devirtualize, inline under the
+   heuristic, fold, DCE) and charges compile cycles that grow superlinearly
+   with the post-inlining IR size, which is what makes CALLER_MAX_SIZE = 2048
+   "overly aggressive" on compile-heavy workloads, as the paper observes. *)
+
+type tier = Baseline | O1 | Optimized
+
+type compiled = {
+  tier : tier;
+  code : Ir.methd;
+  addr : int;
+  code_bytes : int;
+  bytes_per_instr : int;
+  block_offsets : int array;  (* instr-index offset of each block *)
+  quality : int;              (* per-instruction cost multiplier *)
+  block_spill_cost : int;     (* cycles per executed block for spill traffic *)
+  spills : int;               (* intervals spilled by the register allocator *)
+}
+
+let block_offsets m =
+  let n = Array.length m.Ir.blocks in
+  let offsets = Array.make n 0 in
+  let acc = ref 0 in
+  for bi = 0 to n - 1 do
+    offsets.(bi) <- !acc;
+    acc := !acc + Array.length m.Ir.blocks.(bi).Ir.instrs + 1
+  done;
+  offsets
+
+(* Baseline code keeps everything in memory anyway (its quality multiplier
+   already reflects that), so no extra spill surcharge. *)
+let baseline (plat : Platform.t) codespace m =
+  let size = Size.of_method m in
+  let code_bytes = Size.code_bytes ~expansion:plat.Platform.baseline_expansion m in
+  let addr = Codespace.alloc codespace code_bytes in
+  let instrs = max 1 (Ir.instr_count m) in
+  let c =
+    {
+      tier = Baseline;
+      code = m;
+      addr;
+      code_bytes;
+      bytes_per_instr = max 1 (code_bytes / instrs);
+      block_offsets = block_offsets m;
+      quality = plat.Platform.baseline_quality;
+      block_spill_cost = 0;
+      spills = 0;
+    }
+  in
+  (c, Platform.baseline_compile_cycles plat ~size)
+
+(* The mid tier: dataflow optimizations without inlining — cheap linear
+   compile time, decent code.  Used by the multi-level ladder scenario. *)
+let o1 (plat : Platform.t) codespace program m =
+  let config = { Pipeline.no_inline_config with Pipeline.heuristic = Heuristic.never } in
+  let code, _stats = Pipeline.run program config m in
+  let size = Size.of_method m in
+  let code_bytes = Size.code_bytes ~expansion:plat.Platform.o1_expansion code in
+  let addr = Codespace.alloc codespace code_bytes in
+  let instrs = max 1 (Ir.instr_count code) in
+  let ra = Regalloc.run ~phys_regs:plat.Platform.phys_regs code in
+  let c =
+    {
+      tier = O1;
+      code;
+      addr;
+      code_bytes;
+      bytes_per_instr = max 1 (code_bytes / instrs);
+      block_offsets = block_offsets code;
+      quality = plat.Platform.o1_quality;
+      block_spill_cost = Regalloc.block_spill_cost plat code ra;
+      spills = ra.Regalloc.spilled;
+    }
+  in
+  (c, Platform.o1_compile_cycles plat ~size)
+
+let optimizing (plat : Platform.t) codespace program config m =
+  let code, stats = Pipeline.run program config m in
+  let code_bytes = Size.code_bytes ~expansion:plat.Platform.opt_expansion code in
+  let addr = Codespace.alloc codespace code_bytes in
+  let instrs = max 1 (Ir.instr_count code) in
+  let ra = Regalloc.run ~phys_regs:plat.Platform.phys_regs code in
+  let c =
+    {
+      tier = Optimized;
+      code;
+      addr;
+      code_bytes;
+      bytes_per_instr = max 1 (code_bytes / instrs);
+      block_offsets = block_offsets code;
+      quality = 1;
+      block_spill_cost = Regalloc.block_spill_cost plat code ra;
+      spills = ra.Regalloc.spilled;
+    }
+  in
+  (c, Platform.opt_compile_cycles plat ~size_peak:stats.Pipeline.size_peak, stats)

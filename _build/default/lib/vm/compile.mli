@@ -1,0 +1,34 @@
+open Inltune_jir
+open Inltune_opt
+
+(** The two compiler tiers: the fast non-optimizing baseline compiler and the
+    optimizing compiler that runs the full {!Inltune_opt.Pipeline}. *)
+
+type tier = Baseline | O1 | Optimized
+
+type compiled = {
+  tier : tier;
+  code : Ir.methd;            (** the code the interpreter executes *)
+  addr : int;                 (** code-space address (I-cache tag base) *)
+  code_bytes : int;
+  bytes_per_instr : int;
+  block_offsets : int array;  (** instruction-index offset of each block *)
+  quality : int;              (** per-instruction cost multiplier *)
+  block_spill_cost : int;     (** cycles per executed block (spill traffic) *)
+  spills : int;               (** intervals spilled by the register allocator *)
+}
+
+(** Compile with the baseline tier: no transformation, cheap compile cycles,
+    slow bulky code.  Returns the compiled method and compile cycles. *)
+val baseline : Platform.t -> Codespace.t -> Ir.methd -> compiled * int
+
+(** Compile with the mid tier: dataflow passes, no inlining; linear compile
+    cost, intermediate code quality.  Used by the ladder scenario. *)
+val o1 : Platform.t -> Codespace.t -> Ir.program -> Ir.methd -> compiled * int
+
+(** Compile with the optimizing tier: runs the pipeline under [config] and
+    charges compile cycles superlinear in the post-inlining size.  Returns
+    the compiled method, compile cycles, and the pipeline statistics. *)
+val optimizing :
+  Platform.t -> Codespace.t -> Ir.program -> Pipeline.config -> Ir.methd ->
+  compiled * int * Pipeline.stats

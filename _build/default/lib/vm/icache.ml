@@ -1,0 +1,54 @@
+(* Direct-mapped instruction-cache simulator.
+
+   The interpreter touches the cache once per simulated instruction with the
+   instruction's code address; a tag mismatch is a miss and costs the
+   platform's miss penalty.  This is the mechanism that makes over-aggressive
+   inlining *hurt* running time: bloated hot code stops fitting and the depth
+   sweeps of Fig. 2 turn non-monotonic. *)
+
+type t = {
+  tags : int array;     (* -1 = invalid *)
+  line_bits : int;
+  index_mask : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create ~bytes ~line_bytes =
+  if bytes <= 0 || line_bytes <= 0 then invalid_arg "Icache.create";
+  if line_bytes land (line_bytes - 1) <> 0 then invalid_arg "Icache.create: line size not a power of two";
+  let nlines = max 1 (bytes / line_bytes) in
+  if nlines land (nlines - 1) <> 0 then invalid_arg "Icache.create: line count not a power of two";
+  {
+    tags = Array.make nlines (-1);
+    line_bits = log2 line_bytes;
+    index_mask = nlines - 1;
+    accesses = 0;
+    misses = 0;
+  }
+
+(* Returns true on a miss (and installs the line). *)
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.line_bits in
+  let idx = line land t.index_mask in
+  if t.tags.(idx) = line then false
+  else begin
+    t.tags.(idx) <- line;
+    t.misses <- t.misses + 1;
+    true
+  end
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else Float.of_int t.misses /. Float.of_int t.accesses
+
+let reset_counters t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses

@@ -1,0 +1,15 @@
+(** Direct-mapped instruction-cache simulator. *)
+
+type t
+
+(** [create ~bytes ~line_bytes] — both must make the line count a power of
+    two. *)
+val create : bytes:int -> line_bytes:int -> t
+
+(** [access t addr] touches the line containing [addr]; true means miss. *)
+val access : t -> int -> bool
+
+val miss_rate : t -> float
+val reset_counters : t -> unit
+val accesses : t -> int
+val misses : t -> int

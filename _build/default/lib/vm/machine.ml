@@ -1,0 +1,346 @@
+open Inltune_jir
+open Inltune_opt
+
+(* The virtual machine: a cycle-counting interpreter over compiled JIR plus
+   the adaptive optimization system.
+
+   Compilation is lazy, on first invocation of a method, as in Jikes RVM:
+   - Opt scenario: every method is compiled by the optimizing compiler
+     (pipeline with the static heuristic; no hot-call-site path);
+   - Adapt scenario: methods start baseline-compiled; a deterministic
+     cycle-driven sampler attributes samples to the executing method, and a
+     method that accumulates enough samples is recompiled by the optimizing
+     compiler, at which point profiled call edges classify sites as hot for
+     the Fig. 4 heuristic path.
+
+   Cycle accounting: [exec_cycles] is pure interpretation (instruction costs
+   scaled by the tier's code-quality multiplier, plus I-cache miss
+   penalties); [compile_cycles] accrues on every compilation.  Both are part
+   of "total time"; the second iteration's exec cycles alone are "running
+   time", per the paper's methodology. *)
+
+exception Trap of string
+exception Out_of_fuel
+
+type scenario =
+  | Opt     (* optimize everything on first invocation *)
+  | Adapt   (* baseline first, one-step promotion to the optimizer *)
+  | Ladder  (* extension: baseline -> O1 -> O2 staged recompilation *)
+
+let scenario_name = function Opt -> "opt" | Adapt -> "adapt" | Ladder -> "ladder"
+
+type config = {
+  scenario : scenario;
+  heuristic : Heuristic.t;
+  inline_enabled : bool;  (* false = the Fig. 1 "no inlining" baseline *)
+  optimize : bool;        (* false = ablation: inline without cleanup passes *)
+  icache_enabled : bool;  (* false = ablation: no code-bloat penalty *)
+  hot_path_enabled : bool; (* false = ablation: Adapt uses only Fig. 3 tests *)
+  guarded_devirt_enabled : bool; (* false = ablation: no guarded devirtualization *)
+  custom_inliner : Pipeline.site_decision option;
+      (* per-site decision override (e.g. the knapsack baseline) *)
+  fuel : int;             (* interpreter step budget per iteration *)
+}
+
+let config ?(inline_enabled = true) ?(optimize = true) ?(icache_enabled = true)
+    ?(hot_path_enabled = true) ?(guarded_devirt_enabled = true) ?custom_inliner
+    ?(fuel = 100_000_000) scenario heuristic =
+  {
+    scenario;
+    heuristic;
+    inline_enabled;
+    optimize;
+    icache_enabled;
+    hot_path_enabled;
+    guarded_devirt_enabled;
+    custom_inliner;
+    fuel;
+  }
+
+type t = {
+  prog : Ir.program;
+  plat : Platform.t;
+  cfg : config;
+  icache : Icache.t;
+  codespace : Codespace.t;
+  compiled : Compile.compiled option array;
+  profile : Profile.t;
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable exec_cycles : int;
+  mutable compile_cycles : int;
+  mutable steps : int;
+  mutable fuel_left : int;
+  mutable next_sample_at : int;
+  mutable out_hash : int;
+  outputs : int Inltune_support.Vec.t;
+  mutable opt_compiles : int;
+  mutable o1_compiles : int;
+  mutable baseline_compiles : int;
+  mutable call_depth : int;
+}
+
+let max_call_depth = 8_000
+
+let create cfg (plat : Platform.t) prog =
+  Validate.check_exn prog;
+  {
+    prog;
+    plat;
+    cfg;
+    icache = Icache.create ~bytes:plat.Platform.icache_bytes ~line_bytes:plat.Platform.line_bytes;
+    codespace = Codespace.create ();
+    compiled = Array.make (Array.length prog.Ir.methods) None;
+    profile = Profile.create (Array.length prog.Ir.methods);
+    heap = Array.make 4096 0;
+    heap_len = 0;
+    exec_cycles = 0;
+    compile_cycles = 0;
+    steps = 0;
+    fuel_left = cfg.fuel;
+    next_sample_at = plat.Platform.sample_interval;
+    out_hash = 0;
+    outputs = Inltune_support.Vec.create ();
+    opt_compiles = 0;
+    o1_compiles = 0;
+    baseline_compiles = 0;
+    call_depth = 0;
+  }
+
+(* --- compilation ------------------------------------------------------- *)
+
+let pipeline_config vm =
+  let hot_site =
+    match vm.cfg.scenario with
+    | Opt -> None
+    | (Adapt | Ladder) when not vm.cfg.hot_path_enabled -> None
+    | Adapt | Ladder ->
+      let plat = vm.plat in
+      Some
+        (fun ~site_owner ~callee ->
+          Profile.hot_site vm.profile ~fraction:plat.Platform.hot_edge_fraction
+            ~floor:plat.Platform.hot_edge_min ~site_owner ~callee)
+  in
+  let devirt_oracle =
+    match vm.cfg.scenario with
+    | Opt -> None
+    | (Adapt | Ladder) when not vm.cfg.guarded_devirt_enabled -> None
+    | Adapt | Ladder ->
+      Some
+        (Guarded_devirt.oracle_of_profile ~program:vm.prog
+           ~edge_count:(fun ~site_owner ~callee ->
+             Profile.edge_count vm.profile ~site_owner ~callee))
+  in
+  {
+    Pipeline.heuristic = vm.cfg.heuristic;
+    inline_enabled = vm.cfg.inline_enabled;
+    optimize = vm.cfg.optimize;
+    hot_site;
+    custom_inliner = vm.cfg.custom_inliner;
+    devirt_oracle;
+  }
+
+let compile_opt vm mid =
+  let m = vm.prog.Ir.methods.(mid) in
+  let c, cycles, _stats = Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m in
+  vm.compile_cycles <- vm.compile_cycles + cycles;
+  vm.opt_compiles <- vm.opt_compiles + 1;
+  vm.compiled.(mid) <- Some c;
+  c
+
+let compile_o1 vm mid =
+  let c, cycles = Compile.o1 vm.plat vm.codespace vm.prog vm.prog.Ir.methods.(mid) in
+  vm.compile_cycles <- vm.compile_cycles + cycles;
+  vm.o1_compiles <- vm.o1_compiles + 1;
+  vm.compiled.(mid) <- Some c;
+  c
+
+let compile_baseline vm mid =
+  let c, cycles = Compile.baseline vm.plat vm.codespace vm.prog.Ir.methods.(mid) in
+  vm.compile_cycles <- vm.compile_cycles + cycles;
+  vm.baseline_compiles <- vm.baseline_compiles + 1;
+  vm.compiled.(mid) <- Some c;
+  c
+
+let get_code vm mid =
+  match vm.compiled.(mid) with
+  | Some c -> c
+  | None -> (
+    match vm.cfg.scenario with
+    | Opt -> compile_opt vm mid
+    | Adapt | Ladder -> compile_baseline vm mid)
+
+(* --- adaptive sampling -------------------------------------------------- *)
+
+let maybe_sample vm mid =
+  if vm.exec_cycles >= vm.next_sample_at then begin
+    vm.next_sample_at <- vm.next_sample_at + vm.plat.Platform.sample_interval;
+    match vm.cfg.scenario with
+    | Opt -> ()
+    | Adapt ->
+      Profile.record_sample vm.profile mid;
+      if Profile.samples vm.profile mid >= vm.plat.Platform.hot_method_samples then begin
+        match vm.compiled.(mid) with
+        | Some { Compile.tier = Compile.Baseline; _ } -> ignore (compile_opt vm mid : Compile.compiled)
+        | Some _ | None -> ()
+      end
+    | Ladder ->
+      (* Staged recompilation: hot -> O1, very hot -> the full optimizer. *)
+      Profile.record_sample vm.profile mid;
+      let samples = Profile.samples vm.profile mid in
+      let hot = vm.plat.Platform.hot_method_samples in
+      (match vm.compiled.(mid) with
+      | Some { Compile.tier = Compile.Baseline; _ } when samples >= hot ->
+        ignore (compile_o1 vm mid : Compile.compiled)
+      | Some { Compile.tier = Compile.O1; _ } when samples >= 3 * hot ->
+        ignore (compile_opt vm mid : Compile.compiled)
+      | Some _ | None -> ())
+  end
+
+(* --- heap ---------------------------------------------------------------- *)
+
+let heap_alloc vm kid slots =
+  let need = vm.heap_len + slots + 1 in
+  if need > Array.length vm.heap then begin
+    let heap' = Array.make (max need (2 * Array.length vm.heap)) 0 in
+    Array.blit vm.heap 0 heap' 0 vm.heap_len;
+    vm.heap <- heap'
+  end;
+  let addr = vm.heap_len in
+  vm.heap.(addr) <- kid;
+  for i = addr + 1 to addr + slots do
+    vm.heap.(i) <- 0
+  done;
+  vm.heap_len <- need;
+  addr
+
+let heap_get vm a =
+  if a < 0 || a >= vm.heap_len then raise (Trap "heap load out of range");
+  vm.heap.(a)
+
+let heap_set vm a v =
+  if a < 0 || a >= vm.heap_len then raise (Trap "heap store out of range");
+  vm.heap.(a) <- v
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let mix h v =
+  let x = h lxor (v * 0x9E3779B1) in
+  (x lsl 7) lxor (x lsr 9) lxor x
+
+let rec exec vm mid (args : int array) =
+  vm.call_depth <- vm.call_depth + 1;
+  if vm.call_depth > max_call_depth then raise (Trap "simulated call stack overflow");
+  Profile.record_invocation vm.profile mid;
+  let c = get_code vm mid in
+  let code = c.Compile.code in
+  let regs = Array.make code.Ir.nregs 0 in
+  Array.blit args 0 regs 0 (Array.length args);
+  let plat = vm.plat in
+  let q = c.Compile.quality in
+  let icache_on = vm.cfg.icache_enabled in
+  let miss_penalty = plat.Platform.miss_penalty in
+  let touch off =
+    if icache_on && Icache.access vm.icache (c.Compile.addr + (off * c.Compile.bytes_per_instr))
+    then vm.exec_cycles <- vm.exec_cycles + miss_penalty
+  in
+  let blocks = code.Ir.blocks in
+  let spill_cost = c.Compile.block_spill_cost in
+  let rec loop bi =
+    (* Fuel is also consumed per block so an empty loop (possible after DCE)
+       cannot spin without ever hitting the per-instruction check. *)
+    vm.fuel_left <- vm.fuel_left - 1;
+    if vm.fuel_left <= 0 then raise Out_of_fuel;
+    if spill_cost > 0 then vm.exec_cycles <- vm.exec_cycles + spill_cost;
+    let blk = blocks.(bi) in
+    let base_off = c.Compile.block_offsets.(bi) in
+    let instrs = blk.Ir.instrs in
+    let n = Array.length instrs in
+    for k = 0 to n - 1 do
+      vm.steps <- vm.steps + 1;
+      vm.fuel_left <- vm.fuel_left - 1;
+      if vm.fuel_left <= 0 then raise Out_of_fuel;
+      touch (base_off + k);
+      maybe_sample vm mid;
+      let i = instrs.(k) in
+      vm.exec_cycles <- vm.exec_cycles + (q * Platform.instr_cost plat i);
+      match i with
+      | Ir.Const (d, v) -> regs.(d) <- v
+      | Ir.Move (d, s) -> regs.(d) <- regs.(s)
+      | Ir.Binop (op, d, a, b) -> regs.(d) <- Ir.eval_binop op regs.(a) regs.(b)
+      | Ir.Cmp (op, d, a, b) -> regs.(d) <- Ir.eval_cmp op regs.(a) regs.(b)
+      | Ir.Load (d, o, off) -> regs.(d) <- heap_get vm (regs.(o) + off)
+      | Ir.Store (o, off, s) -> heap_set vm (regs.(o) + off) regs.(s)
+      | Ir.LoadIdx (d, o, idx) -> regs.(d) <- heap_get vm (regs.(o) + 1 + regs.(idx))
+      | Ir.StoreIdx (o, idx, s) -> heap_set vm (regs.(o) + 1 + regs.(idx)) regs.(s)
+      | Ir.ClassOf (d, o) -> regs.(d) <- heap_get vm regs.(o)
+      | Ir.Alloc (d, kid, slots) -> regs.(d) <- heap_alloc vm kid slots
+      | Ir.Call (d, callee, cargs) ->
+        Profile.record_call vm.profile ~site_owner:mid ~callee;
+        let argv = Array.map (fun r -> regs.(r)) cargs in
+        regs.(d) <- exec vm callee argv
+      | Ir.CallVirt (d, slot, recv_r, cargs) ->
+        let recv = regs.(recv_r) in
+        let kid = heap_get vm recv in
+        if kid < 0 || kid >= Array.length vm.prog.Ir.classes then
+          raise (Trap "virtual dispatch on non-object");
+        let k = vm.prog.Ir.classes.(kid) in
+        if slot >= Array.length k.Ir.vtable then raise (Trap "vtable slot out of range");
+        let callee = k.Ir.vtable.(slot) in
+        Profile.record_call vm.profile ~site_owner:mid ~callee;
+        let argv = Array.make (1 + Array.length cargs) recv in
+        Array.iteri (fun j r -> argv.(j + 1) <- regs.(r)) cargs;
+        regs.(d) <- exec vm callee argv
+      | Ir.Print r ->
+        vm.out_hash <- mix vm.out_hash regs.(r);
+        Inltune_support.Vec.push vm.outputs regs.(r)
+    done;
+    touch (base_off + n);
+    vm.exec_cycles <- vm.exec_cycles + (q * Platform.term_cost plat blk.Ir.term);
+    match blk.Ir.term with
+    | Ir.Jump l -> loop l
+    | Ir.Branch (cond, t, f) -> loop (if regs.(cond) <> 0 then t else f)
+    | Ir.Ret r -> regs.(r)
+  in
+  let result = loop 0 in
+  vm.call_depth <- vm.call_depth - 1;
+  result
+
+(* --- iterations ---------------------------------------------------------- *)
+
+type iteration = {
+  ret : int;
+  it_exec_cycles : int;
+  it_compile_cycles : int;
+  it_steps : int;
+  it_out_hash : int;
+  it_outputs : int array;
+}
+
+(* One run of [main].  Compiled-code state, profile, and the I-cache persist
+   across iterations (the warmed VM); the heap and output log are fresh per
+   iteration so results are comparable. *)
+let run_iteration vm =
+  vm.heap_len <- 0;
+  vm.out_hash <- 0;
+  Inltune_support.Vec.clear vm.outputs;
+  vm.fuel_left <- vm.cfg.fuel;
+  let exec0 = vm.exec_cycles and comp0 = vm.compile_cycles and steps0 = vm.steps in
+  let ret = exec vm vm.prog.Ir.main [||] in
+  {
+    ret;
+    it_exec_cycles = vm.exec_cycles - exec0;
+    it_compile_cycles = vm.compile_cycles - comp0;
+    it_steps = vm.steps - steps0;
+    it_out_hash = vm.out_hash;
+    it_outputs = Inltune_support.Vec.to_array vm.outputs;
+  }
+
+let opt_compiles vm = vm.opt_compiles
+let o1_compiles vm = vm.o1_compiles
+let baseline_compiles vm = vm.baseline_compiles
+let code_bytes vm = Codespace.allocated vm.codespace
+let icache_misses vm = Icache.misses vm.icache
+let icache_accesses vm = Icache.accesses vm.icache
+let profile vm = vm.profile
+let compiled_method vm mid = vm.compiled.(mid)

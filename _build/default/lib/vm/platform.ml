@@ -1,0 +1,170 @@
+open Inltune_jir
+(* Hardware and compiler cost models.
+
+   All costs are in simulated cycles.  The two platforms stand in for the
+   paper's Pentium-4 (deep pipeline: expensive calls and misses, large
+   effective I-cache) and PowerPC G4 (shallower pipeline, small I-cache).
+   Absolute values are not calibrated to 2005 silicon; what matters for the
+   reproduction is the *relative* structure — call overhead vs. instruction
+   cost, compile cost vs. run cost, and I-cache capacity vs. the code
+   footprint of our workloads — which determines who wins each experiment. *)
+
+type t = {
+  pname : string;
+  clock_hz : float;  (* converts cycles to the seconds axis of Fig. 2 *)
+  (* Instruction costs. *)
+  cost_simple : int;   (* const/move/binop/cmp *)
+  cost_mul : int;
+  cost_div : int;
+  cost_mem : int;      (* load/store *)
+  cost_branch : int;
+  cost_alloc_base : int;
+  cost_alloc_slot : int;
+  cost_print : int;
+  (* Call costs: the direct benefit of inlining is removing these. *)
+  call_overhead : int;
+  ret_overhead : int;
+  arg_cost : int;
+  virt_dispatch_extra : int;
+  (* Register file: virtual registers beyond this spill (cost model). *)
+  phys_regs : int;
+  (* I-cache. *)
+  icache_bytes : int;
+  line_bytes : int;    (* power of two *)
+  miss_penalty : int;
+  (* Code quality and footprint per tier. *)
+  baseline_quality : int;     (* baseline code per-instruction cost multiplier *)
+  o1_quality : int;            (* mid-tier (no inlining) cost multiplier *)
+  baseline_expansion : int;    (* code bytes per size-estimate unit *)
+  o1_expansion : int;
+  opt_expansion : int;
+  (* Compile-time models. *)
+  baseline_compile_base : int;
+  baseline_compile_per_size : int;
+  o1_compile_base : int;
+  o1_compile_per_size : int;   (* linear only: O1 skips the inliner *)
+  opt_compile_base : int;
+  opt_compile_per_size : int;   (* linear in the post-inlining (peak) size *)
+  opt_compile_quad_denom : int; (* plus size_peak^2 / this: register
+                                   allocation and dataflow over big methods *)
+  (* Adaptive optimization system. *)
+  sample_interval : int;       (* cycles between samples *)
+  hot_method_samples : int;    (* samples before a method is promoted *)
+  hot_edge_fraction : float;   (* call-site share of all calls to be "hot" *)
+  hot_edge_min : int;
+}
+
+let x86 =
+  {
+    pname = "x86";
+    clock_hz = 2.8e9;
+    cost_simple = 1;
+    cost_mul = 4;
+    cost_div = 30;
+    cost_mem = 2;
+    cost_branch = 2;
+    cost_alloc_base = 12;
+    cost_alloc_slot = 1;
+    cost_print = 40;
+    call_overhead = 16;
+    ret_overhead = 6;
+    arg_cost = 2;
+    virt_dispatch_extra = 10;
+    phys_regs = 8;
+    icache_bytes = 16 * 1024;
+    line_bytes = 64;
+    miss_penalty = 26;
+    baseline_quality = 3;
+    o1_quality = 2;
+    baseline_expansion = 12;
+    o1_expansion = 10;
+    opt_expansion = 8;
+    baseline_compile_base = 150;
+    baseline_compile_per_size = 4;
+    o1_compile_base = 800;
+    o1_compile_per_size = 14;
+    opt_compile_base = 2500;
+    opt_compile_per_size = 45;
+    opt_compile_quad_denom = 50;
+    sample_interval = 7_000;
+    hot_method_samples = 2;
+    hot_edge_fraction = 0.015;
+    hot_edge_min = 40;
+  }
+
+let ppc =
+  {
+    pname = "ppc";
+    clock_hz = 533.0e6;
+    cost_simple = 1;
+    cost_mul = 3;
+    cost_div = 19;
+    cost_mem = 2;
+    cost_branch = 1;
+    cost_alloc_base = 10;
+    cost_alloc_slot = 1;
+    cost_print = 40;
+    call_overhead = 10;
+    ret_overhead = 4;
+    arg_cost = 1;
+    virt_dispatch_extra = 6;
+    phys_regs = 24;
+    icache_bytes = 4 * 1024;
+    line_bytes = 32;
+    miss_penalty = 18;
+    baseline_quality = 3;
+    o1_quality = 2;
+    baseline_expansion = 14;
+    o1_expansion = 12;
+    opt_expansion = 10;
+    baseline_compile_base = 150;
+    baseline_compile_per_size = 4;
+    o1_compile_base = 800;
+    o1_compile_per_size = 13;
+    opt_compile_base = 2500;
+    opt_compile_per_size = 40;
+    opt_compile_quad_denom = 55;
+    sample_interval = 7_000;
+    hot_method_samples = 2;
+    hot_edge_fraction = 0.015;
+    hot_edge_min = 40;
+  }
+
+let by_name = function
+  | "x86" -> x86
+  | "ppc" -> ppc
+  | s -> invalid_arg ("Platform.by_name: unknown platform " ^ s)
+
+let all = [ x86; ppc ]
+
+let instr_cost t = function
+  | Ir.Const _ | Ir.Move _ -> t.cost_simple
+  | Ir.Binop ((Ir.Div | Ir.Mod), _, _, _) -> t.cost_div
+  | Ir.Binop (Ir.Mul, _, _, _) -> t.cost_mul
+  | Ir.Binop (_, _, _, _) | Ir.Cmp _ -> t.cost_simple
+  | Ir.Load _ | Ir.Store _ -> t.cost_mem
+  | Ir.LoadIdx _ | Ir.StoreIdx _ -> t.cost_mem + 1
+  | Ir.ClassOf _ -> t.cost_mem
+  | Ir.Alloc (_, _, slots) -> t.cost_alloc_base + (t.cost_alloc_slot * slots)
+  | Ir.Call (_, _, args) -> t.call_overhead + (t.arg_cost * Array.length args)
+  | Ir.CallVirt (_, _, _, args) ->
+    t.call_overhead + t.virt_dispatch_extra + (t.arg_cost * (1 + Array.length args))
+  | Ir.Print _ -> t.cost_print
+
+let term_cost t = function
+  | Ir.Jump _ -> 1
+  | Ir.Branch _ -> t.cost_branch
+  | Ir.Ret _ -> t.ret_overhead
+
+(* Cycles to optimize a method whose IR peaked at [size_peak] units. *)
+let opt_compile_cycles t ~size_peak =
+  t.opt_compile_base
+  + (t.opt_compile_per_size * size_peak)
+  + (size_peak * size_peak / t.opt_compile_quad_denom)
+
+let baseline_compile_cycles t ~size =
+  t.baseline_compile_base + (t.baseline_compile_per_size * size)
+
+let o1_compile_cycles t ~size = t.o1_compile_base + (t.o1_compile_per_size * size)
+
+let seconds t cycles = Float.of_int cycles /. t.clock_hz

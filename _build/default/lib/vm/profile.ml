@@ -1,0 +1,50 @@
+(* Online profile data gathered by the adaptive optimization system:
+   per-method invocation counts and timer-style samples, plus per-call-edge
+   counters used to classify call sites as hot when a method is recompiled
+   (the Fig. 4 heuristic path). *)
+
+type t = {
+  nmethods : int;
+  invocations : int array;
+  samples : int array;
+  edges : (int, int) Hashtbl.t;  (* (owner * nmethods + callee) -> calls *)
+  mutable total_calls : int;
+}
+
+let create nmethods =
+  {
+    nmethods;
+    invocations = Array.make nmethods 0;
+    samples = Array.make nmethods 0;
+    edges = Hashtbl.create 256;
+    total_calls = 0;
+  }
+
+let record_invocation t mid = t.invocations.(mid) <- t.invocations.(mid) + 1
+
+let record_call t ~site_owner ~callee =
+  t.total_calls <- t.total_calls + 1;
+  let key = (site_owner * t.nmethods) + callee in
+  match Hashtbl.find_opt t.edges key with
+  | Some n -> Hashtbl.replace t.edges key (n + 1)
+  | None -> Hashtbl.add t.edges key 1
+
+let record_sample t mid = t.samples.(mid) <- t.samples.(mid) + 1
+
+let samples t mid = t.samples.(mid)
+let invocations t mid = t.invocations.(mid)
+
+let edge_count t ~site_owner ~callee =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges ((site_owner * t.nmethods) + callee))
+
+(* A call site is hot when it carries at least [hot_edge_fraction] of all
+   dynamic calls seen so far (with an absolute floor for early promotion). *)
+let hot_site t ~fraction ~floor ~site_owner ~callee =
+  let threshold = max floor (Float.to_int (fraction *. Float.of_int t.total_calls)) in
+  edge_count t ~site_owner ~callee >= threshold
+
+let hottest t n =
+  let idx = Array.init (Array.length t.samples) (fun i -> i) in
+  Array.sort (fun a b -> compare t.samples.(b) t.samples.(a)) idx;
+  Array.to_list (Array.sub idx 0 (min n (Array.length idx)))
+

@@ -1,0 +1,26 @@
+(** Online profile data for the adaptive optimization system: per-method
+    invocation counts, timer-style samples, and per-call-edge counters used
+    to classify call sites as hot (the paper's Fig. 4 path). *)
+
+type t
+
+(** [create nmethods] — all counters zero. *)
+val create : int -> t
+
+val record_invocation : t -> int -> unit
+
+(** [record_call t ~site_owner ~callee] bumps the edge counter. *)
+val record_call : t -> site_owner:int -> callee:int -> unit
+
+val record_sample : t -> int -> unit
+val samples : t -> int -> int
+val invocations : t -> int -> int
+val edge_count : t -> site_owner:int -> callee:int -> int
+
+(** [hot_site t ~fraction ~floor ~site_owner ~callee]: the edge carries at
+    least [fraction] of all dynamic calls seen so far, with an absolute
+    [floor] for early promotion decisions. *)
+val hot_site : t -> fraction:float -> floor:int -> site_owner:int -> callee:int -> bool
+
+(** The [n] methods with the most samples, hottest first. *)
+val hottest : t -> int -> int list

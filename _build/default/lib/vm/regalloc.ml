@@ -1,0 +1,105 @@
+open Inltune_jir
+
+(* Linear-scan register allocation — as a *cost model*, not a transformation.
+
+   Inlining merges register spaces: a method that swallowed five callees
+   carries all their virtual registers, and on a register-starved machine
+   (x86 of the paper's era had 8 GPRs) the allocator starts spilling.  This
+   module estimates that cost so aggressive inlining pays a running-time
+   price beyond the I-cache: the classic third term in the inlining
+   trade-off.
+
+   We approximate live intervals over a linearization of the blocks: each
+   virtual register's interval spans from its first to its last occurrence
+   (occurrences in loops are covered because the loop's blocks are contiguous
+   in builder output, and the conservative [min,max] span only ever
+   *overestimates* pressure).  Standard linear scan then counts how many
+   intervals must live in memory, and how many of their occurrences turn
+   into loads/stores. *)
+
+type result = {
+  vregs : int;            (* virtual registers with at least one occurrence *)
+  max_pressure : int;     (* peak simultaneously-live intervals *)
+  spilled : int;          (* intervals assigned to stack slots *)
+  spill_ops : int;        (* occurrences of spilled registers (memory ops) *)
+}
+
+let occurrences m =
+  (* first.(r), last.(r), count.(r) over a linear numbering; -1 = absent *)
+  let n = m.Ir.nregs in
+  let first = Array.make n (-1) in
+  let last = Array.make n (-1) in
+  let count = Array.make n 0 in
+  let pos = ref 0 in
+  let touch r =
+    if first.(r) < 0 then first.(r) <- !pos;
+    last.(r) <- !pos;
+    count.(r) <- count.(r) + 1
+  in
+  (* Arguments are live from entry. *)
+  for r = 0 to m.Ir.nargs - 1 do
+    touch r
+  done;
+  Array.iter
+    (fun blk ->
+      Array.iter
+        (fun i ->
+          incr pos;
+          List.iter touch (Ir.uses_of i);
+          match Ir.def_of i with Some d -> touch d | None -> ())
+        blk.Ir.instrs;
+      incr pos;
+      List.iter touch (Ir.term_uses blk.Ir.term))
+    m.Ir.blocks;
+  (first, last, count)
+
+let run ~phys_regs m =
+  if phys_regs < 2 then invalid_arg "Regalloc.run: need at least 2 physical registers";
+  let first, last, count = occurrences m in
+  let intervals =
+    Array.to_list (Array.init m.Ir.nregs (fun r -> r))
+    |> List.filter (fun r -> first.(r) >= 0)
+    |> List.sort (fun a b -> compare first.(a) first.(b))
+  in
+  let vregs = List.length intervals in
+  (* Active list ordered by interval end (kept as a sorted list; methods have
+     at most tens of simultaneously live values in practice). *)
+  let active = ref [] in
+  let max_pressure = ref 0 in
+  let spilled = ref 0 in
+  let spill_ops = ref 0 in
+  let insert_by_end r l =
+    let rec go = function
+      | x :: rest when last.(x) <= last.(r) -> x :: go rest
+      | rest -> r :: rest
+    in
+    go l
+  in
+  List.iter
+    (fun r ->
+      (* Expire intervals that ended before this one starts. *)
+      active := List.filter (fun x -> last.(x) >= first.(r)) !active;
+      if List.length !active >= phys_regs then begin
+        (* Spill the interval with the furthest end (it blocks the longest). *)
+        match List.rev !active with
+        | victim :: _ when last.(victim) > last.(r) ->
+          active := insert_by_end r (List.filter (fun x -> x <> victim) !active);
+          incr spilled;
+          spill_ops := !spill_ops + count.(victim)
+        | _ ->
+          incr spilled;
+          spill_ops := !spill_ops + count.(r)
+      end
+      else active := insert_by_end r !active;
+      max_pressure := max !max_pressure (List.length !active + !spilled))
+    intervals;
+  { vregs; max_pressure = (if vregs = 0 then 0 else max !max_pressure 1); spilled = !spilled; spill_ops = !spill_ops }
+
+(* Per-block-execution spill surcharge for the interpreter: total spill
+   traffic spread across the method's blocks, scaled by the platform's
+   memory cost. *)
+let block_spill_cost (plat : Platform.t) m result =
+  if result.spilled = 0 then 0
+  else
+    let nblocks = max 1 (Array.length m.Ir.blocks) in
+    max 1 (result.spill_ops * plat.Platform.cost_mem / nblocks)

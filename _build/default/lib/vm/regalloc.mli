@@ -1,0 +1,19 @@
+open Inltune_jir
+
+(** Linear-scan register allocation as a cost model: estimates the spill
+    traffic of a compiled method so that inlining's register-pressure cost
+    is part of the simulated running time. *)
+
+type result = {
+  vregs : int;         (** virtual registers that occur in the body *)
+  max_pressure : int;  (** peak simultaneously live intervals *)
+  spilled : int;       (** intervals assigned to stack slots *)
+  spill_ops : int;     (** memory operations induced by spills *)
+}
+
+(** [run ~phys_regs m] — linear scan over approximate live intervals.
+    Raises if [phys_regs < 2]. *)
+val run : phys_regs:int -> Ir.methd -> result
+
+(** Cycles charged per executed block to account for the spill traffic. *)
+val block_spill_cost : Platform.t -> Ir.methd -> result -> int

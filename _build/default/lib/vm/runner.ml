@@ -1,0 +1,56 @@
+(* The paper's measurement methodology (Section 5): run the benchmark at
+   least twice inside one VM.  The first iteration pays for loading,
+   compilation and inlining — its cost is *total time*.  Later iterations
+   involve (almost) no compilation — the best of them is *running time*. *)
+
+type measurement = {
+  total_cycles : int;     (* first iteration: exec + compile *)
+  running_cycles : int;   (* best exec-only cycles of the later iterations *)
+  first_exec_cycles : int;
+  first_compile_cycles : int;
+  opt_compiles : int;
+  baseline_compiles : int;
+  code_bytes : int;
+  icache_misses : int;
+  icache_accesses : int;
+  steps : int;
+  ret : int;
+  out_hash : int;
+}
+
+let measure ?(iterations = 2) cfg plat prog =
+  if iterations < 2 then invalid_arg "Runner.measure: need at least 2 iterations";
+  let vm = Machine.create cfg plat prog in
+  let first = Machine.run_iteration vm in
+  let best = ref max_int in
+  let last_ret = ref first.Machine.ret in
+  let last_hash = ref first.Machine.it_out_hash in
+  for _ = 2 to iterations do
+    let it = Machine.run_iteration vm in
+    if it.Machine.it_exec_cycles < !best then best := it.Machine.it_exec_cycles;
+    last_ret := it.Machine.ret;
+    last_hash := it.Machine.it_out_hash
+  done;
+  {
+    total_cycles = first.Machine.it_exec_cycles + first.Machine.it_compile_cycles;
+    running_cycles = !best;
+    first_exec_cycles = first.Machine.it_exec_cycles;
+    first_compile_cycles = first.Machine.it_compile_cycles;
+    opt_compiles = Machine.opt_compiles vm;
+    baseline_compiles = Machine.baseline_compiles vm;
+    code_bytes = Machine.code_bytes vm;
+    icache_misses = Machine.icache_misses vm;
+    icache_accesses = Machine.icache_accesses vm;
+    steps = vm.Machine.steps;
+    ret = !last_ret;
+    out_hash = !last_hash;
+  }
+
+(* Pure semantic run: interpret the program once with everything that could
+   perturb observable behaviour disabled (Opt scenario, chosen heuristic) and
+   return what it computed.  Used by the semantics-preservation tests. *)
+let observe ?(fuel = 100_000_000) ?(heuristic = Inltune_opt.Heuristic.never) plat prog =
+  let cfg = Machine.config ~fuel Machine.Opt heuristic in
+  let vm = Machine.create cfg plat prog in
+  let it = Machine.run_iteration vm in
+  (it.Machine.ret, it.Machine.it_outputs)

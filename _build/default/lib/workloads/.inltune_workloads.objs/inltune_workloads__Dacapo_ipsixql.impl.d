@@ -1,0 +1,1 @@
+lib/workloads/dacapo_ipsixql.ml: Builder Gen Inltune_jir Inltune_support Ir

@@ -1,0 +1,1 @@
+lib/workloads/dacapo_pmd.ml: Array Builder Gen Inltune_jir Inltune_support Ir Printf

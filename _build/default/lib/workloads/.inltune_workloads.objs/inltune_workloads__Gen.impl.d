@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Builder Inltune_jir Inltune_support Ir List Printf

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Builder Inltune_jir Inltune_support Ir

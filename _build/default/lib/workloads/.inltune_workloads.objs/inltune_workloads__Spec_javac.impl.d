@@ -1,0 +1,1 @@
+lib/workloads/spec_javac.ml: Builder Gen Inltune_jir Inltune_support Ir

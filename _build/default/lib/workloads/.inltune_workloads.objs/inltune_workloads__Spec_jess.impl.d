@@ -1,0 +1,1 @@
+lib/workloads/spec_jess.ml: Array Builder Gen Inltune_jir Inltune_support Ir Printf

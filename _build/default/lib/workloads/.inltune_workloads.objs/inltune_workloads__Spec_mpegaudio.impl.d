@@ -1,0 +1,1 @@
+lib/workloads/spec_mpegaudio.ml: Builder Gen Inltune_jir Inltune_support Ir

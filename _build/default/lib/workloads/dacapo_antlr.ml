@@ -1,0 +1,61 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* antlr — parses grammar files and generates parsers.  The most
+   compile-bound program in the suite: hundreds of one-shot grammar-analysis
+   and code-generation methods dwarf a short recursive parsing phase.  The
+   paper reports the largest total-time win here (58% under Opt:Tot). *)
+
+let name = "antlr"
+let description = "grammar analysis: ~350 one-shot methods + short parse phase"
+
+let parse_rounds = 14
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0xA2712 in
+  let analysis = Gen.one_shot_sweep b rng ~name:"antlr_an" ~count:190 ~ops_min:30 ~ops_max:140 () in
+  let codegen = Gen.one_shot_sweep b rng ~name:"antlr_cg" ~count:160 ~ops_min:40 ~ops_max:170 () in
+  (* Token-prediction fast path: a guarded DAG under the grammar walk. *)
+  let predict = Gen.guarded_dag b rng ~name:"antlr_pred" ~levels:4 ~width:4 ~ops:2 in
+  (* Short recursive grammar walk. *)
+  let walk = B.declare b ~name:"walk_grammar" ~nargs:2 in
+  B.define b walk (fun mb ->
+      let zero = B.const mb 0 in
+      let stop = B.cmp mb Ir.Le 0 zero in
+      let result = B.fresh_reg mb in
+      B.if_ mb stop
+        ~then_:(fun () ->
+          let t0 = Gen.arith mb rng ~ops:8 [ 1 ] in
+          let t = B.call mb predict [ t0 ] in
+          B.emit mb (Ir.Move (result, t)))
+        ~else_:(fun () ->
+          let one = B.const mb 1 in
+          let d' = B.sub mb 0 one in
+          let t = Gen.arith mb rng ~ops:22 [ 0; 1 ] in
+          let a = B.call mb walk [ d'; t ] in
+          let c2 = B.add mb t one in
+          let c = B.call mb walk [ d'; c2 ] in
+          let x = B.add mb a c in
+          B.emit mb (Ir.Move (result, x)));
+      B.ret mb result);
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 23 in
+        let a1 = B.call mb analysis [ seed ] in
+        let a2 = B.call mb codegen [ a1 ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, a2));
+        Gen.repeat mb ~iters:(max 1 (parse_rounds * scale / 100)) (fun r ->
+            let d = B.const mb 5 in
+            let s = B.add mb acc r in
+            let v = B.call mb walk [ d; s ] in
+            B.emit mb (Ir.Move (acc, v)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

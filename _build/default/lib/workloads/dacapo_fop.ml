@@ -1,0 +1,67 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* fop — XSL-FO to PDF formatting.  Allocation-heavy tree construction and a
+   formatting traversal with medium-size layout helpers, over a broad
+   one-shot property-resolution population. *)
+
+let name = "fop"
+let description = "XSL-FO formatting: tree build + layout traversal, alloc-heavy"
+
+let doc_depth = 8
+let layout_rounds = 8
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0xF09 in
+  let props = Gen.one_shot_sweep b rng ~name:"fop_props" ~count:150 ~ops_min:25 ~ops_max:110 () in
+  let doc = Gen.tree b rng ~name:"fo_tree" ~fold_ops:8 in
+  (* Property resolution: a guarded DAG consulted per page. *)
+  let resolve = Gen.guarded_dag b rng ~name:"fop_resolve" ~levels:5 ~width:5 ~ops:2 in
+  (* Layout helpers: medium methods. *)
+  let measure = Gen.leaf b rng ~name:"measure_box" ~nargs:2 ~ops:13 in
+  let place = Gen.leaf b rng ~name:"place_box" ~nargs:2 ~ops:11 in
+  let break_lines = Gen.leaf b rng ~name:"break_lines" ~nargs:2 ~ops:15 in
+  (* render_page(root, page): fold the tree then run layout helpers, and
+     allocate fresh area objects per page. *)
+  let area_kid = B.new_class b ~name:"area" ~vtable:[||] in
+  let render_page =
+    B.method_ b ~name:"render_page" ~nargs:2 (fun mb ->
+        let d = B.const mb 5 in
+        let f = B.call mb doc.Gen.fold [ 0; d ] in
+        let m = B.call mb measure [ f; 1 ] in
+        let p = B.call mb place [ m; f ] in
+        let br0 = B.call mb break_lines [ p; m ] in
+        let br = B.call mb resolve [ br0 ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, br));
+        Gen.repeat mb ~iters:24 (fun i ->
+            let a = B.alloc mb area_kid ~slots:4 in
+            B.store mb a 1 acc;
+            B.store mb a 2 i;
+            let v1 = B.load mb a 1 in
+            let v2 = B.load mb a 2 in
+            let s = B.add mb v1 v2 in
+            B.emit mb (Ir.Binop (Ir.Add, acc, acc, s)));
+        B.ret mb acc)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 31 in
+        let cfg = B.call mb props [ seed ] in
+        let d = B.const mb doc_depth in
+        let root = B.call mb doc.Gen.build [ d; seed ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (layout_rounds * scale / 100)) (fun page ->
+            let x = B.add mb acc page in
+            let r = B.call mb render_page [ root; x ] in
+            B.emit mb (Ir.Move (acc, r)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

@@ -1,0 +1,96 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* jython — a Python interpreter.  Hot shape: one *big* dispatch method
+   (nested opcode tests) statically calling a population of small opcode
+   handlers — the structure that rewards inlining handlers into the dispatch
+   loop on a big I-cache and punishes it on a small one. *)
+
+let name = "jython"
+let description = "bytecode-interpreter loop: big dispatcher + 20 opcode handlers"
+
+let opcode_kinds = 20
+let bytecode_len = 256
+let exec_rounds = 8
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x97 in
+  let arr_kid = Gen.array_class b ~name:"pycode" in
+  let runtime = Gen.one_shot_sweep b rng ~name:"py_rt" ~count:130 ~ops_min:25 ~ops_max:100 () in
+  (* The object-model fast path: a guarded call DAG every handler descends
+     into — the deep inline-bait in jython's hot code. *)
+  let obj_model = Gen.guarded_dag b rng ~name:"py_obj" ~levels:5 ~width:5 ~ops:2 in
+  (* Opcode handlers: smallish, statically called by the dispatcher. *)
+  let handlers =
+    Array.init opcode_kinds (fun v ->
+        if v mod 3 = 0 then
+          B.method_ b ~name:(Printf.sprintf "op_%d" v) ~nargs:2 (fun mb ->
+              let t = Gen.arith mb rng ~ops:4 [ 0; 1 ] in
+              let r = B.call mb obj_model [ t ] in
+              let out = B.add mb r t in
+              B.ret mb out)
+        else Gen.leaf b rng ~name:(Printf.sprintf "op_%d" v) ~nargs:2 ~ops:(7 + (v mod 9)))
+  in
+  (* dispatch(op, acc): nested comparisons selecting the handler. *)
+  let dispatch =
+    B.method_ b ~name:"dispatch" ~nargs:2 (fun mb ->
+        let result = B.fresh_reg mb in
+        let rec cases v =
+          if v = opcode_kinds - 1 then begin
+            let r = B.call mb handlers.(v) [ 1; 0 ] in
+            B.emit mb (Ir.Move (result, r))
+          end
+          else begin
+            let c = B.const mb v in
+            let eq = B.cmp mb Ir.Eq 0 c in
+            B.if_ mb eq
+              ~then_:(fun () ->
+                let r = B.call mb handlers.(v) [ 1; 0 ] in
+                B.emit mb (Ir.Move (result, r)))
+              ~else_:(fun () -> cases (v + 1))
+          end
+        in
+        cases 0;
+        B.ret mb result)
+  in
+  (* exec_code(code, acc): the interpreter loop. *)
+  let exec_code =
+    B.method_ b ~name:"exec_code" ~nargs:2 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:bytecode_len (fun pc ->
+            let raw = B.load_idx mb 0 pc in
+            let k = B.const mb opcode_kinds in
+            let op = B.binop mb Ir.Mod raw k in
+            let z = B.const mb 0 in
+            let neg = B.cmp mb Ir.Lt op z in
+            let op' = B.fresh_reg mb in
+            B.if_ mb neg
+              ~then_:(fun () ->
+                let t = B.add mb op k in
+                B.emit mb (Ir.Move (op', t)))
+              ~else_:(fun () -> B.emit mb (Ir.Move (op', op)));
+            let r = B.call mb dispatch [ op'; acc ] in
+            B.emit mb (Ir.Binop (Ir.Add, acc, acc, r)));
+        B.ret mb acc)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 41 in
+        let cfg = B.call mb runtime [ seed ] in
+        let code = Gen.alloc_filled_array mb ~kid:arr_kid ~len:bytecode_len in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (exec_rounds * scale / 100)) (fun r ->
+            let a = B.add mb acc r in
+            let v = B.call mb exec_code [ code; a ] in
+            B.emit mb (Ir.Move (acc, v)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

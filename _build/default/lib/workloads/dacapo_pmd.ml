@@ -1,0 +1,95 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* pmd — static analysis of Java classes.  Hot shape: polymorphic AST visits
+   (virtual dispatch over node kinds) where each rule applies a few shared
+   checker helpers, over a wide one-shot rule-registration population. *)
+
+let name = "pmd"
+let description = "AST rule checker: polymorphic node visits + shared checkers"
+
+let node_kinds = 9
+let ast_nodes = 60
+let check_rounds = 7
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x93D in
+  let registration = Gen.one_shot_sweep b rng ~name:"pmd_reg" ~count:170 ~ops_min:25 ~ops_max:120 () in
+  (* Symbol-table walk: a guarded DAG under every visit. *)
+  let symtab = Gen.guarded_dag b rng ~name:"pmd_sym" ~levels:5 ~width:5 ~ops:2 in
+  (* Shared checkers used by all node visitors. *)
+  let check_naming = Gen.leaf b rng ~name:"check_naming" ~nargs:2 ~ops:12 in
+  let check_unused = Gen.leaf b rng ~name:"check_unused" ~nargs:2 ~ops:14 in
+  let check_size = Gen.leaf b rng ~name:"check_size" ~nargs:2 ~ops:9 in
+  let visitors =
+    Array.init node_kinds (fun v ->
+        B.method_ b ~name:(Printf.sprintf "visit_%d" v) ~nargs:2 (fun mb ->
+            let f1 = B.load mb 0 1 in
+            let a = B.call mb check_naming [ f1; 1 ] in
+            let c = B.call mb check_unused [ a; f1 ] in
+            let d = B.call mb check_size [ c; a ] in
+            let w = B.call mb symtab [ d ] in
+            let r = Gen.arith mb rng ~ops:(6 + v) [ w ] in
+            B.ret mb r))
+  in
+  let kids =
+    Array.init node_kinds (fun v ->
+        B.new_class b ~name:(Printf.sprintf "ast_node%d" v) ~vtable:[| visitors.(v) |])
+  in
+  let arr_kid = Gen.array_class b ~name:"ast_list" in
+  let build_ast =
+    B.method_ b ~name:"build_ast" ~nargs:0 (fun mb ->
+        let arr = B.alloc mb arr_kid ~slots:ast_nodes in
+        Gen.repeat mb ~iters:ast_nodes (fun i ->
+            let k = B.const mb node_kinds in
+            let sel = B.binop mb Ir.Mod i k in
+            let obj = B.fresh_reg mb in
+            let rec pick v =
+              if v = node_kinds - 1 then begin
+                let o = Gen.make_obj mb ~kid:kids.(v) ~f1:i ~f2:sel in
+                B.emit mb (Ir.Move (obj, o))
+              end
+              else begin
+                let c = B.const mb v in
+                let eq = B.cmp mb Ir.Eq sel c in
+                B.if_ mb eq
+                  ~then_:(fun () ->
+                    let o = Gen.make_obj mb ~kid:kids.(v) ~f1:i ~f2:sel in
+                    B.emit mb (Ir.Move (obj, o)))
+                  ~else_:(fun () -> pick (v + 1))
+              end
+            in
+            pick 0;
+            B.store_idx mb arr i obj);
+        B.ret mb arr)
+  in
+  let apply_rules =
+    B.method_ b ~name:"apply_rules" ~nargs:2 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:ast_nodes (fun i ->
+            let node = B.load_idx mb 0 i in
+            let r = B.call_virt mb ~slot:0 node [ acc ] in
+            B.emit mb (Ir.Move (acc, r)));
+        B.ret mb acc)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 43 in
+        let cfg = B.call mb registration [ seed ] in
+        let ast = B.call mb build_ast [] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (check_rounds * scale / 100)) (fun r ->
+            let a = B.add mb acc r in
+            let v = B.call mb apply_rules [ ast; a ] in
+            B.emit mb (Ir.Move (acc, v)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

@@ -1,0 +1,105 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* ps — a PostScript interpreter.  Hot shape: an operand-stack machine with
+   tiny push/pop helpers and a token-dispatch chain.  Its hot operations are
+   already minimal, which is why per-program tuning buys ps almost nothing in
+   the paper's Fig. 10. *)
+
+let name = "ps"
+let description = "PostScript-style stack machine over a token stream"
+
+let stack_size = 64
+let tokens = 200
+let rounds = 7
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x9505 in
+  let arr_kid = Gen.array_class b ~name:"ps_stack" in
+  let loader = Gen.one_shot_sweep b rng ~name:"ps_fonts" ~count:110 ~ops_min:20 ~ops_max:95 () in
+  (* Tiny stack helpers: stack object slot 1 is the depth, payload follows. *)
+  let push_op =
+    B.method_ b ~name:"ps_push" ~nargs:2 (fun mb ->
+        let sp = B.load_idx mb 0 (B.const mb 0) in
+        let m = B.const mb (stack_size - 4) in
+        let sp' = B.binop mb Ir.Mod sp m in
+        let one = B.const mb 1 in
+        let slot = B.add mb sp' one in
+        B.store_idx mb 0 slot 1;
+        let nsp = B.add mb sp' one in
+        B.store_idx mb 0 (B.const mb 0) nsp;
+        B.ret mb nsp)
+  in
+  let pop_op =
+    B.method_ b ~name:"ps_pop" ~nargs:1 (fun mb ->
+        let z = B.const mb 0 in
+        let sp = B.load_idx mb 0 z in
+        let v = B.load_idx mb 0 sp in
+        let one = B.const mb 1 in
+        let sp' = B.sub mb sp one in
+        let zero = B.const mb 0 in
+        let neg = B.cmp mb Ir.Lt sp' zero in
+        let nsp = B.fresh_reg mb in
+        B.if_ mb neg
+          ~then_:(fun () -> B.emit mb (Ir.Move (nsp, zero)))
+          ~else_:(fun () -> B.emit mb (Ir.Move (nsp, sp')));
+        B.store_idx mb 0 z nsp;
+        B.ret mb v)
+  in
+  (* Graphics-state resolution: a guarded DAG under every operator. *)
+  let gstate = Gen.guarded_dag b rng ~name:"ps_gstate" ~levels:4 ~width:4 ~ops:2 in
+  (* moveto/lineto/curveto: small-to-medium graphics operators. *)
+  let moveto = Gen.leaf b rng ~name:"ps_moveto" ~nargs:2 ~ops:10 in
+  let lineto = Gen.leaf b rng ~name:"ps_lineto" ~nargs:2 ~ops:13 in
+  let curveto = Gen.leaf b rng ~name:"ps_curveto" ~nargs:2 ~ops:14 in
+  let exec_token =
+    B.method_ b ~name:"exec_token" ~nargs:3 (fun mb ->
+        (* args: stack, token, acc *)
+        let _sp = B.call mb push_op [ 0; 1 ] in
+        let v0 = B.call mb pop_op [ 0 ] in
+        let v = B.call mb gstate [ v0 ] in
+        let three = B.const mb 3 in
+        let sel = B.binop mb Ir.Mod 1 three in
+        let zero = B.const mb 0 in
+        let one = B.const mb 1 in
+        let result = B.fresh_reg mb in
+        let is0 = B.cmp mb Ir.Eq sel zero in
+        B.if_ mb is0
+          ~then_:(fun () ->
+            let r = B.call mb moveto [ v; 2 ] in
+            B.emit mb (Ir.Move (result, r)))
+          ~else_:(fun () ->
+            let is1 = B.cmp mb Ir.Eq sel one in
+            B.if_ mb is1
+              ~then_:(fun () ->
+                let r = B.call mb lineto [ v; 2 ] in
+                B.emit mb (Ir.Move (result, r)))
+              ~else_:(fun () ->
+                let r = B.call mb curveto [ v; 2 ] in
+                B.emit mb (Ir.Move (result, r))));
+        B.ret mb result)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 53 in
+        let cfg = B.call mb loader [ seed ] in
+        let stack = B.alloc mb arr_kid ~slots:stack_size in
+        let z = B.const mb 0 in
+        B.store_idx mb stack z z;
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (rounds * scale / 100)) (fun r ->
+            Gen.repeat mb ~iters:tokens (fun t ->
+                let tok = B.add mb acc t in
+                let tok2 = B.add mb tok r in
+                let v = B.call mb exec_token [ stack; tok2; acc ] in
+                B.emit mb (Ir.Binop (Ir.Add, acc, acc, v))));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

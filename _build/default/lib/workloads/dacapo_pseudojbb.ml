@@ -1,0 +1,98 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* pseudojbb — SPECjbb2000 doing a fixed amount of work (one warehouse,
+   fixed transaction count).  Hot shape: a transaction loop over a mix of
+   order/payment/stock-level operations, each a static chain of medium
+   business-logic methods with allocation, over a very broad one-shot
+   warehouse-population phase. *)
+
+let name = "pseudojbb"
+let description = "fixed-transaction TPC-C-style loop over one warehouse"
+
+let transactions = 170
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x9BB in
+  let populate = Gen.one_shot_sweep b rng ~name:"jbb_pop" ~count:160 ~ops_min:30 ~ops_max:120 () in
+  let order_kid = B.new_class b ~name:"order" ~vtable:[||] in
+  let wh_kid = Gen.array_class b ~name:"warehouse" in
+  let wh_size = 96 in
+  (* District tax policy: a monomorphic virtual call per transaction (one
+     district class loaded) — guarded-devirtualization fodder. *)
+  let tax_impl =
+    B.method_ b ~name:"district_tax" ~nargs:2 (fun mb ->
+        let rate = B.load mb 0 1 in
+        let t = B.mul mb 1 rate in
+        let c = B.const mb 100 in
+        let r = B.binop mb Ir.Div t c in
+        B.ret mb r)
+  in
+  let district_kid = B.new_class b ~name:"district" ~vtable:[| tax_impl |] in
+  (* The item-lookup fast path: deep guarded DAG under every transaction. *)
+  let item_lookup = Gen.guarded_dag b rng ~name:"jbb_item" ~levels:6 ~width:5 ~ops:2 in
+  (* Business-logic chains. *)
+  let new_order = Gen.chain b rng ~name:"new_order" ~len:4 ~ops:8 ~leaf_ops:6 in
+  let payment = Gen.chain b rng ~name:"payment" ~len:3 ~ops:6 ~leaf_ops:5 in
+  let stock_level = Gen.chain b rng ~name:"stock_level" ~len:2 ~ops:9 ~leaf_ops:7 in
+  (* process(wh, txn, district): pick a transaction kind, run its chain,
+     touch the warehouse array, allocate an order record, apply the tax. *)
+  let process =
+    B.method_ b ~name:"process_txn" ~nargs:3 (fun mb ->
+        let three = B.const mb 3 in
+        let kind = B.binop mb Ir.Mod 1 three in
+        let zero = B.const mb 0 in
+        let one = B.const mb 1 in
+        let result = B.fresh_reg mb in
+        let is0 = B.cmp mb Ir.Eq kind zero in
+        B.if_ mb is0
+          ~then_:(fun () ->
+            let r = B.call mb new_order [ 1; kind ] in
+            B.emit mb (Ir.Move (result, r)))
+          ~else_:(fun () ->
+            let is1 = B.cmp mb Ir.Eq kind one in
+            B.if_ mb is1
+              ~then_:(fun () ->
+                let r = B.call mb payment [ 1; kind ] in
+                B.emit mb (Ir.Move (result, r)))
+              ~else_:(fun () ->
+                let r = B.call mb stock_level [ 1; kind ] in
+                B.emit mb (Ir.Move (result, r))));
+        (* Record the order and update the warehouse row. *)
+        let o = B.alloc mb order_kid ~slots:3 in
+        B.store mb o 1 result;
+        B.store mb o 2 kind;
+        let m = B.const mb (wh_size - 1) in
+        let row = B.binop mb Ir.And result m in
+        let old = B.load_idx mb 0 row in
+        let upd = B.add mb old result in
+        B.store_idx mb 0 row upd;
+        let v = B.load mb o 1 in
+        let it = B.call mb item_lookup [ v ] in
+        let tax = B.call_virt mb ~slot:0 2 [ it ] in
+        let final = B.add mb it tax in
+        B.ret mb final)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 61 in
+        let cfg = B.call mb populate [ seed ] in
+        let wh = Gen.alloc_filled_array mb ~kid:wh_kid ~len:wh_size in
+        let district = B.alloc mb district_kid ~slots:1 in
+        let eight = B.const mb 8 in
+        B.store mb district 1 eight;
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (transactions * scale / 100)) (fun t ->
+            let x = B.add mb acc t in
+            let r = B.call mb process [ wh; x; district ] in
+            B.emit mb (Ir.Move (acc, r)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

@@ -1,0 +1,310 @@
+open Inltune_jir
+module Rng = Inltune_support.Rng
+module B = Builder
+
+(* Combinators for building synthetic JIR benchmarks.
+
+   Every benchmark is a deterministic function of its seed: the Rng only
+   shapes the *code* (operation mixes, method sizes, call targets), never the
+   execution, so a given benchmark is the same program every time it is
+   generated.  The combinators are chosen to reproduce the *structural*
+   features the inlining heuristic is sensitive to: tiny arithmetic leaves
+   (ALWAYS_INLINE fodder), medium helpers (CALLEE_MAX territory), deep static
+   call chains (MAX_INLINE_DEPTH), huge one-shot methods (CALLER_MAX and
+   compile time), and megamorphic virtual dispatch (not inlinable at all). *)
+
+(* Emit [ops] arithmetic instructions drawing operands from a growing pool
+   seeded with [inputs]; returns the register holding the final value.  Only
+   "safe" operations are generated (no address arithmetic), so the result is
+   a pure function of the inputs. *)
+let arith mb rng ~ops inputs =
+  let pool = Inltune_support.Vec.create () in
+  List.iter (fun r -> Inltune_support.Vec.push pool r) inputs;
+  if Inltune_support.Vec.is_empty pool then
+    Inltune_support.Vec.push pool (B.const mb (Rng.range rng 1 64));
+  let pick () =
+    Inltune_support.Vec.get pool (Rng.int rng (Inltune_support.Vec.length pool))
+  in
+  let push r = Inltune_support.Vec.push pool r in
+  for _ = 1 to ops do
+    let r =
+      match Rng.int rng 10 with
+      | 0 -> B.const mb (Rng.range rng (-64) 64)
+      | 1 -> B.add mb (pick ()) (pick ())
+      | 2 -> B.sub mb (pick ()) (pick ())
+      | 3 -> B.mul mb (pick ()) (pick ())
+      | 4 -> B.binop mb Ir.Xor (pick ()) (pick ())
+      | 5 -> B.binop mb Ir.And (pick ()) (pick ())
+      | 6 -> B.binop mb Ir.Or (pick ()) (pick ())
+      | 7 ->
+        let amount = B.const mb (Rng.range rng 1 5) in
+        B.binop mb (if Rng.bool rng then Ir.Shl else Ir.Shr) (pick ()) amount
+      | 8 ->
+        let divisor = B.const mb (Rng.range rng 2 17) in
+        B.binop mb (if Rng.bool rng then Ir.Div else Ir.Mod) (pick ()) divisor
+      | _ -> B.cmp mb (if Rng.bool rng then Ir.Lt else Ir.Gt) (pick ()) (pick ())
+    in
+    push r
+  done;
+  (* Fold the tail of the pool so the result depends on recent work. *)
+  let a = Inltune_support.Vec.last pool in
+  let b = pick () in
+  B.add mb a b
+
+(* A leaf method: pure arithmetic over its arguments. *)
+let leaf b rng ~name ~nargs ~ops =
+  B.method_ b ~name ~nargs (fun mb ->
+      let inputs = List.init nargs (fun i -> i) in
+      let r = arith mb rng ~ops inputs in
+      B.ret mb r)
+
+(* A two-level helper: a band-size outer method calling a band-size inner
+   method calling a tiny leaf.  "Band" means between ALWAYS_INLINE_SIZE and
+   CALLEE_MAX_SIZE at the Jikes defaults, where the depth and caller-size
+   tests actually decide — the shape that makes MAX_INLINE_DEPTH matter. *)
+let nested_helper b rng ~name ~outer_ops ~inner_ops ~leaf_ops =
+  let lf = leaf b rng ~name:(name ^ "_leaf") ~nargs:2 ~ops:leaf_ops in
+  let inner =
+    B.method_ b ~name:(name ^ "_inner") ~nargs:2 (fun mb ->
+        let t = arith mb rng ~ops:inner_ops [ 0; 1 ] in
+        let r = B.call mb lf [ t; 0 ] in
+        let out = B.add mb r t in
+        B.ret mb out)
+  in
+  B.method_ b ~name ~nargs:2 (fun mb ->
+      let t = arith mb rng ~ops:outer_ops [ 0; 1 ] in
+      let r = B.call mb inner [ t; 1 ] in
+      let out = B.add mb r t in
+      B.ret mb out)
+
+(* A linear call chain f1 -> f2 -> ... -> f_len (all two-argument): each link
+   does [ops] local work, calls the next link, and combines.  Returns the
+   entry method.  This is the shape MAX_INLINE_DEPTH governs. *)
+let chain b rng ~name ~len ~ops ~leaf_ops =
+  if len < 1 then invalid_arg "Gen.chain";
+  let tail = leaf b rng ~name:(name ^ "_leaf") ~nargs:2 ~ops:leaf_ops in
+  let rec build k next =
+    if k = 0 then next
+    else
+      let m =
+        B.method_ b ~name:(Printf.sprintf "%s_%d" name k) ~nargs:2 (fun mb ->
+            let t = arith mb rng ~ops [ 0; 1 ] in
+            let u = arith mb rng ~ops:(max 1 (ops / 2)) [ 1; t ] in
+            let r = B.call mb next [ t; u ] in
+            let out = B.add mb r t in
+            B.ret mb out)
+      in
+      build (k - 1) m
+  in
+  build (len - 1) tail
+
+(* A layered call DAG with *static* fanout 2 and *dynamic* fanout 1: each
+   node does a little arithmetic, then a parity branch calls one of two
+   children on the next level.  Inlining to depth d therefore grows code
+   exponentially (both arms are candidates, one of them cold) while
+   execution stays linear in the number of levels — the mechanism by which
+   deep inlining bloats the I-cache and compile time without buying speed.
+   Nodes are single-argument and sized to sit inside the
+   [ALWAYS_INLINE_SIZE, CALLEE_MAX_SIZE] band of the default heuristic so
+   the depth test is what decides.  Returns the entry method (1 argument). *)
+let guarded_dag b rng ~name ~levels ~width ~ops =
+  if levels < 1 || width < 1 then invalid_arg "Gen.guarded_dag";
+  let leaves =
+    Array.init width (fun i ->
+        leaf b rng ~name:(Printf.sprintf "%s_l%d_n%d" name (levels - 1) i) ~nargs:1
+          ~ops:(ops + 7))
+  in
+  let prev = ref leaves in
+  for lev = levels - 2 downto 0 do
+    prev :=
+      Array.init width (fun i ->
+          let t1 = Rng.pick rng !prev in
+          let t2 = Rng.pick rng !prev in
+          B.method_ b ~name:(Printf.sprintf "%s_l%d_n%d" name lev i) ~nargs:1 (fun mb ->
+              let t = arith mb rng ~ops [ 0 ] in
+              let one = B.const mb 1 in
+              let parity = B.binop mb Ir.And t one in
+              let r = B.fresh_reg mb in
+              B.if_ mb parity
+                ~then_:(fun () ->
+                  let x = B.call mb t1 [ t ] in
+                  B.emit mb (Ir.Move (r, x)))
+                ~else_:(fun () ->
+                  let x = B.call mb t2 [ t ] in
+                  B.emit mb (Ir.Move (r, x)));
+              B.ret mb r))
+  done;
+  !prev.(0)
+
+(* A family of classes implementing one virtual slot with differently-sized
+   method bodies; returns the class ids.  Instances carry two integer fields
+   (slots 1 and 2) that the implementations read. *)
+let dispatch_family b rng ~name ~variants ~ops =
+  let mids =
+    Array.init variants (fun v ->
+        B.method_ b ~name:(Printf.sprintf "%s_impl%d" name v) ~nargs:2 (fun mb ->
+            (* args: self, x *)
+            let f1 = B.load mb 0 1 in
+            let f2 = B.load mb 0 2 in
+            let r = arith mb rng ~ops [ 1; f1; f2 ] in
+            B.ret mb r))
+  in
+  Array.init variants (fun v ->
+      B.new_class b ~name:(Printf.sprintf "%s_k%d" name v) ~vtable:[| mids.(v) |])
+
+(* Allocate an instance of [kid] with two integer fields. *)
+let make_obj mb ~kid ~f1 ~f2 =
+  let o = B.alloc mb kid ~slots:2 in
+  B.store mb o 1 f1;
+  B.store mb o 2 f2;
+  o
+
+(* A "startup sweep": [count] methods of pseudo-random size, a fraction of
+   which call earlier sweep methods, plus drivers that invoke each exactly
+   once.  Models the one-shot class-loading / initialization breadth that
+   makes the DaCapo suite compile-time-bound.  Returns the driver method
+   (one argument, returns an accumulated value). *)
+let one_shot_sweep b rng ~name ~count ~ops_min ~ops_max ?(per_driver = 40) () =
+  if count < 1 then invalid_arg "Gen.one_shot_sweep";
+  (* Shared utility helpers: small enough that the default heuristic inlines
+     them into every one-shot body — pure compile-time waste, the effect that
+     makes the default heuristic lose on DaCapo-style programs. *)
+  let n_utils = max 3 (count / 30) in
+  let utils =
+    Array.init n_utils (fun u ->
+        leaf b rng ~name:(Printf.sprintf "%s_util%d" name u) ~nargs:2
+          ~ops:(Rng.range rng 12 17))
+  in
+  let members = Array.make count (-1) in
+  for j = 0 to count - 1 do
+    let ops = Rng.range rng ops_min ops_max in
+    let calls_earlier = j > 0 && Rng.chance rng 0.3 in
+    let n_util_calls = Rng.range rng 2 5 in
+    members.(j) <-
+      B.method_ b ~name:(Printf.sprintf "%s_init%d" name j) ~nargs:1 (fun mb ->
+          let t = arith mb rng ~ops [ 0 ] in
+          let t = ref t in
+          for _ = 1 to n_util_calls do
+            let u = utils.(Rng.int rng n_utils) in
+            let r = B.call mb u [ !t; 0 ] in
+            t := B.add mb !t r
+          done;
+          let r =
+            if calls_earlier then begin
+              let target = members.(Rng.int rng j) in
+              let u = B.call mb target [ !t ] in
+              B.add mb !t u
+            end
+            else !t
+          in
+          B.ret mb r)
+  done;
+  let ndrivers = (count + per_driver - 1) / per_driver in
+  let drivers =
+    Array.init ndrivers (fun d ->
+        B.method_ b ~name:(Printf.sprintf "%s_load%d" name d) ~nargs:1 (fun mb ->
+            let acc = B.move mb 0 in
+            let lo = d * per_driver in
+            let hi = min count (lo + per_driver) - 1 in
+            let final =
+              List.fold_left
+                (fun acc j ->
+                  let r = B.call mb members.(j) [ acc ] in
+                  B.add mb acc r)
+                acc
+                (List.init (hi - lo + 1) (fun k -> lo + k))
+            in
+            B.ret mb final))
+  in
+  B.method_ b ~name:(name ^ "_load_all") ~nargs:1 (fun mb ->
+      let final =
+        Array.fold_left
+          (fun acc d ->
+            let r = B.call mb d [ acc ] in
+            B.add mb acc r)
+          0 drivers
+      in
+      B.ret mb final)
+
+(* Binary-tree utilities: a node class with fields left (1), right (2),
+   value (3).  Leaves point to themselves, so no null is needed; traversals
+   are depth-guided. *)
+type tree = { node_kid : Ir.kid; build : Ir.mid; fold : Ir.mid }
+
+let tree b rng ~name ~fold_ops =
+  let node_kid = B.new_class b ~name:(name ^ "_node") ~vtable:[||] in
+  let build = B.declare b ~name:(name ^ "_build") ~nargs:2 in
+  (* build(depth, seed) *)
+  B.define b build (fun mb ->
+      let node = B.alloc mb node_kid ~slots:3 in
+      let seed_mix = arith mb rng ~ops:3 [ 1 ] in
+      B.store mb node 3 seed_mix;
+      let zero = B.const mb 0 in
+      let stop = B.cmp mb Ir.Le 0 zero in
+      B.if_ mb stop
+        ~then_:(fun () ->
+          B.store mb node 1 node;
+          B.store mb node 2 node)
+        ~else_:(fun () ->
+          let one = B.const mb 1 in
+          let d' = B.sub mb 0 one in
+          let two = B.const mb 2 in
+          let s1 = B.mul mb 1 two in
+          let l = B.call mb build [ d'; s1 ] in
+          let s2 = B.add mb s1 one in
+          let r = B.call mb build [ d'; s2 ] in
+          B.store mb node 1 l;
+          B.store mb node 2 r);
+      B.ret mb node);
+  let fold = B.declare b ~name:(name ^ "_fold") ~nargs:2 in
+  (* fold(node, depth) *)
+  B.define b fold (fun mb ->
+      let v = B.load mb 0 3 in
+      let zero = B.const mb 0 in
+      let stop = B.cmp mb Ir.Le 1 zero in
+      let result = B.fresh_reg mb in
+      B.if_ mb stop
+        ~then_:(fun () ->
+          let x = arith mb rng ~ops:fold_ops [ v ] in
+          B.emit mb (Ir.Move (result, x)))
+        ~else_:(fun () ->
+          let one = B.const mb 1 in
+          let d' = B.sub mb 1 one in
+          let l = B.load mb 0 1 in
+          let r = B.load mb 0 2 in
+          let a = B.call mb fold [ l; d' ] in
+          let c = B.call mb fold [ r; d' ] in
+          let x = B.add mb a c in
+          let y = B.add mb x v in
+          B.emit mb (Ir.Move (result, y)));
+      B.ret mb result);
+  { node_kid; build; fold }
+
+(* A vtable-less class used as a raw integer-array container. *)
+let array_class b ~name = B.new_class b ~name ~vtable:[||]
+
+(* Fixed-size integer array: allocate [len] slots and fill them with a
+   deterministic mix of the index.  Emitted inline into the current method
+   builder; returns the array register. *)
+let alloc_filled_array mb ~kid ~len =
+  let arr = B.alloc mb kid ~slots:len in
+  let n = B.const mb len in
+  B.for_loop mb ~n (fun i ->
+      let c1 = B.const mb 2654435761 in
+      let v0 = B.mul mb i c1 in
+      let sh = B.const mb 7 in
+      let v1 = B.binop mb Ir.Shr v0 sh in
+      let v = B.binop mb Ir.Xor v0 v1 in
+      B.store_idx mb arr i v);
+  arr
+
+(* Run [body] inside a counted loop of [iters] iterations. *)
+let repeat mb ~iters body =
+  let n = B.const mb iters in
+  B.for_loop mb ~n body
+
+(* Standard benchmark epilogue: print the checksum so the whole computation
+   is observable (and hence not removable by DCE). *)
+let finish_main mb acc =
+  B.print mb acc;
+  B.ret mb acc

@@ -1,0 +1,77 @@
+open Inltune_jir
+module Rng = Inltune_support.Rng
+
+(** Combinators for building synthetic JIR benchmarks.
+
+    Generators are deterministic in their [Rng]: randomness shapes the code
+    (operation mixes, sizes, call targets), never the execution.  The
+    combinators reproduce the structural features the inlining heuristic is
+    sensitive to — tiny leaves (ALWAYS_INLINE fodder), band-size helpers
+    (where the depth and caller tests decide), deep guarded call DAGs
+    (exponential static growth, linear execution), huge one-shot methods
+    (compile-time mass), and megamorphic dispatch (never inlinable). *)
+
+(** Emit [ops] arithmetic instructions over a pool seeded with [inputs];
+    returns the register holding the result.  Total (no traps). *)
+val arith : Builder.mb -> Rng.t -> ops:int -> Ir.reg list -> Ir.reg
+
+(** A pure-arithmetic method of roughly [ops] instructions. *)
+val leaf : Builder.t -> Rng.t -> name:string -> nargs:int -> ops:int -> Ir.mid
+
+(** Outer (band) -> inner (band) -> leaf (tiny) helper; returns the outer
+    method (two arguments). *)
+val nested_helper :
+  Builder.t -> Rng.t -> name:string -> outer_ops:int -> inner_ops:int -> leaf_ops:int -> Ir.mid
+
+(** A linear two-argument call chain of [len] links, each doing [ops] local
+    work; the shape MAX_INLINE_DEPTH governs.  Returns the entry method. *)
+val chain :
+  Builder.t -> Rng.t -> name:string -> len:int -> ops:int -> leaf_ops:int -> Ir.mid
+
+(** A layered call DAG with static fanout 2 and dynamic fanout 1 (a parity
+    branch picks one child): code grows exponentially under deep inlining
+    while execution stays linear.  Returns the entry method (1 argument). *)
+val guarded_dag :
+  Builder.t -> Rng.t -> name:string -> levels:int -> width:int -> ops:int -> Ir.mid
+
+(** [variants] classes implementing one virtual slot with different bodies;
+    instances carry two integer fields.  Returns the class ids. *)
+val dispatch_family :
+  Builder.t -> Rng.t -> name:string -> variants:int -> ops:int -> Ir.kid array
+
+(** Allocate an instance of [kid] with fields 1 and 2 initialized. *)
+val make_obj : Builder.mb -> kid:Ir.kid -> f1:Ir.reg -> f2:Ir.reg -> Ir.reg
+
+(** [count] one-shot methods plus drivers invoking each exactly once, with
+    shared band-size utility callees (inline bait that wastes compile time).
+    Returns the driver method (1 argument). *)
+val one_shot_sweep :
+  Builder.t ->
+  Rng.t ->
+  name:string ->
+  count:int ->
+  ops_min:int ->
+  ops_max:int ->
+  ?per_driver:int ->
+  unit ->
+  Ir.mid
+
+(** Binary-tree utilities; leaves self-link so no null exists and traversals
+    are depth-guided. *)
+type tree = { node_kid : Ir.kid; build : Ir.mid; fold : Ir.mid }
+
+val tree : Builder.t -> Rng.t -> name:string -> fold_ops:int -> tree
+
+(** A vtable-less class used as a raw integer-array container. *)
+val array_class : Builder.t -> name:string -> Ir.kid
+
+(** Allocate a [len]-slot array and fill it with a deterministic index mix;
+    emitted into the current block. *)
+val alloc_filled_array : Builder.mb -> kid:Ir.kid -> len:int -> Ir.reg
+
+(** Counted loop of [iters] iterations. *)
+val repeat : Builder.mb -> iters:int -> (Ir.reg -> unit) -> unit
+
+(** Benchmark epilogue: print the checksum (making the computation
+    observable) and return it. *)
+val finish_main : Builder.mb -> Ir.reg -> unit

@@ -1,0 +1,109 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* compress — modelled on SPEC's 129.compress: a long-running byte-stream
+   LZW-style loop.  Hot shape: one tight driver loop calling a short static
+   chain (next_byte -> hash -> probe -> emit) of small-to-medium helpers over
+   a hash table array.  Few methods, long run: the classic case where
+   inlining the hot chain pays and the Opt scenario wins. *)
+
+let name = "compress"
+let description = "LZW-style byte-stream compression loop (long-running kernel)"
+
+let table_size = 512
+let input_len = 450
+let passes = 4
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0xC0413 in
+  let arr_kid = Gen.array_class b ~name:"compress_table" in
+  (* next_byte(state): tiny pseudo-input generator — ALWAYS_INLINE fodder. *)
+  let next_byte =
+    B.method_ b ~name:"next_byte" ~nargs:1 (fun mb ->
+        let c1 = B.const mb 1103515245 in
+        let c2 = B.const mb 12345 in
+        let t = B.mul mb 0 c1 in
+        let t = B.add mb t c2 in
+        let mask = B.const mb 255 in
+        let r = B.binop mb Ir.And t mask in
+        B.ret mb r)
+  in
+  (* The hash pipeline: a 6-level guarded call DAG of band-size methods.
+     MAX_INLINE_DEPTH decides how much of it is flattened into the hot
+     compiled code. *)
+  let hash_dag = Gen.guarded_dag b rng ~name:"hash" ~levels:6 ~width:5 ~ops:2 in
+  let hash =
+    B.method_ b ~name:"hash" ~nargs:2 (fun mb ->
+        let sh = B.const mb 4 in
+        let h = B.binop mb Ir.Shl 0 sh in
+        let h2 = B.binop mb Ir.Xor h 1 in
+        let m1 = B.call mb hash_dag [ h2 ] in
+        let m = B.const mb (table_size - 1) in
+        let r = B.binop mb Ir.And m1 m in
+        B.ret mb r)
+  in
+  (* probe(table, slot, code): table lookup with one reprobe — medium. *)
+  let probe =
+    B.method_ b ~name:"probe" ~nargs:3 (fun mb ->
+        let v = B.load_idx mb 0 1 in
+        let hit = B.cmp mb Ir.Eq v 2 in
+        let result = B.fresh_reg mb in
+        B.if_ mb hit
+          ~then_:(fun () -> B.emit mb (Ir.Move (result, 1)))
+          ~else_:(fun () ->
+            let one = B.const mb 1 in
+            let s = B.add mb 1 one in
+            let m = B.const mb (table_size - 1) in
+            let s = B.binop mb Ir.And s m in
+            let v2 = B.load_idx mb 0 s in
+            let x = B.binop mb Ir.Xor v2 2 in
+            B.store_idx mb 0 s 2;
+            B.emit mb (Ir.Move (result, x)));
+        B.ret mb result)
+  in
+  (* emit(acc, code): fold an output code into the checksum — small. *)
+  let emit = Gen.leaf b rng ~name:"emit_code" ~nargs:2 ~ops:7 in
+  (* compress_byte(table, state, acc): the hot chain. *)
+  let compress_byte =
+    B.method_ b ~name:"compress_byte" ~nargs:3 (fun mb ->
+        let byte = B.call mb next_byte [ 1 ] in
+        let slot = B.call mb hash [ 2; byte ] in
+        let code = B.call mb probe [ 0; slot; byte ] in
+        let out = B.call mb emit [ 2; code ] in
+        let r = B.add mb out byte in
+        B.ret mb r)
+  in
+  (* One compression pass over the input. *)
+  let pass =
+    B.method_ b ~name:"compress_pass" ~nargs:2 (fun mb ->
+        (* args: table, acc *)
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:input_len (fun i ->
+            let st = B.add mb acc i in
+            let r = B.call mb compress_byte [ 0; st; acc ] in
+            B.emit mb (Ir.Move (acc, r)));
+        B.ret mb acc)
+  in
+  (* A handful of one-shot setup methods (option parsing, buffer setup). *)
+  let setup = Gen.one_shot_sweep b rng ~name:"compress" ~count:12 ~ops_min:15 ~ops_max:50 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 7 in
+        let cfg = B.call mb setup [ seed ] in
+        let table = Gen.alloc_filled_array mb ~kid:arr_kid ~len:table_size in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (passes * scale / 100)) (fun p ->
+            let a = B.add mb acc p in
+            let r = B.call mb pass [ table; a ] in
+            B.emit mb (Ir.Move (acc, r)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

@@ -1,0 +1,131 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* db — an in-memory database: build a table of record objects, then run a
+   query mix of scans, keyed lookups and an insertion-sort pass.  Hot shape:
+   O(n^2)-ish loops whose bodies are *tiny* comparison/extraction helpers —
+   the workload that rewards ALWAYS_INLINE_SIZE most directly. *)
+
+let name = "db"
+let description = "in-memory database: scans, lookups, sort over record objects"
+
+let records = 120
+let query_rounds = 24
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0xDB05 in
+  let rec_kid = B.new_class b ~name:"record" ~vtable:[||] in
+  let arr_kid = Gen.array_class b ~name:"db_index" in
+  (* Tiny accessors and comparators. *)
+  let key_of =
+    B.method_ b ~name:"key_of" ~nargs:1 (fun mb ->
+        let k = B.load mb 0 1 in
+        B.ret mb k)
+  in
+  let val_of =
+    B.method_ b ~name:"val_of" ~nargs:1 (fun mb ->
+        let v = B.load mb 0 2 in
+        B.ret mb v)
+  in
+  let rec_less =
+    B.method_ b ~name:"rec_less" ~nargs:2 (fun mb ->
+        let ka = B.call mb key_of [ 0 ] in
+        let kb = B.call mb key_of [ 1 ] in
+        let r = B.cmp mb Ir.Lt ka kb in
+        B.ret mb r)
+  in
+  let combine = Gen.leaf b rng ~name:"fold_val" ~nargs:2 ~ops:6 in
+  (* make_record(i): allocate and fill one row. *)
+  let make_record =
+    B.method_ b ~name:"make_record" ~nargs:1 (fun mb ->
+        let o = B.alloc mb rec_kid ~slots:3 in
+        let c = B.const mb 48271 in
+        let k = B.mul mb 0 c in
+        let m = B.const mb 9973 in
+        let k = B.binop mb Ir.Mod k m in
+        B.store mb o 1 k;
+        let v = Gen.arith mb rng ~ops:8 [ 0 ] in
+        B.store mb o 2 v;
+        B.store mb o 3 0;
+        B.ret mb o)
+  in
+  let build_table =
+    B.method_ b ~name:"build_table" ~nargs:0 (fun mb ->
+        let arr = B.alloc mb arr_kid ~slots:records in
+        Gen.repeat mb ~iters:records (fun i ->
+            let o = B.call mb make_record [ i ] in
+            B.store_idx mb arr i o);
+        B.ret mb arr)
+  in
+  (* scan(table, acc): fold every record's value. *)
+  let scan =
+    B.method_ b ~name:"scan" ~nargs:2 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:records (fun i ->
+            let o = B.load_idx mb 0 i in
+            let v = B.call mb val_of [ o ] in
+            let r = B.call mb combine [ acc; v ] in
+            B.emit mb (Ir.Move (acc, r)));
+        B.ret mb acc)
+  in
+  (* sort_pass(table): one insertion-sort sweep using rec_less. *)
+  let sort_pass =
+    B.method_ b ~name:"sort_pass" ~nargs:1 (fun mb ->
+        let swaps = B.fresh_reg mb in
+        B.emit mb (Ir.Const (swaps, 0));
+        Gen.repeat mb ~iters:(records - 1) (fun i ->
+            let one = B.const mb 1 in
+            let j = B.add mb i one in
+            let a = B.load_idx mb 0 i in
+            let c = B.load_idx mb 0 j in
+            let lt = B.call mb rec_less [ c; a ] in
+            B.if_ mb lt
+              ~then_:(fun () ->
+                B.store_idx mb 0 i c;
+                B.store_idx mb 0 j a;
+                B.emit mb (Ir.Binop (Ir.Add, swaps, swaps, one)))
+              ~else_:(fun () -> ()));
+        B.ret mb swaps)
+  in
+  (* lookup(table, key): linear probe for a key, fold position. *)
+  let lookup =
+    B.method_ b ~name:"lookup" ~nargs:2 (fun mb ->
+        let found = B.fresh_reg mb in
+        B.emit mb (Ir.Const (found, -1));
+        Gen.repeat mb ~iters:records (fun i ->
+            let o = B.load_idx mb 0 i in
+            let k = B.call mb key_of [ o ] in
+            let eq = B.cmp mb Ir.Eq k 1 in
+            B.if_ mb eq
+              ~then_:(fun () -> B.emit mb (Ir.Move (found, i)))
+              ~else_:(fun () -> ()));
+        B.ret mb found)
+  in
+  let setup = Gen.one_shot_sweep b rng ~name:"db" ~count:25 ~ops_min:15 ~ops_max:60 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 11 in
+        let cfg = B.call mb setup [ seed ] in
+        let table = B.call mb build_table [] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (query_rounds * scale / 100)) (fun q ->
+            let s = B.call mb scan [ table; acc ] in
+            let sw = B.call mb sort_pass [ table ] in
+            let m = B.const mb 9973 in
+            let key = B.binop mb Ir.Mod s m in
+            let pos = B.call mb lookup [ table; key ] in
+            let t = B.add mb s sw in
+            let t2 = B.add mb t pos in
+            let t3 = B.add mb t2 q in
+            B.emit mb (Ir.Move (acc, t3)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

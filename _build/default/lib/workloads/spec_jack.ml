@@ -1,0 +1,77 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* jack — a parser generator with lexical analysis.  Two phases: a one-shot
+   automaton-construction phase (breadth of medium methods, compile-bound)
+   and a tokenizing loop with a shallow static chain (run-bound).  A mixed
+   profile: neither as loopy as compress nor as wide as javac. *)
+
+let name = "jack"
+let description = "parser generator: automaton build phase + tokenizing loop"
+
+let tokens_per_round = 220
+let rounds = 9
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x7ACC in
+  let arr_kid = Gen.array_class b ~name:"dfa" in
+  (* Automaton construction: one-shot breadth. *)
+  let build_nfa = Gen.one_shot_sweep b rng ~name:"nfa" ~count:34 ~ops_min:25 ~ops_max:90 () in
+  let build_dfa = Gen.one_shot_sweep b rng ~name:"dfa" ~count:26 ~ops_min:30 ~ops_max:110 () in
+  (* Lexing chain: classify -> advance -> accept. *)
+  let classify =
+    B.method_ b ~name:"classify" ~nargs:2 (fun mb ->
+        (* args: dfa array, ch *)
+        let m = B.const mb 127 in
+        let i = B.binop mb Ir.And 1 m in
+        let s = B.load_idx mb 0 i in
+        let r = B.binop mb Ir.Xor s 1 in
+        B.ret mb r)
+  in
+  let advance =
+    B.method_ b ~name:"advance" ~nargs:2 (fun mb ->
+        let t = Gen.arith mb rng ~ops:12 [ 0; 1 ] in
+        B.ret mb t)
+  in
+  let accept = Gen.leaf b rng ~name:"accept" ~nargs:2 ~ops:16 in
+  let next_token =
+    B.method_ b ~name:"next_token" ~nargs:3 (fun mb ->
+        (* args: dfa, state, ch *)
+        let c = B.call mb classify [ 0; 2 ] in
+        let s = B.call mb advance [ 1; c ] in
+        let a = B.call mb accept [ s; c ] in
+        let r = B.add mb a s in
+        B.ret mb r)
+  in
+  let lex_round =
+    B.method_ b ~name:"lex_round" ~nargs:2 (fun mb ->
+        (* args: dfa, acc *)
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:tokens_per_round (fun i ->
+            let ch = B.add mb acc i in
+            let t = B.call mb next_token [ 0; acc; ch ] in
+            B.emit mb (Ir.Move (acc, t)));
+        B.ret mb acc)
+  in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 17 in
+        let n1 = B.call mb build_nfa [ seed ] in
+        let n2 = B.call mb build_dfa [ n1 ] in
+        let dfa = Gen.alloc_filled_array mb ~kid:arr_kid ~len:128 in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, n2));
+        Gen.repeat mb ~iters:(max 1 (rounds * scale / 100)) (fun r ->
+            let a = B.add mb acc r in
+            let x = B.call mb lex_round [ dfa; a ] in
+            B.emit mb (Ir.Move (acc, x)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

@@ -1,0 +1,84 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* javac — a source-to-bytecode compiler.  Hot shape: a recursive-descent
+   parser (mutually recursive *large* methods over a token array) plus a wide
+   population of one-shot code-emission methods.  Large callees defeat
+   CALLEE_MAX_SIZE; the many one-shot methods make compile time a real part
+   of total time even in SPEC. *)
+
+let name = "javac"
+let description = "recursive-descent parser + one-shot emitters (large methods)"
+
+let tokens = 600
+let parse_rounds = 60
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x7AC in
+  let arr_kid = Gen.array_class b ~name:"token_stream" in
+  (* Tiny token accessor. *)
+  let tok =
+    B.method_ b ~name:"tok" ~nargs:2 (fun mb ->
+        let m = B.const mb tokens in
+        let i = B.binop mb Ir.Mod 1 m in
+        let z = B.const mb 0 in
+        let neg = B.cmp mb Ir.Lt i z in
+        let idx = B.fresh_reg mb in
+        B.if_ mb neg
+          ~then_:(fun () ->
+            let t = B.add mb i m in
+            B.emit mb (Ir.Move (idx, t)))
+          ~else_:(fun () -> B.emit mb (Ir.Move (idx, i)));
+        let v = B.load_idx mb 0 idx in
+        B.ret mb v)
+  in
+  (* Mutually recursive parser: expr -> term -> factor -> expr.  Each level
+     carries a big body of "semantic action" arithmetic. *)
+  let parse_expr = B.declare b ~name:"parse_expr" ~nargs:3 in
+  let parse_term = B.declare b ~name:"parse_term" ~nargs:3 in
+  let parse_factor = B.declare b ~name:"parse_factor" ~nargs:3 in
+  (* args: stream, pos, depth *)
+  let define_level mid ~ops ~next =
+    B.define b mid (fun mb ->
+        let t = B.call mb tok [ 0; 1 ] in
+        let act = Gen.arith mb rng ~ops [ 1; t ] in
+        let zero = B.const mb 0 in
+        let stop = B.cmp mb Ir.Le 2 zero in
+        let result = B.fresh_reg mb in
+        B.if_ mb stop
+          ~then_:(fun () -> B.emit mb (Ir.Move (result, act)))
+          ~else_:(fun () ->
+            let one = B.const mb 1 in
+            let d' = B.sub mb 2 one in
+            let p' = B.add mb 1 act in
+            let sub = B.call mb next [ 0; p'; d' ] in
+            let x = B.add mb sub act in
+            B.emit mb (Ir.Move (result, x)));
+        B.ret mb result)
+  in
+  define_level parse_expr ~ops:70 ~next:parse_term;
+  define_level parse_term ~ops:55 ~next:parse_factor;
+  define_level parse_factor ~ops:45 ~next:parse_expr;
+  (* Wide one-shot emitter population: the "backend" of the compiler. *)
+  let emitters = Gen.one_shot_sweep b rng ~name:"javac" ~count:70 ~ops_min:30 ~ops_max:120 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 5 in
+        let cfg = B.call mb emitters [ seed ] in
+        let stream = Gen.alloc_filled_array mb ~kid:arr_kid ~len:tokens in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (parse_rounds * scale / 100)) (fun r ->
+            let depth = B.const mb 12 in
+            let pos = B.add mb acc r in
+            let v = B.call mb parse_expr [ stream; pos; depth ] in
+            B.emit mb (Ir.Move (acc, v)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

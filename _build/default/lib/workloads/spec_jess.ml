@@ -1,0 +1,113 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* jess — a rule-based expert system shell.  Hot shape: a megamorphic
+   dispatch loop over many fact kinds (virtual calls the inliner cannot
+   touch) whose implementations each statically call several *shared* medium
+   helpers.  Inlining those helpers duplicates them into every rule body, so
+   aggressive depth/size settings bloat the hot working set past the I-cache
+   — this is the benchmark where the Jikes default depth of 5 is the worst
+   choice in the paper's Fig. 2(b). *)
+
+let name = "jess"
+let description = "rule-engine dispatch over many fact kinds (I-cache-bound)"
+
+let fact_kinds = 20
+let facts = 48
+let rounds = 10
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x1E55 in
+  (* Shared condition-evaluation helpers: medium-size, called from every
+     rule implementation. *)
+  let eval_lhs = Gen.nested_helper b rng ~name:"eval_lhs" ~outer_ops:10 ~inner_ops:11 ~leaf_ops:5 in
+  let eval_rhs = Gen.nested_helper b rng ~name:"eval_rhs" ~outer_ops:9 ~inner_ops:10 ~leaf_ops:4 in
+  let unify = Gen.nested_helper b rng ~name:"unify" ~outer_ops:11 ~inner_ops:12 ~leaf_ops:6 in
+  let bind = Gen.nested_helper b rng ~name:"bind_vars" ~outer_ops:8 ~inner_ops:9 ~leaf_ops:4 in
+  (* The Rete-network walk: a deep guarded DAG shared by every rule — the
+     code that multiplies across all 20 rule bodies when inlined deep. *)
+  let rete = Gen.guarded_dag b rng ~name:"rete" ~levels:7 ~width:6 ~ops:2 in
+  (* Rule bodies: one per fact kind, each dispatch target calls the shared
+     helpers statically. *)
+  let impls =
+    Array.init fact_kinds (fun v ->
+        B.method_ b ~name:(Printf.sprintf "rule_match%d" v) ~nargs:2 (fun mb ->
+            let f1 = B.load mb 0 1 in
+            let f2 = B.load mb 0 2 in
+            let a = B.call mb eval_lhs [ f1; 1 ] in
+            let c = B.call mb eval_rhs [ f2; a ] in
+            let u = B.call mb unify [ a; c ] in
+            let d = B.call mb bind [ u; f1 ] in
+            let w = B.call mb rete [ d ] in
+            let r = Gen.arith mb rng ~ops:(8 + (v mod 5)) [ w; c ] in
+            B.ret mb r))
+  in
+  let kids =
+    Array.init fact_kinds (fun v ->
+        B.new_class b ~name:(Printf.sprintf "fact%d" v) ~vtable:[| impls.(v) |])
+  in
+  let fact_arr_kid = Gen.array_class b ~name:"fact_list" in
+  (* agenda(acc): firing chain — static calls of medium helpers, depth 5. *)
+  let agenda = Gen.chain b rng ~name:"agenda" ~len:5 ~ops:8 ~leaf_ops:6 in
+  (* assert_facts: build the working memory (one object per fact). *)
+  let assert_facts =
+    B.method_ b ~name:"assert_facts" ~nargs:0 (fun mb ->
+        let arr = B.alloc mb fact_arr_kid ~slots:facts in
+        Gen.repeat mb ~iters:facts (fun i ->
+            let k = B.const mb fact_kinds in
+            let sel = B.binop mb Ir.Mod i k in
+            (* Choose the class by a chain of comparisons (class ids are not
+               first-class values). *)
+            let obj = B.fresh_reg mb in
+            let rec pick v =
+              if v = fact_kinds - 1 then begin
+                let o = Gen.make_obj mb ~kid:kids.(v) ~f1:i ~f2:sel in
+                B.emit mb (Ir.Move (obj, o))
+              end
+              else begin
+                let c = B.const mb v in
+                let eq = B.cmp mb Ir.Eq sel c in
+                B.if_ mb eq
+                  ~then_:(fun () ->
+                    let o = Gen.make_obj mb ~kid:kids.(v) ~f1:i ~f2:sel in
+                    B.emit mb (Ir.Move (obj, o)))
+                  ~else_:(fun () -> pick (v + 1))
+              end
+            in
+            pick 0;
+            B.store_idx mb arr i obj);
+        B.ret mb arr)
+  in
+  let run_rules =
+    B.method_ b ~name:"run_rules" ~nargs:2 (fun mb ->
+        (* args: facts array, acc *)
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:facts (fun i ->
+            let f = B.load_idx mb 0 i in
+            let r = B.call_virt mb ~slot:0 f [ acc ] in
+            let fired = B.call mb agenda [ r; acc ] in
+            B.emit mb (Ir.Move (acc, fired)));
+        B.ret mb acc)
+  in
+  let setup = Gen.one_shot_sweep b rng ~name:"jess" ~count:110 ~ops_min:20 ~ops_max:80 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 3 in
+        let cfg = B.call mb setup [ seed ] in
+        let wm = B.call mb assert_facts [] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (rounds * scale / 100)) (fun r ->
+            let a = B.add mb acc r in
+            let x = B.call mb run_rules [ wm; a ] in
+            B.emit mb (Ir.Move (acc, x)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

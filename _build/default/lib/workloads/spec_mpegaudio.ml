@@ -1,0 +1,90 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* mpegaudio — MP3 decoding.  Hot shape: numeric filter kernels over
+   coefficient arrays, called with *constant* configuration arguments, so
+   inlining unlocks constant folding (the "indirect benefit").  Long-running,
+   few methods; the paper's tuned heuristics slightly degrade it under
+   Adapt:Bal (it prefers aggressive inlining). *)
+
+let name = "mpegaudio"
+let description = "numeric subband/DCT filter kernels over coefficient arrays"
+
+let coeffs = 64
+let frames = 90
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x3A6D10 in
+  let arr_kid = Gen.array_class b ~name:"coeff_bank" in
+  (* window(bank, i, scale): one windowed multiply-accumulate — small. *)
+  let window =
+    B.method_ b ~name:"window" ~nargs:3 (fun mb ->
+        let m = B.const mb (coeffs - 1) in
+        let i = B.binop mb Ir.And 1 m in
+        let v = B.load_idx mb 0 i in
+        let p = B.mul mb v 2 in
+        let sh = B.const mb 3 in
+        let r = B.binop mb Ir.Shr p sh in
+        B.ret mb r)
+  in
+  (* subband(bank, i): unrolled 8-tap filter — medium, calls window with
+     constant scales (fold fodder once inlined). *)
+  let subband =
+    B.method_ b ~name:"subband" ~nargs:2 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Const (acc, 0));
+        for tap = 0 to 7 do
+          let o = B.const mb tap in
+          let idx = B.add mb 1 o in
+          let scale = B.const mb (3 + (2 * tap)) in
+          let t = B.call mb window [ 0; idx; scale ] in
+          B.emit mb (Ir.Binop (Ir.Add, acc, acc, t))
+        done;
+        B.ret mb acc)
+  in
+  (* dct32(bank, x): butterfly-style arithmetic block — medium-large. *)
+  let dct32 =
+    B.method_ b ~name:"dct32" ~nargs:2 (fun mb ->
+        let a = Gen.arith mb rng ~ops:40 [ 1 ] in
+        let m = B.const mb (coeffs - 1) in
+        let i = B.binop mb Ir.And a m in
+        let v = B.load_idx mb 0 i in
+        let r = Gen.arith mb rng ~ops:14 [ v; a ] in
+        B.ret mb r)
+  in
+  (* antialias: small cleanup helper. *)
+  let antialias = Gen.leaf b rng ~name:"antialias" ~nargs:2 ~ops:9 in
+  (* decode_frame(bank, f): the hot per-frame chain. *)
+  let decode_frame =
+    B.method_ b ~name:"decode_frame" ~nargs:2 (fun mb ->
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, 1));
+        Gen.repeat mb ~iters:8 (fun g ->
+            let i = B.add mb acc g in
+            let s = B.call mb subband [ 0; i ] in
+            let d = B.call mb dct32 [ 0; s ] in
+            let a = B.call mb antialias [ s; d ] in
+            B.emit mb (Ir.Binop (Ir.Add, acc, acc, a)));
+        B.ret mb acc)
+  in
+  let setup = Gen.one_shot_sweep b rng ~name:"mpeg" ~count:18 ~ops_min:20 ~ops_max:70 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 2 in
+        let cfg = B.call mb setup [ seed ] in
+        let bank = Gen.alloc_filled_array mb ~kid:arr_kid ~len:coeffs in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (frames * scale / 100)) (fun f ->
+            let x = B.add mb acc f in
+            let r = B.call mb decode_frame [ bank; x ] in
+            B.emit mb (Ir.Move (acc, r)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

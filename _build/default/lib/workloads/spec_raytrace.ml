@@ -1,0 +1,103 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* raytrace — single-threaded mtrt.  Hot shape: swarms of *tiny* vector
+   helpers (dot, scale, reflect) invoked from a recursive scene traversal
+   over an object tree.  The paper's biggest Adapt winner (-27% running
+   time): inlining the tiny helpers everywhere is almost pure profit. *)
+
+let name = "raytrace"
+let description = "recursive scene traversal calling tiny vector helpers"
+
+let scene_depth = 7
+let rays = 260
+
+(* [scale] stretches the running phase (100 = the paper's default size):
+   the setup/compile work is fixed, so scale moves the compile/run balance
+   exactly like SPEC's input sizes did. *)
+let program ?(scale = 100) () =
+  let b = B.create name in
+  let rng = Rng.create 0x6A97 in
+  (* Tiny vector kernels. *)
+  let dot =
+    B.method_ b ~name:"v_dot" ~nargs:2 (fun mb ->
+        let p = B.mul mb 0 1 in
+        let sh = B.const mb 5 in
+        let r = B.binop mb Ir.Shr p sh in
+        B.ret mb r)
+  in
+  let vscale =
+    B.method_ b ~name:"v_scale" ~nargs:2 (fun mb ->
+        let t = B.mul mb 0 1 in
+        let c = B.const mb 3 in
+        let r = B.binop mb Ir.Div t c in
+        B.ret mb r)
+  in
+  let reflect =
+    B.method_ b ~name:"v_reflect" ~nargs:2 (fun mb ->
+        let d = B.call mb dot [ 0; 1 ] in
+        let s = B.call mb vscale [ d; 1 ] in
+        let r = B.sub mb 0 s in
+        B.ret mb r)
+  in
+  let clamp =
+    B.method_ b ~name:"clamp" ~nargs:1 (fun mb ->
+        let m = B.const mb 255 in
+        let r = B.binop mb Ir.And 0 m in
+        B.ret mb r)
+  in
+  (* The scene: a binary BSP-style tree. *)
+  let scene = Gen.tree b rng ~name:"scene" ~fold_ops:6 in
+  (* shade(hit, ray): medium shading math over tiny helpers. *)
+  let shade =
+    B.method_ b ~name:"shade" ~nargs:2 (fun mb ->
+        let d = B.call mb dot [ 0; 1 ] in
+        let s = B.call mb vscale [ d; 0 ] in
+        let rf = B.call mb reflect [ s; 1 ] in
+        let c = B.call mb clamp [ rf ] in
+        let r = Gen.arith mb rng ~ops:10 [ c; d ] in
+        B.ret mb r)
+  in
+  (* trace(node_tree, ray, depth): recursive ray walk: fold the scene subtree
+     then shade. *)
+  let trace = B.declare b ~name:"trace" ~nargs:3 in
+  B.define b trace (fun mb ->
+      (* args: root, ray, depth *)
+      let zero = B.const mb 0 in
+      let stop = B.cmp mb Ir.Le 2 zero in
+      let result = B.fresh_reg mb in
+      B.if_ mb stop
+        ~then_:(fun () ->
+          let c = B.call mb clamp [ 1 ] in
+          B.emit mb (Ir.Move (result, c)))
+        ~else_:(fun () ->
+          let two = B.const mb 2 in
+          let sub_d = B.binop mb Ir.Mod 1 two in
+          let hit = B.call mb scene.Gen.fold [ 0; sub_d ] in
+          let sh = B.call mb shade [ hit; 1 ] in
+          let one = B.const mb 1 in
+          let d' = B.sub mb 2 one in
+          let ray' = B.call mb reflect [ 1; sh ] in
+          let deeper = B.call mb trace [ 0; ray'; d' ] in
+          let x = B.add mb sh deeper in
+          B.emit mb (Ir.Move (result, x)));
+      B.ret mb result);
+  let setup = Gen.one_shot_sweep b rng ~name:"rt" ~count:20 ~ops_min:15 ~ops_max:55 () in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let seed = B.const mb 13 in
+        let cfg = B.call mb setup [ seed ] in
+        let depth = B.const mb scene_depth in
+        let root = B.call mb scene.Gen.build [ depth; seed ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(max 1 (rays * scale / 100)) (fun ray ->
+            let r0 = B.add mb acc ray in
+            let bounce = B.const mb 4 in
+            let v = B.call mb trace [ root; r0; bounce ] in
+            B.emit mb (Ir.Move (acc, v)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b

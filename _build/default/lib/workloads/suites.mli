@@ -1,0 +1,36 @@
+open Inltune_jir
+
+(** The benchmark registry: a SPECjvm98-like training suite and a
+    DaCapo+JBB-like test suite (paper Tables 2 and 3). *)
+
+type benchmark = {
+  bname : string;
+  bdescription : string;
+  generate : ?scale:int -> unit -> Ir.program;
+      (** deterministic generator; [scale] stretches the running phase
+          (100 = the paper's default input size) *)
+}
+
+(** The 7 training programs (compress, jess, db, javac, mpegaudio, raytrace,
+    jack), in paper order. *)
+val spec : benchmark list
+
+(** The 7 unseen test programs (antlr, fop, jython, pmd, ps, ipsixql,
+    pseudojbb), in paper order. *)
+val dacapo : benchmark list
+
+(** [spec @ dacapo]. *)
+val all : benchmark list
+
+(** Lookup by name; raises [Invalid_argument] on unknown benchmarks. *)
+val find : string -> benchmark
+
+val names : benchmark list -> string list
+
+(** The benchmark's program at the default input size.  Generated once per
+    process, validated, and cached (programs are immutable). *)
+val program : benchmark -> Ir.program
+
+(** The program at a non-default input size; cached per (benchmark, scale).
+    [scale:100] returns the same value as {!program}. *)
+val program_scaled : benchmark -> scale:int -> Ir.program

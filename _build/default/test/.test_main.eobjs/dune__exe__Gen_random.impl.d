@@ -1,0 +1,1 @@
+test/gen_random.ml: Array Builder Inltune_jir Inltune_support Ir List Printf

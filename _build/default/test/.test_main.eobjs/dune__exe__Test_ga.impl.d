@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Array Float Inltune_ga Inltune_opt Inltune_support List Printf

@@ -1,0 +1,1 @@
+test/test_jir.ml: Alcotest Array Builder Callgraph Defuse Gen_random Inltune_jir Inltune_support Inltune_vm Inltune_workloads Ir List Pp Size String Text Validate

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_extensions Test_ga Test_jir Test_opt Test_properties Test_shapes Test_support Test_vm Test_workloads

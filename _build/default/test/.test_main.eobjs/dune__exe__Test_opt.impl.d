@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Cleanup Constprop Copyprop Cse Dce Fmt Guarded_devirt Heuristic Inline Inltune_jir Inltune_opt Inltune_vm Ir Pipeline Pp Size Validate

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Compile Float Heuristic Inline Inltune_jir Inltune_opt Inltune_vm Inltune_workloads Ir List Machine Platform Printf Regalloc Runner Size String

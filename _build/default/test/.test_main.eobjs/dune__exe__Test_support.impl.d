@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Inltune_support List String

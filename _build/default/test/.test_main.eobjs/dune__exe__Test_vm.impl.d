@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Builder Codespace Heuristic Icache Inline Inltune_jir Inltune_opt Inltune_vm Inltune_workloads Ir List Machine Platform Printf Profile Regalloc Runner

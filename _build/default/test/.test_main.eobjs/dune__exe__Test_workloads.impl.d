@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Callgraph Float Heuristic Inltune_jir Inltune_opt Inltune_support Inltune_vm Inltune_workloads Ir List Machine Platform Printf Runner Size Validate

@@ -1,0 +1,202 @@
+open Inltune_core
+open Inltune_vm
+open Inltune_opt
+module W = Inltune_workloads
+
+(* --- Params --- *)
+
+let test_table1_matches_heuristic_ranges () =
+  List.iteri
+    (fun i r ->
+      let lo, hi = Heuristic.ranges.(i) in
+      Alcotest.(check (pair int int)) (r.Params.pname ^ " range") (lo, hi) (r.Params.lo, r.Params.hi))
+    Params.table1
+
+let test_genome_spec_size () =
+  Alcotest.(check int) "5 genes" 5 (Inltune_ga.Genome.length Params.genome_spec)
+
+let test_heuristic_of_string_defaults () =
+  Alcotest.(check bool) "empty = default" true
+    (Heuristic.equal (Params.heuristic_of_string "") Heuristic.default)
+
+let test_heuristic_of_string_override () =
+  let h = Params.heuristic_of_string "CALLEE_MAX_SIZE=7, max_inline_depth=2" in
+  Alcotest.(check int) "callee" 7 h.Heuristic.callee_max_size;
+  Alcotest.(check int) "depth" 2 h.Heuristic.max_inline_depth;
+  Alcotest.(check int) "others default" 2048 h.Heuristic.caller_max_size
+
+let test_heuristic_of_string_rejects_garbage () =
+  Alcotest.(check bool) "unknown key" true
+    (try ignore (Params.heuristic_of_string "WAT=3"); false with Invalid_argument _ -> true)
+
+(* --- Measure --- *)
+
+let bm_compress = W.Suites.find "compress"
+
+let test_measure_consistency () =
+  let t = Measure.run ~scenario:Machine.Opt ~platform:Platform.x86 ~heuristic:Heuristic.default bm_compress in
+  Alcotest.(check bool) "total >= running" true (t.Measure.total >= t.Measure.running);
+  Alcotest.(check bool) "compile > 0" true (t.Measure.compile > 0.0)
+
+let test_measure_default_cached () =
+  let a = Measure.run_default ~scenario:Machine.Opt ~platform:Platform.x86 bm_compress in
+  let b = Measure.run_default ~scenario:Machine.Opt ~platform:Platform.x86 bm_compress in
+  Alcotest.(check bool) "physically cached" true (a == b)
+
+let test_measure_deterministic () =
+  let go () =
+    (Measure.run ~scenario:Machine.Adapt ~platform:Platform.ppc ~heuristic:Heuristic.default bm_compress)
+      .Measure.total
+  in
+  Alcotest.(check (float 0.0)) "repeatable" (go ()) (go ())
+
+(* --- Objective --- *)
+
+let test_perf_running_and_total () =
+  let mk running total =
+    { Measure.running; total; compile = total -. running;
+      raw =
+        (let p = W.Suites.program bm_compress in
+         Runner.measure (Machine.config Machine.Opt Heuristic.default) Platform.x86 p);
+    }
+  in
+  let d = mk 100.0 200.0 in
+  let t = mk 50.0 300.0 in
+  Alcotest.(check (float 1e-9)) "running ratio" 0.5 (Objective.perf Objective.Running ~t ~default:d);
+  Alcotest.(check (float 1e-9)) "total ratio" 1.5 (Objective.perf Objective.Total ~t ~default:d);
+  (* balance: factor = 200/100 = 2; value = 2*50+300 = 400; default = 2*100+200 = 400 *)
+  Alcotest.(check (float 1e-9)) "balance ratio" 1.0 (Objective.perf Objective.Balance ~t ~default:d)
+
+let test_perf_default_is_unity () =
+  let d = Measure.run_default ~scenario:Machine.Opt ~platform:Platform.x86 bm_compress in
+  List.iter
+    (fun goal ->
+      Alcotest.(check (float 1e-9))
+        (Objective.goal_name goal ^ " of default = 1")
+        1.0
+        (Objective.perf goal ~t:d ~default:d))
+    [ Objective.Running; Objective.Total; Objective.Balance ]
+
+let test_goal_of_string () =
+  Alcotest.(check bool) "roundtrip" true
+    (List.for_all
+       (fun g -> Objective.goal_of_string (Objective.goal_name g) = g)
+       [ Objective.Running; Objective.Total; Objective.Balance ]);
+  Alcotest.(check bool) "garbage rejected" true
+    (try ignore (Objective.goal_of_string "speed"); false with Invalid_argument _ -> true)
+
+let test_fitness_of_default_is_one () =
+  let f =
+    Objective.fitness ~suite:[ bm_compress ] ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Total
+  in
+  Alcotest.(check (float 1e-9)) "default scores 1.0" 1.0 (f Heuristic.default)
+
+let test_fitness_never_heuristic_differs () =
+  let f =
+    Objective.fitness ~suite:[ bm_compress ] ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Running
+  in
+  Alcotest.(check bool) "no-inlining scores worse than default" true (f Heuristic.never > 1.0)
+
+(* --- Tuner --- *)
+
+let test_scenario_specs () =
+  List.iter
+    (fun id ->
+      let s = Tuner.spec_of id in
+      Alcotest.(check bool) (s.Tuner.label ^ " wellformed") true (String.length s.Tuner.label > 0))
+    Tuner.all_scenarios;
+  Alcotest.(check bool) "adapt uses balance" true
+    ((Tuner.spec_of Tuner.Adapt_x86).Tuner.goal = Objective.Balance);
+  Alcotest.(check bool) "opt:tot uses total" true
+    ((Tuner.spec_of Tuner.Opt_tot_x86).Tuner.goal = Objective.Total);
+  Alcotest.(check bool) "ppc spec on ppc" true
+    ((Tuner.spec_of Tuner.Adapt_ppc).Tuner.platform.Platform.pname = "ppc")
+
+let test_scenario_of_string () =
+  Alcotest.(check bool) "all round-trip" true
+    (List.for_all
+       (fun (s, id) -> Tuner.scenario_of_string s = id)
+       [
+         ("adapt", Tuner.Adapt_x86);
+         ("opt:bal", Tuner.Opt_bal_x86);
+         ("opt:tot", Tuner.Opt_tot_x86);
+         ("adapt-ppc", Tuner.Adapt_ppc);
+         ("opt:bal-ppc", Tuner.Opt_bal_ppc);
+       ])
+
+let test_tune_micro_budget_beats_or_matches_default () =
+  (* A tiny GA run on a single benchmark: the tuned heuristic's fitness is
+     <= 1.0 by construction (the GA can always keep the default's score by
+     dominating it, but at minimum it must return a valid heuristic whose
+     measured fitness equals its reported fitness). *)
+  let budget = { Tuner.pop = 6; gens = 2; seed = 7 } in
+  let o = Tuner.tune ~budget ~suite:[ bm_compress ] Tuner.Opt_tot_x86 in
+  let f =
+    Objective.fitness ~suite:[ bm_compress ] ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Total
+  in
+  Alcotest.(check (float 1e-9)) "reported = measured" o.Tuner.fitness (f o.Tuner.heuristic);
+  Alcotest.(check bool) "genome in ranges" true
+    (Inltune_ga.Genome.valid Params.genome_spec (Heuristic.to_array o.Tuner.heuristic))
+
+(* --- Report / Experiments (cheap ones only) --- *)
+
+let test_report_bars_table () =
+  let rows =
+    [
+      { Report.label = "a"; running_ratio = 0.9; total_ratio = 0.8 };
+      { Report.label = "b"; running_ratio = 1.1; total_ratio = 1.2 };
+    ]
+  in
+  let t, run_avg, tot_avg = Report.bars_table ~title:"t" ~baseline_name:"x" rows in
+  Alcotest.(check bool) "geomean between" true (run_avg > 0.9 && run_avg < 1.1);
+  Alcotest.(check bool) "tot geomean between" true (tot_avg > 0.8 && tot_avg < 1.2);
+  Alcotest.(check bool) "renders" true (String.length (Inltune_support.Table.render t) > 0)
+
+let test_experiment_table1_runs () =
+  Alcotest.(check int) "one table" 1 (List.length (Experiments.table1 ()))
+
+let test_experiment_fig1_runs () =
+  Alcotest.(check int) "two tables" 2 (List.length (Experiments.fig1 ()))
+
+let test_experiment_unknown_rejected () =
+  let ctx = Experiments.make_ctx ~verbose:false () in
+  Alcotest.(check bool) "unknown id" true
+    (try Experiments.run_one ctx "fig99"; false with Invalid_argument _ -> true)
+
+let test_fig2_series_varies () =
+  let series =
+    Experiments.fig2_series ~bench:"jess" ~scenario:Machine.Opt ~platform:Platform.x86
+      [ 0; 5 ]
+  in
+  match series with
+  | [ (0, t0); (5, t5) ] ->
+    Alcotest.(check bool) "depth changes jess Opt total" true (t0 <> t5)
+  | _ -> Alcotest.fail "series shape"
+
+let suite =
+  [
+    ("table1 matches heuristic ranges", `Quick, test_table1_matches_heuristic_ranges);
+    ("genome spec has 5 genes", `Quick, test_genome_spec_size);
+    ("heuristic_of_string default", `Quick, test_heuristic_of_string_defaults);
+    ("heuristic_of_string overrides", `Quick, test_heuristic_of_string_override);
+    ("heuristic_of_string rejects garbage", `Quick, test_heuristic_of_string_rejects_garbage);
+    ("measure consistency", `Quick, test_measure_consistency);
+    ("measure default cached", `Quick, test_measure_default_cached);
+    ("measure deterministic", `Quick, test_measure_deterministic);
+    ("objective perf formulas", `Quick, test_perf_running_and_total);
+    ("objective default is unity", `Quick, test_perf_default_is_unity);
+    ("objective goal parsing", `Quick, test_goal_of_string);
+    ("fitness of default is 1.0", `Quick, test_fitness_of_default_is_one);
+    ("fitness of never > 1.0", `Quick, test_fitness_never_heuristic_differs);
+    ("tuner scenario specs", `Quick, test_scenario_specs);
+    ("tuner scenario parsing", `Quick, test_scenario_of_string);
+    ("tuner micro budget", `Slow, test_tune_micro_budget_beats_or_matches_default);
+    ("report bars table", `Quick, test_report_bars_table);
+    ("experiment table1", `Quick, test_experiment_table1_runs);
+    ("experiment fig1", `Slow, test_experiment_fig1_runs);
+    ("experiment unknown id rejected", `Quick, test_experiment_unknown_rejected);
+    ("fig2 series varies with depth", `Slow, test_fig2_series_varies);
+  ]

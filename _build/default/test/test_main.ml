@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "inltune"
+    [
+      ("support", Test_support.suite);
+      ("jir", Test_jir.suite);
+      ("opt", Test_opt.suite);
+      ("vm", Test_vm.suite);
+      ("workloads", Test_workloads.suite);
+      ("shapes", Test_shapes.suite);
+      ("ga", Test_ga.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+    ]

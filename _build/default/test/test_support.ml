@@ -1,0 +1,253 @@
+module Rng = Inltune_support.Rng
+module Stats = Inltune_support.Stats
+module Vec = Inltune_support.Vec
+module Table = Inltune_support.Table
+module Pool = Inltune_support.Pool
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_range_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.range r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_range_singleton () =
+  let r = Rng.create 5 in
+  Alcotest.(check int) "lo=hi" 9 (Rng.range r 9 9)
+
+let test_rng_invalid () =
+  let r = Rng.create 6 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.range: empty range") (fun () ->
+      ignore (Rng.range r 3 2))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 10 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.chance r 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Rng.chance r 0.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* --- Stats --- *)
+
+let test_mean () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_geomean () =
+  check_float "geomean of 2,8" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  check_float "geomean of identical" 3.0 (Stats.geomean [| 3.0; 3.0; 3.0 |])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_geomean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.geomean: empty") (fun () ->
+      ignore (Stats.geomean [||]))
+
+let test_min_max () =
+  check_float "min" 1.0 (Stats.min_of [| 3.0; 1.0; 2.0 |]);
+  check_float "max" 3.0 (Stats.max_of [| 3.0; 1.0; 2.0 |])
+
+let test_stddev () =
+  check_float "constant array" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "spread" 2.0 (Stats.stddev [| 2.0; 6.0 |])
+
+let test_reduction_pct () =
+  check_float "17% reduction" 17.0 (Stats.reduction_pct 0.83);
+  check_float "no change" 0.0 (Stats.reduction_pct 1.0)
+
+let test_ratio () =
+  check_float "ratio" 0.5 (Stats.ratio ~baseline:4.0 2.0);
+  Alcotest.check_raises "zero baseline"
+    (Invalid_argument "Stats.ratio: non-positive baseline") (fun () ->
+      ignore (Stats.ratio ~baseline:0.0 1.0))
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Alcotest.(check int) "last" (99 * 99) (Vec.last v)
+
+let test_vec_pop () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_vec_roundtrip () =
+  let a = Array.init 37 (fun i -> i * 3) in
+  Alcotest.(check (array int)) "roundtrip" a (Vec.to_array (Vec.of_array a))
+
+let test_vec_append () =
+  let a = Vec.of_array [| 1; 2 |] and b = Vec.of_array [| 3; 4 |] in
+  Vec.append a b;
+  Alcotest.(check (array int)) "append" [| 1; 2; 3; 4 |] (Vec.to_array a)
+
+let test_vec_fold_iter () =
+  let v = Vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let count = ref 0 in
+  Vec.iteri (fun i x -> count := !count + i + x) v;
+  Alcotest.(check int) "iteri" (0 + 1 + 2 + 3 + 10) !count
+
+let test_vec_clear () =
+  let v = Vec.of_array [| 1; 2 |] in
+  Vec.clear v;
+  Alcotest.(check bool) "empty after clear" true (Vec.is_empty v)
+
+(* --- Table --- *)
+
+let test_table_renders () =
+  let t =
+    Table.create ~title:"T" ~header:[| "a"; "b" |] ~aligns:[| Table.Left; Table.Right |]
+  in
+  Table.add_row t [| "x"; "1" |];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 &&
+      (let rec has i = i >= 0 && (l.[i] = 'x' || has (i-1)) in has (String.length l - 1))))
+
+let test_table_arity_checked () =
+  let t = Table.create ~title:"T" ~header:[| "a" |] ~aligns:[| Table.Left |] in
+  Alcotest.check_raises "bad arity" (Invalid_argument "Table.add_row: wrong arity") (fun () ->
+      Table.add_row t [| "x"; "y" |])
+
+let test_table_bar_midpoint () =
+  let b = Table.bar ~width:40 1.0 in
+  Alcotest.(check int) "bar width" 40 (String.length b);
+  Alcotest.(check char) "baseline mark" '|' b.[20]
+
+(* --- Pool --- *)
+
+let test_pool_matches_sequential () =
+  let input = Array.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "parallel = sequential" (Array.map f input)
+    (Pool.map ~domains:4 f input)
+
+let test_pool_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map (fun x -> x) [||])
+
+let test_pool_single_domain () =
+  let input = [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "domains:1" [| 2; 4; 6 |]
+    (Pool.map ~domains:1 (fun x -> 2 * x) input)
+
+let test_pool_propagates_exception () =
+  let raised =
+    try
+      ignore (Pool.map ~domains:2 (fun x -> if x = 13 then failwith "boom" else x)
+                (Array.init 64 (fun i -> i)));
+      false
+    with Pool.Worker_failure _ -> true
+  in
+  Alcotest.(check bool) "Worker_failure raised" true raised
+
+let test_pool_order_preserved () =
+  let input = Array.init 200 (fun i -> 200 - i) in
+  let out = Pool.map ~domains:2 (fun x -> -x) input in
+  Array.iteri (fun i x -> Alcotest.(check int) "order" (-(200 - i)) x) out
+
+let test_pool_mapi () =
+  let out = Pool.mapi ~domains:2 (fun i x -> i + x) [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "mapi" [| 10; 21; 32 |] out
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng range bounds", `Quick, test_rng_range_bounds);
+    ("rng range singleton", `Quick, test_rng_range_singleton);
+    ("rng invalid args", `Quick, test_rng_invalid);
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng chance extremes", `Quick, test_rng_chance_extremes);
+    ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("stats mean", `Quick, test_mean);
+    ("stats geomean", `Quick, test_geomean);
+    ("stats geomean rejects non-positive", `Quick, test_geomean_rejects_nonpositive);
+    ("stats geomean empty", `Quick, test_geomean_empty);
+    ("stats min/max", `Quick, test_min_max);
+    ("stats stddev", `Quick, test_stddev);
+    ("stats reduction pct", `Quick, test_reduction_pct);
+    ("stats ratio", `Quick, test_ratio);
+    ("vec push/get", `Quick, test_vec_push_get);
+    ("vec pop", `Quick, test_vec_pop);
+    ("vec bounds checked", `Quick, test_vec_bounds);
+    ("vec roundtrip", `Quick, test_vec_roundtrip);
+    ("vec append", `Quick, test_vec_append);
+    ("vec fold/iteri", `Quick, test_vec_fold_iter);
+    ("vec clear", `Quick, test_vec_clear);
+    ("table renders", `Quick, test_table_renders);
+    ("table arity checked", `Quick, test_table_arity_checked);
+    ("table bar midpoint", `Quick, test_table_bar_midpoint);
+    ("pool matches sequential", `Quick, test_pool_matches_sequential);
+    ("pool empty", `Quick, test_pool_empty);
+    ("pool single domain", `Quick, test_pool_single_domain);
+    ("pool propagates exceptions", `Quick, test_pool_propagates_exception);
+    ("pool preserves order", `Quick, test_pool_order_preserved);
+    ("pool mapi", `Quick, test_pool_mapi);
+  ]
