@@ -509,6 +509,7 @@ let micro () =
 (* ---- main ----------------------------------------------------------------- *)
 
 let () =
+  Inltune_obs.Trace.init_from_env ();
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "everything" in
   let ctx = Experiments.make_ctx ~budget:(budget ()) () in
   match arg with

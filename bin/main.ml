@@ -6,6 +6,7 @@
      run <bench>               simulate one benchmark and report times
      tune                      GA-tune the heuristic for a scenario
      experiment <id>           regenerate a paper table/figure (or "all")
+     trace-summary <file>      aggregate a JSONL trace into report tables
 *)
 
 open Cmdliner
@@ -34,6 +35,22 @@ let scenario_of_flag = function
   | "adapt" -> Machine.Adapt
   | "ladder" -> Machine.Ladder
   | s -> invalid_arg ("unknown scenario " ^ s ^ " (use opt, adapt, or ladder)")
+
+let trace_arg =
+  let doc =
+    "Append a JSONL trace (inlining decisions, pass timings, compiles, GA generations) to \
+     $(docv); '-' streams human-readable events to stderr.  Overrides $(b,INLTUNE_TRACE)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let setup_trace = function
+  | Some "-" -> Inltune_obs.Trace.to_channel stderr
+  | Some path -> (
+    try Inltune_obs.Trace.to_file path
+    with Sys_error msg ->
+      Printf.eprintf "inltune: cannot open trace file: %s\n" msg;
+      exit 1)
+  | None -> Inltune_obs.Trace.init_from_env ()
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -83,7 +100,8 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run bench scenario platform hstring iterations =
+  let run bench scenario platform hstring iterations trace =
+    setup_trace trace;
     let bm = W.Suites.find bench in
     let plat = Platform.by_name platform in
     let scen = scenario_of_flag scenario in
@@ -110,12 +128,13 @@ let run_cmd =
   in
   let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations (>= 2)") in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark and report times")
-    Term.(const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters)
+    Term.(const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters $ trace_arg)
 
 (* --- tune ---------------------------------------------------------------- *)
 
 let tune_cmd =
-  let run scenario pop gens seed =
+  let run scenario pop gens seed trace =
+    setup_trace trace;
     let id = Tuner.scenario_of_string scenario in
     let budget = { Tuner.pop; gens; seed } in
     let ctx = Experiments.make_ctx ~budget () in
@@ -137,7 +156,7 @@ let tune_cmd =
   let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
-    Term.(const run $ scenario $ pop $ gens $ seed)
+    Term.(const run $ scenario $ pop $ gens $ seed $ trace_arg)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
@@ -160,7 +179,8 @@ let export_cmd =
     Term.(const run $ bench_arg $ file)
 
 let run_file_cmd =
-  let run path scenario platform hstring =
+  let run path scenario platform hstring trace =
+    setup_trace trace;
     let ic = open_in path in
     let len = in_channel_length ic in
     let src = really_input_string ic len in
@@ -184,7 +204,7 @@ let run_file_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JIR text file")
   in
   Cmd.v (Cmd.info "run-file" ~doc:"Simulate a program written in the JIR text format")
-    Term.(const run $ path $ scenario_arg $ platform_arg $ heuristic_arg)
+    Term.(const run $ path $ scenario_arg $ platform_arg $ heuristic_arg $ trace_arg)
 
 (* --- knapsack --------------------------------------------------------------- *)
 
@@ -248,10 +268,35 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Tune with a local-search baseline instead of the GA")
     Term.(const run $ algo $ budget $ seed)
 
+(* --- trace-summary --------------------------------------------------------- *)
+
+let trace_summary_cmd =
+  let run path =
+    let records, malformed = Inltune_obs.Summary.load_file path in
+    if malformed > 0 then
+      Printf.eprintf "warning: skipped %d malformed line(s) in %s\n%!" malformed path;
+    match Inltune_obs.Summary.tables records with
+    | [] -> Printf.printf "no trace events in %s\n" path
+    | tables ->
+      List.iteri
+        (fun i t ->
+          if i > 0 then print_newline ();
+          Inltune_support.Table.print t)
+        tables
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Aggregate a JSONL trace (from --trace or INLTUNE_TRACE) into report tables")
+    Term.(const run $ path)
+
 (* --- experiment ----------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run id pop gens seed quiet =
+  let run id pop gens seed quiet trace =
+    setup_trace trace;
     let budget = { Tuner.pop; gens; seed } in
     let ctx = Experiments.make_ctx ~verbose:(not quiet) ~budget () in
     Experiments.run_one ctx id
@@ -268,14 +313,14 @@ let experiment_cmd =
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress GA progress on stderr") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ id $ pop $ gens $ seed $ quiet)
+    Term.(const run $ id $ pop $ gens $ seed $ quiet $ trace_arg)
 
 let main_cmd =
   let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in
   Cmd.group (Cmd.info "inltune" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; run_cmd; tune_cmd; experiment_cmd; export_cmd; run_file_cmd;
-      knapsack_cmd; search_cmd;
+      knapsack_cmd; search_cmd; trace_summary_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

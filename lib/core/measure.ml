@@ -28,20 +28,36 @@ let run ?(iterations = 3) ?(inline_enabled = true) ~scenario ~platform ~heuristi
 (* Measurements with the default (Jikes) heuristic are requested constantly —
    every normalized bar divides by one — so memoize those alone.  The cache
    key is benchmark/scenario/platform; the heuristic is pinned to default.
-   Not used from worker domains (fitness evaluation precomputes baselines
-   up-front), so a plain Hashtbl is fine. *)
+   Mutex-guarded so callers in worker domains (e.g. a fitness function that
+   didn't precompute its baselines) can't corrupt the table; the simulation
+   itself runs outside the lock, so two domains racing on the same key may
+   both measure, but both get the same deterministic result. *)
 let default_cache : (string, times) Hashtbl.t = Hashtbl.create 64
+let default_cache_mu = Mutex.create ()
+let memo_hits = Inltune_obs.Metric.counter "measure.memo_hits"
+let memo_misses = Inltune_obs.Metric.counter "measure.memo_misses"
 
 let run_default ?(iterations = 3) ~scenario ~platform bm =
   let key =
     Printf.sprintf "%s/%s/%s/%d" bm.Workloads.Suites.bname (Machine.scenario_name scenario)
       platform.Platform.pname iterations
   in
-  match Hashtbl.find_opt default_cache key with
-  | Some t -> t
+  let cached =
+    Mutex.lock default_cache_mu;
+    let c = Hashtbl.find_opt default_cache key in
+    Mutex.unlock default_cache_mu;
+    c
+  in
+  match cached with
+  | Some t ->
+    Inltune_obs.Metric.incr memo_hits;
+    t
   | None ->
+    Inltune_obs.Metric.incr memo_misses;
     let t = run ~iterations ~scenario ~platform ~heuristic:Heuristic.default bm in
-    Hashtbl.add default_cache key t;
+    Mutex.lock default_cache_mu;
+    if not (Hashtbl.mem default_cache key) then Hashtbl.add default_cache key t;
+    Mutex.unlock default_cache_mu;
     t
 
 (* The Fig. 1 baseline: same scenario, inlining disabled entirely. *)

@@ -27,7 +27,9 @@ val run :
   times
 
 (** Like {!run} with the Jikes default heuristic; memoized (normalized bars
-    divide by this constantly).  Not for use from worker domains. *)
+    divide by this constantly).  The memo table is mutex-guarded, so calling
+    from worker domains is safe; hits and misses are reported via the
+    "measure.memo_hits"/"measure.memo_misses" counters. *)
 val run_default :
   ?iterations:int ->
   scenario:Machine.scenario ->

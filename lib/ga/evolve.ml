@@ -1,6 +1,8 @@
 module Rng = Inltune_support.Rng
 module Pool = Inltune_support.Pool
 module Stats = Inltune_support.Stats
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
 
 (* Generational genetic algorithm over integer-vector genomes, minimizing a
    fitness function — the role ECJ plays in the paper.
@@ -73,6 +75,7 @@ let run ?on_generation ~spec ~params ~fitness () =
   if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
   if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
   let rng = Rng.create params.seed in
+  let t_start = Trace.now () in
   let cache : (string, float) Hashtbl.t = Hashtbl.create 256 in
   let evaluations = ref 0 in
   let cache_hits = ref 0 in
@@ -119,6 +122,17 @@ let run ?on_generation ~spec ~params ~fitness () =
       }
     in
     history := p :: !history;
+    if Trace.enabled () then
+      Trace.emit "ga.generation"
+        ~fields:
+          [
+            ("gen", Event.Int p.generation);
+            ("best", Event.Float p.best_fitness);
+            ("mean", Event.Float p.mean_fitness);
+            ("evals", Event.Int p.evaluations);
+            ("cache_hits", Event.Int !cache_hits);
+            ("wall_s", Event.Float (Trace.now () -. t_start));
+          ];
     match on_generation with Some f -> f p | None -> ()
   in
   note_generation 0;
@@ -153,6 +167,15 @@ let run ?on_generation ~spec ~params ~fitness () =
     fits := evaluate_all !pop;
     note_generation gen
   done;
+  if Trace.enabled () then
+    Trace.emit "ga.result"
+      ~fields:
+        [
+          ("best", Event.Float !best_fit);
+          ("evals", Event.Int !evaluations);
+          ("cache_hits", Event.Int !cache_hits);
+          ("wall_s", Event.Float (Trace.now () -. t_start));
+        ];
   {
     best = !best;
     best_fitness = !best_fit;

@@ -1,0 +1,22 @@
+(** Minimal JSON reader for trace files (the toolchain image has no yojson).
+    Accepts full JSON; the accessors cover the flat scalar objects the tracer
+    writes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+val to_float : t -> float option
+
+(** [Some] only for numbers with no fractional part. *)
+val to_int : t -> int option
+
+val to_string : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,305 @@
+(* Aggregate a JSONL trace back into paper-style tables: which heuristic
+   test accepted/rejected call sites (Fig. 3/4 vocabulary), where compile
+   cycles went per tier, how optimizer passes spent their time, and how GA
+   fitness evolved per generation.  This is the read side of the schema the
+   instrumented layers write; it deliberately works on strings so it needs
+   no dependency on the opt/vm/ga libraries. *)
+
+module Table = Inltune_support.Table
+
+type record = { ts : float; ev : string; json : Json.t }
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> (
+    match (Json.member "ev" json, Json.member "ts" json) with
+    | Some (Json.Str ev), Some (Json.Num ts) -> Ok { ts; ev; json }
+    | _ -> Error "missing \"ev\" or \"ts\"")
+
+(* Returns the parsed records plus the count of malformed lines (a trace cut
+   off mid-write must still summarize). *)
+let of_lines lines =
+  let bad = ref 0 in
+  let recs =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match of_line line with
+          | Ok r -> Some r
+          | Error _ ->
+            incr bad;
+            None)
+      lines
+  in
+  (recs, !bad)
+
+let load_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  of_lines (List.rev !lines)
+
+(* --- field helpers ------------------------------------------------------ *)
+
+let str r k = Option.bind (Json.member k r.json) Json.to_string
+let num r k = Option.bind (Json.member k r.json) Json.to_float
+let int_f r k = Option.bind (Json.member k r.json) Json.to_int
+let bool_f r k = Option.bind (Json.member k r.json) Json.to_bool
+
+let select ev recs = List.filter (fun r -> r.ev = ev) recs
+
+(* Which heuristic parameter (paper Table 1) governs each decision reason;
+   mechanism-level reasons (recursion guard, space cap, custom policy) have
+   no tunable parameter. *)
+let parameter_of_reason = function
+  | "always_inline" -> "ALWAYS_INLINE_SIZE"
+  | "callee_too_big" -> "CALLEE_MAX_SIZE"
+  | "depth_exceeded" -> "MAX_INLINE_DEPTH"
+  | "caller_too_big" -> "CALLER_MAX_SIZE"
+  | "all_tests_pass" -> "(all Fig. 3 tests)"
+  | "hot_accept" | "hot_callee_too_big" -> "HOT_CALLEE_MAX_SIZE"
+  | _ -> "-"
+
+(* --- aggregations (exposed for tests) ----------------------------------- *)
+
+(* reason -> (accepted, count), sorted by count descending. *)
+let inline_reasons recs =
+  let tbl : (string, bool * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match (str r "reason", bool_f r "accept") with
+      | Some reason, Some accept ->
+        let _, n = Option.value (Hashtbl.find_opt tbl reason) ~default:(accept, 0) in
+        Hashtbl.replace tbl reason (accept, n + 1)
+      | _ -> ())
+    (select "inline.decision" recs);
+  Hashtbl.fold (fun reason (acc, n) l -> (reason, acc, n) :: l) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+(* (gen, best, mean, evals) in generation order. *)
+let ga_generations recs =
+  List.filter_map
+    (fun r ->
+      match (int_f r "gen", num r "best", num r "mean", int_f r "evals") with
+      | Some g, Some b, Some m, Some e -> Some (g, b, m, e)
+      | _ -> None)
+    (select "ga.generation" recs)
+
+(* tier -> (compiles, recompiles, cycles, code_bytes). *)
+let compile_tiers recs =
+  let tbl : (string, int * int * int * int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      match str r "tier" with
+      | None -> ()
+      | Some tier ->
+        let c, rc, cy, cb =
+          Option.value (Hashtbl.find_opt tbl tier) ~default:(0, 0, 0, 0)
+        in
+        let recompile = Option.value (bool_f r "recompile") ~default:false in
+        Hashtbl.replace tbl tier
+          ( c + 1,
+            (rc + if recompile then 1 else 0),
+            cy + Option.value (int_f r "cycles") ~default:0,
+            cb + Option.value (int_f r "code_bytes") ~default:0 ))
+    (select "vm.compile" recs);
+  Hashtbl.fold (fun tier v l -> (tier, v) :: l) tbl [] |> List.sort compare
+
+(* pass -> (runs, transforms, total_us). *)
+let pass_totals recs =
+  let tbl : (string, int * int * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let prefix = "opt.pass." in
+      let pn = String.length prefix in
+      if String.length r.ev > pn && String.sub r.ev 0 pn = prefix then begin
+        let pass = String.sub r.ev pn (String.length r.ev - pn) in
+        let runs, tr, us = Option.value (Hashtbl.find_opt tbl pass) ~default:(0, 0, 0.0) in
+        Hashtbl.replace tbl pass
+          ( runs + 1,
+            tr + Option.value (int_f r "transforms") ~default:0,
+            us +. Option.value (num r "dur_us") ~default:0.0 )
+      end)
+    recs;
+  Hashtbl.fold (fun pass v l -> (pass, v) :: l) tbl []
+  |> List.sort (fun (_, (_, _, a)) (_, (_, _, b)) -> compare b a)
+
+(* prog -> (measures, mean total, mean running, mean compile cycles). *)
+let measure_by_prog recs =
+  let tbl : (string, int * float * float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match str r "prog" with
+      | None -> ()
+      | Some prog ->
+        let n, t, ru, c =
+          Option.value (Hashtbl.find_opt tbl prog) ~default:(0, 0.0, 0.0, 0.0)
+        in
+        Hashtbl.replace tbl prog
+          ( n + 1,
+            t +. Option.value (num r "total_cycles") ~default:0.0,
+            ru +. Option.value (num r "running_cycles") ~default:0.0,
+            c +. Option.value (num r "compile_cycles") ~default:0.0 ))
+    (select "vm.measure" recs);
+  Hashtbl.fold (fun prog v l -> (prog, v) :: l) tbl [] |> List.sort compare
+
+(* name -> last reported value (counters accumulate, so last wins). *)
+let counter_values recs =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match (str r "name", int_f r "value") with
+      | Some name, Some v -> Hashtbl.replace tbl name v
+      | _ -> ())
+    (select "counter" recs);
+  Hashtbl.fold (fun name v l -> (name, v) :: l) tbl [] |> List.sort compare
+
+(* --- tables ------------------------------------------------------------- *)
+
+let pct part whole =
+  if whole = 0 then "-" else Printf.sprintf "%5.1f%%" (100.0 *. Float.of_int part /. Float.of_int whole)
+
+let inline_table recs =
+  let reasons = inline_reasons recs in
+  if reasons = [] then None
+  else begin
+    let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 reasons in
+    let t =
+      Table.create ~title:"inlining decisions by reason"
+        ~header:[| "reason"; "outcome"; "governing parameter"; "sites"; "share" |]
+        ~aligns:[| Table.Left; Table.Left; Table.Left; Table.Right; Table.Right |]
+    in
+    List.iter
+      (fun (reason, accepted, n) ->
+        Table.add_row t
+          [|
+            reason;
+            (if accepted then "inline" else "reject");
+            parameter_of_reason reason;
+            string_of_int n;
+            pct n total;
+          |])
+      reasons;
+    Table.add_rule t;
+    Table.add_row t [| "total"; ""; ""; string_of_int total; "" |];
+    Some t
+  end
+
+let compile_table recs =
+  let tiers = compile_tiers recs in
+  if tiers = [] then None
+  else begin
+    let t =
+      Table.create ~title:"compile-time breakdown by tier"
+        ~header:[| "tier"; "compiles"; "recompiles"; "cycles"; "code bytes"; "cycles/compile" |]
+        ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
+    in
+    let tot_cycles =
+      List.fold_left (fun acc (_, (_, _, cy, _)) -> acc + cy) 0 tiers
+    in
+    List.iter
+      (fun (tier, (c, rc, cy, cb)) ->
+        Table.add_row t
+          [|
+            tier;
+            string_of_int c;
+            string_of_int rc;
+            string_of_int cy;
+            string_of_int cb;
+            string_of_int (if c = 0 then 0 else cy / c);
+          |])
+      tiers;
+    Table.add_rule t;
+    Table.add_row t [| "total"; ""; ""; string_of_int tot_cycles; ""; "" |];
+    Some t
+  end
+
+let pass_table recs =
+  let passes = pass_totals recs in
+  if passes = [] then None
+  else begin
+    let t =
+      Table.create ~title:"optimizer pass totals"
+        ~header:[| "pass"; "runs"; "transforms"; "total ms"; "us/run" |]
+        ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right |]
+    in
+    List.iter
+      (fun (pass, (runs, tr, us)) ->
+        Table.add_row t
+          [|
+            pass;
+            string_of_int runs;
+            string_of_int tr;
+            Printf.sprintf "%.2f" (us /. 1000.0);
+            Printf.sprintf "%.1f" (us /. Float.of_int (max 1 runs));
+          |])
+      passes;
+    Some t
+  end
+
+let ga_table recs =
+  let gens = ga_generations recs in
+  if gens = [] then None
+  else begin
+    let first_best = match gens with (_, b, _, _) :: _ -> b | [] -> 1.0 in
+    let t =
+      Table.create ~title:"GA fitness by generation"
+        ~header:[| "gen"; "best"; "mean"; "evals"; "best vs gen 0" |]
+        ~aligns:[| Table.Right; Table.Right; Table.Right; Table.Right; Table.Left |]
+    in
+    List.iter
+      (fun (g, b, m, e) ->
+        Table.add_row t
+          [|
+            string_of_int g;
+            Printf.sprintf "%.4f" b;
+            Printf.sprintf "%.4f" m;
+            string_of_int e;
+            Table.bar (if first_best = 0.0 then 1.0 else b /. first_best);
+          |])
+      gens;
+    Some t
+  end
+
+let measure_table recs =
+  let rows = measure_by_prog recs in
+  if rows = [] then None
+  else begin
+    let t =
+      Table.create ~title:"VM measurements by program (means over the trace)"
+        ~header:[| "program"; "measures"; "total"; "running"; "compile" |]
+        ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right |]
+    in
+    List.iter
+      (fun (prog, (n, tot, run, comp)) ->
+        let mean v = Printf.sprintf "%.0f" (v /. Float.of_int (max 1 n)) in
+        Table.add_row t [| prog; string_of_int n; mean tot; mean run; mean comp |])
+      rows;
+    Some t
+  end
+
+let counter_table recs =
+  let rows = counter_values recs in
+  if rows = [] then None
+  else begin
+    let t =
+      Table.create ~title:"counters"
+        ~header:[| "counter"; "value" |]
+        ~aligns:[| Table.Left; Table.Right |]
+    in
+    List.iter (fun (name, v) -> Table.add_row t [| name; string_of_int v |]) rows;
+    Some t
+  end
+
+(* Every table with data, in report order. *)
+let tables recs =
+  List.filter_map
+    (fun f -> f recs)
+    [ inline_table; pass_table; compile_table; measure_table; ga_table; counter_table ]

@@ -1,0 +1,33 @@
+(** Aggregate a JSONL trace into paper-style tables: inlining decisions by
+    reason, optimizer pass totals, compile-time breakdown per tier, VM
+    measurements per program, GA fitness per generation, counters. *)
+
+type record = { ts : float; ev : string; json : Json.t }
+
+val of_line : string -> (record, string) result
+
+(** Records plus the count of malformed lines (skipped, not fatal). *)
+val of_lines : string list -> record list * int
+
+val load_file : string -> record list * int
+
+(** reason name, accepted?, count — sorted by count descending. *)
+val inline_reasons : record list -> (string * bool * int) list
+
+(** (generation, best, mean, evaluations) in trace order. *)
+val ga_generations : record list -> (int * float * float * int) list
+
+(** tier -> (compiles, recompiles, cycles, code bytes), sorted by tier. *)
+val compile_tiers : record list -> (string * (int * int * int * int)) list
+
+(** pass -> (runs, transforms, total us), sorted by total time. *)
+val pass_totals : record list -> (string * (int * int * float)) list
+
+(** counter name -> last reported value. *)
+val counter_values : record list -> (string * int) list
+
+(** The heuristic parameter (paper Table 1) governing a decision reason. *)
+val parameter_of_reason : string -> string
+
+(** Every table with data, in report order. *)
+val tables : record list -> Inltune_support.Table.t list

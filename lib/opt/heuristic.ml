@@ -36,14 +36,47 @@ let never =
     hot_callee_max_size = 0;
   }
 
-let consider t ~callee_size ~inline_depth ~caller_size =
-  if callee_size > t.callee_max_size then false
-  else if callee_size < t.always_inline_size then true
-  else if inline_depth > t.max_inline_depth then false
-  else if caller_size > t.caller_max_size then false
-  else true
+(* Which Fig. 3 test decided a call site.  The order of tests is part of the
+   heuristic's semantics (tiny callees bypass the depth and caller limits),
+   so the outcome names exactly which test fired — the vocabulary the
+   observability layer and trace summaries use for rejection reasons. *)
+type outcome =
+  | Callee_too_big   (* reject: size > CALLEE_MAX_SIZE *)
+  | Always_inline    (* accept: size < ALWAYS_INLINE_SIZE, before depth/caller *)
+  | Depth_exceeded   (* reject: depth > MAX_INLINE_DEPTH *)
+  | Caller_too_big   (* reject: expanded caller > CALLER_MAX_SIZE *)
+  | All_tests_pass   (* accept: survived every test *)
 
-let consider_hot t ~callee_size = callee_size <= t.hot_callee_max_size
+let outcome_name = function
+  | Callee_too_big -> "callee_too_big"
+  | Always_inline -> "always_inline"
+  | Depth_exceeded -> "depth_exceeded"
+  | Caller_too_big -> "caller_too_big"
+  | All_tests_pass -> "all_tests_pass"
+
+let evaluate t ~callee_size ~inline_depth ~caller_size =
+  if callee_size > t.callee_max_size then Callee_too_big
+  else if callee_size < t.always_inline_size then Always_inline
+  else if inline_depth > t.max_inline_depth then Depth_exceeded
+  else if caller_size > t.caller_max_size then Caller_too_big
+  else All_tests_pass
+
+let consider t ~callee_size ~inline_depth ~caller_size =
+  match evaluate t ~callee_size ~inline_depth ~caller_size with
+  | Always_inline | All_tests_pass -> true
+  | Callee_too_big | Depth_exceeded | Caller_too_big -> false
+
+(* The single Fig. 4 test for profile-identified hot call sites. *)
+type hot_outcome = Hot_accept | Hot_callee_too_big
+
+let hot_outcome_name = function
+  | Hot_accept -> "hot_accept"
+  | Hot_callee_too_big -> "hot_callee_too_big"
+
+let evaluate_hot t ~callee_size =
+  if callee_size <= t.hot_callee_max_size then Hot_accept else Hot_callee_too_big
+
+let consider_hot t ~callee_size = evaluate_hot t ~callee_size = Hot_accept
 
 (* Genome encoding used by the genetic algorithm: the five parameters in
    Table 1 order. *)

@@ -17,10 +17,33 @@ val default : t
 (** Refuses every inlining opportunity (the "no inlining" baseline). *)
 val never : t
 
+(** Which Fig. 3 test fired for a call site.  Test order is part of the
+    heuristic's semantics; the outcome names exactly which test decided, which
+    is the vocabulary trace events and summaries use for accept/reject
+    reasons. *)
+type outcome =
+  | Callee_too_big   (** reject: size > CALLEE_MAX_SIZE *)
+  | Always_inline    (** accept: size < ALWAYS_INLINE_SIZE *)
+  | Depth_exceeded   (** reject: depth > MAX_INLINE_DEPTH *)
+  | Caller_too_big   (** reject: expanded caller > CALLER_MAX_SIZE *)
+  | All_tests_pass   (** accept: survived every test *)
+
+val outcome_name : outcome -> string
+
+(** The Fig. 3 test sequence, reporting which test decided. *)
+val evaluate : t -> callee_size:int -> inline_depth:int -> caller_size:int -> outcome
+
 (** The optimizing compiler's decision (paper Fig. 3).  [inline_depth] is the
     depth of the call chain at this site (direct calls in the method being
     compiled have depth 1). *)
 val consider : t -> callee_size:int -> inline_depth:int -> caller_size:int -> bool
+
+(** Outcome of the single Fig. 4 hot-call-site test. *)
+type hot_outcome = Hot_accept | Hot_callee_too_big
+
+val hot_outcome_name : hot_outcome -> string
+
+val evaluate_hot : t -> callee_size:int -> hot_outcome
 
 (** The hot-call-site decision (paper Fig. 4), adaptive scenario only. *)
 val consider_hot : t -> callee_size:int -> bool

@@ -22,6 +22,8 @@ open Inltune_jir
    jump to a fresh continuation block, and filling resumes there. *)
 
 module Vec = Inltune_support.Vec
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
 
 type stats = {
   mutable sites_seen : int;
@@ -32,6 +34,42 @@ type stats = {
 
 let fresh_stats () =
   { sites_seen = 0; sites_inlined = 0; hot_sites_seen = 0; hot_sites_inlined = 0 }
+
+(* Why a call site was (not) inlined: the heuristic test that fired, or one
+   of the transformation's own guards.  One of these is attached to every
+   decision record / "inline.decision" trace event. *)
+type reason =
+  | Static of Heuristic.outcome    (* the Fig. 3 test sequence *)
+  | Hot of Heuristic.hot_outcome   (* the Fig. 4 hot-site test *)
+  | Custom_policy of bool          (* verdict of a [Custom] decision function *)
+  | Recursive                      (* callee already on the inline chain *)
+  | Space_cap                      (* heuristic said yes, max_expanded_size said no *)
+
+let reason_accepts = function
+  | Static (Heuristic.Always_inline | Heuristic.All_tests_pass) -> true
+  | Hot Heuristic.Hot_accept -> true
+  | Custom_policy b -> b
+  | Static _ | Hot _ | Recursive | Space_cap -> false
+
+let reason_name = function
+  | Static o -> Heuristic.outcome_name o
+  | Hot o -> Heuristic.hot_outcome_name o
+  | Custom_policy true -> "custom_accept"
+  | Custom_policy false -> "custom_reject"
+  | Recursive -> "recursive"
+  | Space_cap -> "space_cap"
+
+(* One record per call site the inliner looked at. *)
+type decision = {
+  d_site_owner : Ir.mid;
+  d_callee : Ir.mid;
+  d_callee_size : int;
+  d_depth : int;
+  d_caller_size : int;
+  d_reason : reason;
+}
+
+let decision_accepts d = reason_accepts d.d_reason
 
 (* Absolute growth cap, in size-estimate units.  Twice CALLER_MAX_SIZE's
    upper range: the heuristic's own caller test normally stops expansion
@@ -68,7 +106,36 @@ type ctx = {
   mutable size : int;      (* expanded caller size so far *)
   mutable cur : int;       (* output block being filled *)
   stats : stats;
+  log : decision Vec.t option;  (* per-site decision records, when requested *)
+  trace_on : bool;              (* Trace.enabled at run start *)
 }
+
+(* Record/emit a per-site decision.  Only called when the caller verified
+   [ctx.log <> None || ctx.trace_on], keeping the common path allocation-free. *)
+let note_decision ctx ~site_owner ~callee ~callee_size ~depth reason =
+  let d =
+    {
+      d_site_owner = site_owner;
+      d_callee = callee;
+      d_callee_size = callee_size;
+      d_depth = depth;
+      d_caller_size = ctx.size;
+      d_reason = reason;
+    }
+  in
+  (match ctx.log with Some v -> Vec.push v d | None -> ());
+  if ctx.trace_on then
+    Trace.emit "inline.decision"
+      ~fields:
+        [
+          ("owner", Event.Str ctx.prog.Ir.methods.(site_owner).Ir.mname);
+          ("callee", Event.Str ctx.prog.Ir.methods.(callee).Ir.mname);
+          ("callee_size", Event.Int callee_size);
+          ("depth", Event.Int depth);
+          ("caller_size", Event.Int ctx.size);
+          ("accept", Event.Bool (reason_accepts reason));
+          ("reason", Event.Str (reason_name reason));
+        ]
 
 let new_block ctx =
   Vec.push ctx.out { oi = Vec.create (); oterm = None };
@@ -81,22 +148,29 @@ let terminate ctx t =
   assert (b.oterm = None);
   b.oterm <- Some t
 
+(* Decide one call site; returns the reason (which implies accept/reject)
+   and the callee's cached size estimate. *)
 let decide ctx ~site_owner ~callee ~depth =
   let callee_size = ctx.callee_size callee in
   ctx.stats.sites_seen <- ctx.stats.sites_seen + 1;
-  let yes =
+  let reason =
     match ctx.policy with
     | Heuristic_policy (h, hot_site) ->
       let hot = match hot_site with Some f -> f ~site_owner ~callee | None -> false in
       if hot then begin
         ctx.stats.hot_sites_seen <- ctx.stats.hot_sites_seen + 1;
-        Heuristic.consider_hot h ~callee_size
+        Hot (Heuristic.evaluate_hot h ~callee_size)
       end
-      else Heuristic.consider h ~callee_size ~inline_depth:depth ~caller_size:ctx.size
+      else Static (Heuristic.evaluate h ~callee_size ~inline_depth:depth ~caller_size:ctx.size)
     | Custom f ->
-      f ~site_owner ~callee ~callee_size ~inline_depth:depth ~caller_size:ctx.size
+      Custom_policy
+        (f ~site_owner ~callee ~callee_size ~inline_depth:depth ~caller_size:ctx.size)
   in
-  yes && ctx.size + callee_size <= max_expanded_size
+  let reason =
+    if reason_accepts reason && ctx.size + callee_size > max_expanded_size then Space_cap
+    else reason
+  in
+  (reason, callee_size)
 
 (* Copy [body]'s blocks into the output with registers shifted by [base] and
    labels mapped through [label_map]; recursively processes nested calls.
@@ -133,22 +207,35 @@ and emit_instr ctx ~owner ~depth ~chain ~remap i =
   match i with
   | Ir.Call (dst, callee, args) ->
     let dst = remap dst and args = Array.map remap args in
-    if (not (List.mem callee chain)) && decide ctx ~site_owner:owner ~callee ~depth:(depth + 1)
-    then begin
-      ctx.stats.sites_inlined <- ctx.stats.sites_inlined + 1;
-      (match ctx.policy with
-      | Heuristic_policy (_, Some f) when f ~site_owner:owner ~callee ->
-        ctx.stats.hot_sites_inlined <- ctx.stats.hot_sites_inlined + 1
-      | Heuristic_policy _ | Custom _ -> ());
-      let body = ctx.prog.Ir.methods.(callee) in
-      (* Bind formal parameters: callee registers 0..nargs-1 live at
-         [base..base+nargs-1] after the shift performed by [splice]. *)
-      let base_preview = ctx.nregs in
-      Array.iteri (fun k a -> push ctx (Ir.Move (base_preview + k, a))) args;
-      let base = splice ctx ~owner:callee ~depth:(depth + 1) ~chain:(callee :: chain) ~dst body in
-      assert (base = base_preview)
+    let observing = ctx.trace_on || ctx.log <> None in
+    if List.mem callee chain then begin
+      (* Recursion guard.  Not counted in [sites_seen] (the heuristic never
+         saw the site), but still recorded when observing. *)
+      if observing then
+        note_decision ctx ~site_owner:owner ~callee ~callee_size:(ctx.callee_size callee)
+          ~depth:(depth + 1) Recursive;
+      push ctx (Ir.Call (dst, callee, args))
     end
-    else push ctx (Ir.Call (dst, callee, args))
+    else begin
+      let reason, callee_size = decide ctx ~site_owner:owner ~callee ~depth:(depth + 1) in
+      if observing then
+        note_decision ctx ~site_owner:owner ~callee ~callee_size ~depth:(depth + 1) reason;
+      if reason_accepts reason then begin
+        ctx.stats.sites_inlined <- ctx.stats.sites_inlined + 1;
+        (match reason with
+        | Hot Heuristic.Hot_accept ->
+          ctx.stats.hot_sites_inlined <- ctx.stats.hot_sites_inlined + 1
+        | _ -> ());
+        let body = ctx.prog.Ir.methods.(callee) in
+        (* Bind formal parameters: callee registers 0..nargs-1 live at
+           [base..base+nargs-1] after the shift performed by [splice]. *)
+        let base_preview = ctx.nregs in
+        Array.iteri (fun k a -> push ctx (Ir.Move (base_preview + k, a))) args;
+        let base = splice ctx ~owner:callee ~depth:(depth + 1) ~chain:(callee :: chain) ~dst body in
+        assert (base = base_preview)
+      end
+      else push ctx (Ir.Call (dst, callee, args))
+    end
   | Ir.CallVirt (dst, slot, recv, args) ->
     (* Virtual sites are never inlined directly; devirtualization (constant
        propagation proving the receiver class) turns them into static calls
@@ -166,7 +253,7 @@ and emit_instr ctx ~owner ~depth ~chain ~remap i =
   | Ir.Alloc (d, k, s) -> push ctx (Ir.Alloc (remap d, k, s))
   | Ir.Print r -> push ctx (Ir.Print (remap r))
 
-let run_policy ~program ~policy m =
+let run_policy ?decisions ~program ~policy m =
   let size_cache = Hashtbl.create 64 in
   let callee_size mid =
     match Hashtbl.find_opt size_cache mid with
@@ -186,6 +273,8 @@ let run_policy ~program ~policy m =
       size = Size.of_method m;
       cur = 0;
       stats = fresh_stats ();
+      log = decisions;
+      trace_on = Trace.enabled ();
     }
   in
   let nblocks = Array.length m.Ir.blocks in
@@ -209,7 +298,8 @@ let run_policy ~program ~policy m =
   in
   ({ m with Ir.nregs = ctx.nregs; blocks }, ctx.stats)
 
-let run ?hot_site ~program ~heuristic m =
-  run_policy ~program ~policy:(Heuristic_policy (heuristic, hot_site)) m
+let run ?hot_site ?decisions ~program ~heuristic m =
+  run_policy ?decisions ~program ~policy:(Heuristic_policy (heuristic, hot_site)) m
 
-let run_custom ~decide ~program m = run_policy ~program ~policy:(Custom decide) m
+let run_custom ?decisions ~decide ~program m =
+  run_policy ?decisions ~program ~policy:(Custom decide) m

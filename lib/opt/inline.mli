@@ -12,6 +12,32 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+(** Why a call site was or wasn't inlined: the heuristic test that fired
+    (Fig. 3 / Fig. 4 vocabulary), or one of the transformation's own
+    guards. *)
+type reason =
+  | Static of Heuristic.outcome    (** the Fig. 3 test sequence *)
+  | Hot of Heuristic.hot_outcome   (** the Fig. 4 hot-site test *)
+  | Custom_policy of bool          (** verdict of a custom decision function *)
+  | Recursive                      (** callee already on the inline chain *)
+  | Space_cap                      (** accepted by the heuristic, blocked by
+                                       {!max_expanded_size} *)
+
+val reason_accepts : reason -> bool
+val reason_name : reason -> string
+
+(** One record per call site the inliner examined, in decision order. *)
+type decision = {
+  d_site_owner : Ir.mid;
+  d_callee : Ir.mid;
+  d_callee_size : int;
+  d_depth : int;
+  d_caller_size : int;  (** expanded caller size when the site was decided *)
+  d_reason : reason;
+}
+
+val decision_accepts : decision -> bool
+
 (** Hard cap on the expanded size of any single method, in size-estimate
     units; a code-space sanity net above anything the heuristic's caller test
     normally allows. *)
@@ -20,9 +46,12 @@ val max_expanded_size : int
 (** [run ~program ~heuristic m] inlines call sites in [m] per the heuristic.
     [hot_site] (adaptive scenario) selects call sites that take the
     single-test hot path; [site_owner] is the method whose source body the
-    call site originally belonged to. *)
+    call site originally belonged to.  [decisions], when given, collects one
+    {!decision} record per examined call site; independently, every decision
+    is emitted as an "inline.decision" trace event when tracing is enabled. *)
 val run :
   ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
+  ?decisions:decision Inltune_support.Vec.t ->
   program:Ir.program ->
   heuristic:Heuristic.t ->
   Ir.methd ->
@@ -32,6 +61,7 @@ val run :
     (used by alternative inlining strategies such as the knapsack baseline).
     The hard size cap still applies on top of [decide]. *)
 val run_custom :
+  ?decisions:decision Inltune_support.Vec.t ->
   decide:
     (site_owner:Ir.mid ->
     callee:Ir.mid ->

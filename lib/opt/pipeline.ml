@@ -67,36 +67,54 @@ type stats = {
   dce_removed : int;
 }
 
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
+
+(* Per-pass timing + transform-count events.  [Trace.span] runs the thunk
+   directly when tracing is off, so the disabled cost is one closure. *)
+let pass name count f =
+  Trace.span ("opt.pass." ^ name) ~post:(fun r -> [ ("transforms", Event.Int (count r)) ]) f
+
+let count_cp (_, s) = s.Constprop.folded + s.Constprop.devirtualized + s.Constprop.branches_folded
+let count_snd (_, n) = n
+
 let run program config m =
   let size_before = Size.of_method m in
   (* Round 0: profile-guided guarded devirtualization (adaptive recompiles
      only) so monomorphic virtual sites become inlinable static calls. *)
   let m, gstats =
     match config.devirt_oracle with
-    | Some oracle -> Guarded_devirt.run ~program ~oracle m
+    | Some oracle ->
+      pass "guarded_devirt" (fun (_, s) -> s.Guarded_devirt.sites_guarded) (fun () ->
+          Guarded_devirt.run ~program ~oracle m)
     | None -> (m, { Guarded_devirt.sites_guarded = 0 })
   in
   (* Round 1: make provable virtual dispatch static so the inliner sees it. *)
   let m, cp1 =
-    if config.optimize then Constprop.run program m
+    if config.optimize then pass "constprop" count_cp (fun () -> Constprop.run program m)
     else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
   in
   let m, istats =
     if not config.inline_enabled then (m, Inline.fresh_stats ())
     else
-      match config.custom_inliner with
-      | Some decide -> Inline.run_custom ~decide ~program m
-      | None -> Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m
+      pass "inline" (fun (_, s) -> s.Inline.sites_inlined) (fun () ->
+          match config.custom_inliner with
+          | Some decide -> Inline.run_custom ~decide ~program m
+          | None -> Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m)
   in
   let size_peak = Size.of_method m in
   let m, cp2 =
-    if config.optimize then Constprop.run program m
+    if config.optimize then pass "constprop" count_cp (fun () -> Constprop.run program m)
     else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
   in
-  let m, cse = if config.optimize then Cse.run m else (m, 0) in
-  let m, copies = if config.optimize then Copyprop.run m else (m, 0) in
-  let m, removed = if config.optimize then Dce.run m else (m, 0) in
-  let m = Cleanup.run m in
+  let m, cse = if config.optimize then pass "cse" count_snd (fun () -> Cse.run m) else (m, 0) in
+  let m, copies =
+    if config.optimize then pass "copyprop" count_snd (fun () -> Copyprop.run m) else (m, 0)
+  in
+  let m, removed =
+    if config.optimize then pass "dce" count_snd (fun () -> Dce.run m) else (m, 0)
+  in
+  let m = pass "cleanup" (fun _ -> 0) (fun () -> Cleanup.run m) in
   let stats =
     {
       size_before;
@@ -114,4 +132,17 @@ let run program config m =
       dce_removed = removed;
     }
   in
+  if Trace.enabled () then
+    Trace.emit "opt.method"
+      ~fields:
+        [
+          ("method", Event.Str m.Ir.mname);
+          ("size_before", Event.Int stats.size_before);
+          ("size_peak", Event.Int stats.size_peak);
+          ("size_after", Event.Int stats.size_after);
+          ("sites_seen", Event.Int stats.sites_seen);
+          ("sites_inlined", Event.Int stats.sites_inlined);
+          ("folded", Event.Int stats.folded);
+          ("dce_removed", Event.Int stats.dce_removed);
+        ];
   (m, stats)

@@ -1,5 +1,7 @@
 open Inltune_jir
 open Inltune_opt
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
 
 (* The virtual machine: a cycle-counting interpreter over compiled JIR plus
    the adaptive optimization system.
@@ -140,26 +142,54 @@ let pipeline_config vm =
     devirt_oracle;
   }
 
+let trace_compile vm mid ~tier ~cycles ~recompile extra (c : Compile.compiled) =
+  Trace.emit "vm.compile"
+    ~fields:
+      ([
+         ("prog", Event.Str vm.prog.Ir.pname);
+         ("method", Event.Str vm.prog.Ir.methods.(mid).Ir.mname);
+         ("tier", Event.Str tier);
+         ("cycles", Event.Int cycles);
+         ("code_bytes", Event.Int c.Compile.code_bytes);
+         ("spills", Event.Int c.Compile.spills);
+         ("recompile", Event.Bool recompile);
+       ]
+      @ extra)
+
 let compile_opt vm mid =
   let m = vm.prog.Ir.methods.(mid) in
-  let c, cycles, _stats = Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m in
+  let recompile = vm.compiled.(mid) <> None in
+  let c, cycles, stats = Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.opt_compiles <- vm.opt_compiles + 1;
   vm.compiled.(mid) <- Some c;
+  if Trace.enabled () then
+    trace_compile vm mid ~tier:"opt" ~cycles ~recompile
+      [
+        ("size_before", Event.Int stats.Pipeline.size_before);
+        ("size_peak", Event.Int stats.Pipeline.size_peak);
+        ("size_after", Event.Int stats.Pipeline.size_after);
+        ("sites_inlined", Event.Int stats.Pipeline.sites_inlined);
+      ]
+      c;
   c
 
 let compile_o1 vm mid =
+  let recompile = vm.compiled.(mid) <> None in
   let c, cycles = Compile.o1 vm.plat vm.codespace vm.prog vm.prog.Ir.methods.(mid) in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.o1_compiles <- vm.o1_compiles + 1;
   vm.compiled.(mid) <- Some c;
+  if Trace.enabled () then trace_compile vm mid ~tier:"o1" ~cycles ~recompile [] c;
   c
 
 let compile_baseline vm mid =
+  let recompile = vm.compiled.(mid) <> None in
   let c, cycles = Compile.baseline vm.plat vm.codespace vm.prog.Ir.methods.(mid) in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.baseline_compiles <- vm.baseline_compiles + 1;
   vm.compiled.(mid) <- Some c;
+  if Trace.enabled () then trace_compile vm mid ~tier:"baseline" ~cycles ~recompile [] c;
   c
 
 let get_code vm mid =
@@ -327,6 +357,16 @@ let run_iteration vm =
   vm.fuel_left <- vm.cfg.fuel;
   let exec0 = vm.exec_cycles and comp0 = vm.compile_cycles and steps0 = vm.steps in
   let ret = exec vm vm.prog.Ir.main [||] in
+  if Trace.enabled () then
+    Trace.emit "vm.iteration"
+      ~fields:
+        [
+          ("prog", Event.Str vm.prog.Ir.pname);
+          ("scenario", Event.Str (scenario_name vm.cfg.scenario));
+          ("exec_cycles", Event.Int (vm.exec_cycles - exec0));
+          ("compile_cycles", Event.Int (vm.compile_cycles - comp0));
+          ("steps", Event.Int (vm.steps - steps0));
+        ];
   {
     ret;
     it_exec_cycles = vm.exec_cycles - exec0;

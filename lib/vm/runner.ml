@@ -31,20 +31,40 @@ let measure ?(iterations = 2) cfg plat prog =
     last_ret := it.Machine.ret;
     last_hash := it.Machine.it_out_hash
   done;
-  {
-    total_cycles = first.Machine.it_exec_cycles + first.Machine.it_compile_cycles;
-    running_cycles = !best;
-    first_exec_cycles = first.Machine.it_exec_cycles;
-    first_compile_cycles = first.Machine.it_compile_cycles;
-    opt_compiles = Machine.opt_compiles vm;
-    baseline_compiles = Machine.baseline_compiles vm;
-    code_bytes = Machine.code_bytes vm;
-    icache_misses = Machine.icache_misses vm;
-    icache_accesses = Machine.icache_accesses vm;
-    steps = vm.Machine.steps;
-    ret = !last_ret;
-    out_hash = !last_hash;
-  }
+  let m =
+    {
+      total_cycles = first.Machine.it_exec_cycles + first.Machine.it_compile_cycles;
+      running_cycles = !best;
+      first_exec_cycles = first.Machine.it_exec_cycles;
+      first_compile_cycles = first.Machine.it_compile_cycles;
+      opt_compiles = Machine.opt_compiles vm;
+      baseline_compiles = Machine.baseline_compiles vm;
+      code_bytes = Machine.code_bytes vm;
+      icache_misses = Machine.icache_misses vm;
+      icache_accesses = Machine.icache_accesses vm;
+      steps = vm.Machine.steps;
+      ret = !last_ret;
+      out_hash = !last_hash;
+    }
+  in
+  let module Trace = Inltune_obs.Trace in
+  let module Event = Inltune_obs.Event in
+  if Trace.enabled () then
+    Trace.emit "vm.measure"
+      ~fields:
+        [
+          ("prog", Event.Str prog.Inltune_jir.Ir.pname);
+          ("scenario", Event.Str (Machine.scenario_name cfg.Machine.scenario));
+          ("total_cycles", Event.Int m.total_cycles);
+          ("running_cycles", Event.Int m.running_cycles);
+          ("compile_cycles", Event.Int m.first_compile_cycles);
+          ("opt_compiles", Event.Int m.opt_compiles);
+          ("baseline_compiles", Event.Int m.baseline_compiles);
+          ("code_bytes", Event.Int m.code_bytes);
+          ("icache_misses", Event.Int m.icache_misses);
+          ("icache_accesses", Event.Int m.icache_accesses);
+        ];
+  m
 
 (* Pure semantic run: interpret the program once with everything that could
    perturb observable behaviour disabled (Opt scenario, chosen heuristic) and

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repo health check: full build, test suite, and a tracing round-trip smoke
+# test (trace a run + a tiny GA tune into one JSONL file, then aggregate it
+# with trace-summary and verify the expected sections appear).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== trace smoke =="
+trace=$(mktemp -t inltune_trace.XXXXXX.jsonl)
+trap 'rm -f "$trace"' EXIT
+rm -f "$trace"
+
+dune exec --no-build bin/main.exe -- run raytrace -s adapt --trace "$trace" > /dev/null
+dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --trace "$trace" > /dev/null 2>&1
+
+for ev in inline.decision vm.compile vm.measure ga.generation; do
+  grep -q "\"ev\":\"$ev\"" "$trace" || { echo "missing $ev events in trace"; exit 1; }
+done
+
+summary=$(dune exec --no-build bin/main.exe -- trace-summary "$trace")
+for section in "inlining decisions" "compile-time breakdown" "GA fitness"; do
+  echo "$summary" | grep -q "$section" || { echo "missing '$section' in trace-summary"; exit 1; }
+done
+
+echo "OK"

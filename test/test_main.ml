@@ -2,6 +2,7 @@ let () =
   Alcotest.run "inltune"
     [
       ("support", Test_support.suite);
+      ("obs", Test_obs.suite);
       ("jir", Test_jir.suite);
       ("opt", Test_opt.suite);
       ("vm", Test_vm.suite);

@@ -178,6 +178,64 @@ let test_inline_hot_site_path () =
   Alcotest.(check bool) "hot site inlined" true (stats.Inline.hot_sites_inlined >= 1);
   ignore m
 
+(* --- Inline: decision records --- *)
+
+let decision_reasons ?hot_site ~heuristic p main =
+  let ds = Inltune_support.Vec.create () in
+  let _ = Inline.run ?hot_site ~decisions:ds ~program:p ~heuristic p.Ir.methods.(main) in
+  Array.map (fun d -> Inline.reason_name d.Inline.d_reason) (Inltune_support.Vec.to_array ds)
+
+let test_decision_reasons_default () =
+  let p, _, _, main = tiny_with_helper () in
+  (* Both wrap and the helper revealed by inlining it sit below
+     ALWAYS_INLINE_SIZE, so the second Fig. 3 test fires for each. *)
+  Alcotest.(check (array string)) "reasons"
+    [| "always_inline"; "always_inline" |]
+    (decision_reasons ~heuristic:Heuristic.default p main);
+  (* Shrinking ALWAYS_INLINE_SIZE to 1 pushes both sites through the full
+     test chain instead. *)
+  let h = { Heuristic.default with Heuristic.always_inline_size = 1 } in
+  Alcotest.(check (array string)) "reasons without the always-inline shortcut"
+    [| "all_tests_pass"; "all_tests_pass" |]
+    (decision_reasons ~heuristic:h p main)
+
+let test_decision_reasons_never () =
+  let p, _, _, main = tiny_with_helper () in
+  Alcotest.(check (array string)) "everything too big" [| "callee_too_big" |]
+    (decision_reasons ~heuristic:Heuristic.never p main)
+
+let test_decision_reasons_recursive () =
+  let b = B.create "rec2" in
+  let f = B.declare b ~name:"f" ~nargs:1 in
+  B.define b f (fun mb ->
+      let one = B.const mb 1 in
+      let x = B.sub mb 0 one in
+      let r = B.call mb f [ x ] in
+      B.ret mb r);
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let z = B.const mb 3 in
+        let r = B.call mb f [ z ] in
+        B.ret mb r)
+  in
+  B.set_main b main;
+  let p = B.finish b in
+  let h = { Heuristic.default with Heuristic.always_inline_size = 20 } in
+  let reasons = decision_reasons ~heuristic:h p main in
+  Alcotest.(check bool) "self call recorded as recursive" true
+    (Array.exists (fun r -> r = "recursive") reasons)
+
+let test_decision_reasons_hot () =
+  let p, _, wrap, main = tiny_with_helper () in
+  let wrap_size = Size.of_method p.Ir.methods.(wrap) in
+  let h =
+    { Heuristic.never with Heuristic.hot_callee_max_size = wrap_size; callee_max_size = 0 }
+  in
+  let hot_site ~site_owner:_ ~callee:_ = true in
+  let reasons = decision_reasons ~hot_site ~heuristic:h p main in
+  Alcotest.(check bool) "hot path reason recorded" true
+    (Array.exists (fun r -> r = "hot_accept") reasons)
+
 (* --- Constprop --- *)
 
 let build_single ~nregs ~instrs ~term =
@@ -476,6 +534,10 @@ let suite =
     ("inline recursion guard", `Quick, test_inline_recursion_guard);
     ("inline grows registers and blocks", `Quick, test_inline_grows_registers_not_blocks_lost);
     ("inline hot-site path", `Quick, test_inline_hot_site_path);
+    ("decision reasons: default heuristic", `Quick, test_decision_reasons_default);
+    ("decision reasons: never heuristic", `Quick, test_decision_reasons_never);
+    ("decision reasons: recursion", `Quick, test_decision_reasons_recursive);
+    ("decision reasons: hot path", `Quick, test_decision_reasons_hot);
     ("constprop folds binops", `Quick, test_constprop_folds_binop);
     ("constprop folds branches", `Quick, test_constprop_folds_branch);
     ("constprop identity simplification", `Quick, test_constprop_identity_simplification);
