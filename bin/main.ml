@@ -15,6 +15,10 @@ open Inltune_vm
 open Inltune_opt
 module W = Inltune_workloads
 
+(* Bad flag values get one line on stderr and exit code 2 (usage error),
+   never a raw OCaml backtrace. *)
+let die fmt = Printf.ksprintf (fun s -> Printf.eprintf "inltune: %s\n%!" s; exit 2) fmt
+
 let platform_arg =
   let doc = "Platform model: x86 or ppc." in
   Arg.(value & opt string "x86" & info [ "platform"; "p" ] ~docv:"PLATFORM" ~doc)
@@ -34,7 +38,28 @@ let scenario_of_flag = function
   | "opt" -> Machine.Opt
   | "adapt" -> Machine.Adapt
   | "ladder" -> Machine.Ladder
-  | s -> invalid_arg ("unknown scenario " ^ s ^ " (use opt, adapt, or ladder)")
+  | s -> die "unknown scenario '%s' (valid: opt, adapt, ladder)" s
+
+let tuner_scenario_of_flag s =
+  try Tuner.scenario_of_string s
+  with Invalid_argument _ ->
+    die "unknown tuning scenario '%s' (valid: %s)" s (String.concat ", " Tuner.scenario_names)
+
+let platform_of_flag s =
+  try Platform.by_name s
+  with Invalid_argument _ -> die "unknown platform '%s' (valid: x86, ppc)" s
+
+let heuristic_of_flag s =
+  try Params.heuristic_of_string s with
+  | Invalid_argument msg -> die "bad --heuristic: %s" msg
+  | Failure _ -> die "bad --heuristic '%s': parameter values must be integers" s
+
+let find_bench name =
+  try W.Suites.find name
+  with Invalid_argument _ ->
+    die "unknown benchmark '%s' (valid: %s)" name
+      (String.concat ", "
+         (List.map (fun bm -> bm.W.Suites.bname) (W.Suites.spec @ W.Suites.dacapo)))
 
 let trace_arg =
   let doc =
@@ -80,7 +105,7 @@ let bench_arg =
 
 let show_cmd =
   let run bench full =
-    let bm = W.Suites.find bench in
+    let bm = find_bench bench in
     let p = W.Suites.program bm in
     let cg = Inltune_jir.Callgraph.build p in
     Printf.printf "%s: %s\n" bm.W.Suites.bname bm.W.Suites.bdescription;
@@ -102,10 +127,10 @@ let show_cmd =
 let run_cmd =
   let run bench scenario platform hstring iterations trace =
     setup_trace trace;
-    let bm = W.Suites.find bench in
-    let plat = Platform.by_name platform in
+    let bm = find_bench bench in
+    let plat = platform_of_flag platform in
     let scen = scenario_of_flag scenario in
-    let heuristic = Params.heuristic_of_string hstring in
+    let heuristic = heuristic_of_flag hstring in
     let t = Measure.run ~iterations ~scenario:scen ~platform:plat ~heuristic bm in
     let d = Measure.run_default ~iterations ~scenario:scen ~platform:plat bm in
     let raw = t.Measure.raw in
@@ -132,18 +157,51 @@ let run_cmd =
 
 (* --- tune ---------------------------------------------------------------- *)
 
+let checkpoint_arg =
+  let doc =
+    "Append a GA snapshot to $(docv) after every generation (JSONL); a later run can pick \
+     up from it with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume the GA from the last valid snapshot in $(docv) (written by $(b,--checkpoint)).  \
+     The continued run is deterministic: it produces exactly the result an uninterrupted \
+     run would have."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let max_retries_arg =
+  let doc =
+    "How many times to retry a transiently failing fitness evaluation before the genome is \
+     penalized and quarantined."
+  in
+  Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
+
 let tune_cmd =
-  let run scenario pop gens seed trace =
+  let run scenario pop gens seed max_retries checkpoint resume trace =
     setup_trace trace;
-    let id = Tuner.scenario_of_string scenario in
+    let id = tuner_scenario_of_flag scenario in
     let budget = { Tuner.pop; gens; seed } in
-    let ctx = Experiments.make_ctx ~budget () in
-    let o = Experiments.tuned ctx id in
+    let on_generation (p : Inltune_ga.Evolve.progress) =
+      Printf.eprintf "[inltune]   gen %2d: best %.4f mean %.4f (%d evals)\n%!"
+        p.Inltune_ga.Evolve.generation p.Inltune_ga.Evolve.best_fitness
+        p.Inltune_ga.Evolve.mean_fitness p.Inltune_ga.Evolve.evaluations
+    in
+    let o = Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries id in
     Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
+    (match o.Tuner.degraded with
+    | Some reason -> Printf.printf "search stopped early: %s\n" reason
+    | None -> ());
     Printf.printf "best heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
     Printf.printf "fitness (geomean vs default, lower is better): %.4f\n" o.Tuner.fitness;
     Printf.printf "distinct evaluations: %d (cache hits: %d)\n"
-      o.Tuner.ga.Inltune_ga.Evolve.evaluations o.Tuner.ga.Inltune_ga.Evolve.cache_hits
+      o.Tuner.ga.Inltune_ga.Evolve.evaluations o.Tuner.ga.Inltune_ga.Evolve.cache_hits;
+    let failures = o.Tuner.ga.Inltune_ga.Evolve.failures in
+    if failures > 0 then
+      Printf.printf "evaluation failures: %d (quarantined genotypes: %d)\n" failures
+        o.Tuner.ga.Inltune_ga.Evolve.quarantined
   in
   let scenario =
     Arg.(
@@ -156,13 +214,15 @@ let tune_cmd =
   let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
-    Term.(const run $ scenario $ pop $ gens $ seed $ trace_arg)
+    Term.(
+      const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ checkpoint_arg
+      $ resume_arg $ trace_arg)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
 let export_cmd =
   let run bench file =
-    let bm = W.Suites.find bench in
+    let bm = find_bench bench in
     let text = Inltune_jir.Text.to_string (W.Suites.program bm) in
     match file with
     | None -> print_string text
@@ -190,9 +250,9 @@ let run_file_cmd =
       Printf.eprintf "%s: line %d: %s\n" path e.Inltune_jir.Text.line e.Inltune_jir.Text.msg;
       exit 1
     | Ok p ->
-      let plat = Platform.by_name platform in
+      let plat = platform_of_flag platform in
       let scen = scenario_of_flag scenario in
-      let heuristic = Params.heuristic_of_string hstring in
+      let heuristic = heuristic_of_flag hstring in
       let m = Runner.measure (Machine.config scen heuristic) plat p in
       Printf.printf "%s under %s on %s with %s\n" p.Inltune_jir.Ir.pname scenario platform
         (Heuristic.to_string heuristic);
@@ -210,8 +270,8 @@ let run_file_cmd =
 
 let knapsack_cmd =
   let run bench platform limit =
-    let bm = W.Suites.find bench in
-    let plat = Platform.by_name platform in
+    let bm = find_bench bench in
+    let plat = platform_of_flag platform in
     let plan, kn = Knapsack.measure ~expansion_limit:limit plat bm in
     let off = Measure.run_no_inlining ~scenario:Machine.Opt ~platform:plat bm in
     let def = Measure.run_default ~scenario:Machine.Opt ~platform:plat bm in
@@ -253,7 +313,7 @@ let search_cmd =
       | "random" ->
         let b, f = Inltune_ga.Evolve.random_search ~spec:Params.genome_spec ~budget ~seed ~fitness () in
         (b, f, budget)
-      | s -> invalid_arg ("unknown searcher " ^ s ^ " (use hill, anneal, or random)")
+      | s -> die "unknown searcher '%s' (valid: hill, anneal, random)" s
     in
     Printf.printf "%s search: best %s  fitness %.4f  (%d evaluations)\n" algo
       (Heuristic.to_string (Heuristic.of_array best))
@@ -295,10 +355,14 @@ let trace_summary_cmd =
 (* --- experiment ----------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run id pop gens seed quiet trace =
+  let run id pop gens seed quiet max_retries checkpoint resume trace =
     setup_trace trace;
     let budget = { Tuner.pop; gens; seed } in
-    let ctx = Experiments.make_ctx ~verbose:(not quiet) ~budget () in
+    (* One experiment tunes several scenarios, so the checkpoint/resume paths
+       here are bases: each GA run appends ".<scenario-slug>". *)
+    let ctx =
+      Experiments.make_ctx ~verbose:(not quiet) ~budget ?checkpoint ?resume ~max_retries ()
+    in
     Experiments.run_one ctx id
   in
   let id =
@@ -313,7 +377,9 @@ let experiment_cmd =
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress GA progress on stderr") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ id $ pop $ gens $ seed $ quiet $ trace_arg)
+    Term.(
+      const run $ id $ pop $ gens $ seed $ quiet $ max_retries_arg $ checkpoint_arg
+      $ resume_arg $ trace_arg)
 
 let main_cmd =
   let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in
@@ -323,4 +389,10 @@ let main_cmd =
       knapsack_cmd; search_cmd; trace_summary_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (match Inltune_resilience.Faultinject.init_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "inltune: bad INLTUNE_FAULTS: %s\n%!" msg;
+    exit 2);
+  exit (Cmd.eval main_cmd)

@@ -13,14 +13,22 @@ module Stats = Inltune_support.Stats
 type ctx = {
   budget : Tuner.budget;
   verbose : bool;
+  checkpoint : string option;  (* base path; per-scenario suffix appended *)
+  resume : string option;
+  max_retries : int;
   mutable tuned : (Tuner.scenario_id * Tuner.outcome) list;
 }
 
-let make_ctx ?(verbose = true) ?(budget = Tuner.default_budget) () =
-  { budget; verbose; tuned = [] }
+let make_ctx ?(verbose = true) ?(budget = Tuner.default_budget) ?checkpoint ?resume
+    ?(max_retries = 1) () =
+  { budget; verbose; checkpoint; resume; max_retries; tuned = [] }
 
 let progress ctx fmt =
   Printf.ksprintf (fun s -> if ctx.verbose then Printf.eprintf "[inltune] %s\n%!" s) fmt
+
+(* One experiment drives several GA runs (Table 4 tunes all five scenarios),
+   so a single --checkpoint path fans out into one file per scenario. *)
+let scenario_path base id = Printf.sprintf "%s.%s" base (Tuner.scenario_slug id)
 
 let tuned ctx id =
   match List.assoc_opt id ctx.tuned with
@@ -34,8 +42,16 @@ let tuned ctx id =
         p.Inltune_ga.Evolve.best_fitness p.Inltune_ga.Evolve.mean_fitness
         p.Inltune_ga.Evolve.evaluations
     in
-    let o = Tuner.tune ~budget:ctx.budget ~on_generation id in
+    let checkpoint = Option.map (fun b -> scenario_path b id) ctx.checkpoint in
+    let resume = Option.map (fun b -> scenario_path b id) ctx.resume in
+    let o =
+      Tuner.tune ~budget:ctx.budget ~on_generation ?checkpoint ?resume
+        ~max_retries:ctx.max_retries id
+    in
     ctx.tuned <- (id, o) :: ctx.tuned;
+    (match o.Tuner.degraded with
+    | Some reason -> progress ctx "  !! search stopped early: %s" reason
+    | None -> ());
     progress ctx "  -> %s  fitness %.4f" (Heuristic.to_string o.Tuner.heuristic) o.Tuner.fitness;
     o
 

@@ -47,8 +47,29 @@ let fitness ~suite ~scenario ~platform ~goal =
     in
     Stats.geomean (Array.of_list scores)
 
-(* Genome-level fitness for the GA. *)
+(* Which exceptions a fitness evaluation may raise transiently — worth a
+   bounded retry before the genome is penalized and quarantined.  Everything
+   else is a bug and should fail fast (the guarded GA still isolates it to
+   the one genome, but does not retry). *)
+let transient_failure = function
+  | Inltune_vm.Machine.Out_of_fuel | Inltune_vm.Machine.Trap _ -> true
+  | Stack_overflow -> true
+  | Inltune_resilience.Faultinject.Injected _ -> true
+  | _ -> false
+
+(* Genome-level fitness for the GA.  This is the evaluation stack's fault
+   boundary: each call checks the "eval" fault-injection site, so CI can make
+   the k-th evaluation raise, burn its fuel budget, or return corrupt output
+   and exercise the retry/penalty/quarantine paths end to end. *)
 let genome_fitness ~suite ~scenario ~platform ~goal =
   let f = fitness ~suite ~scenario ~platform ~goal in
-  fun g -> f (Heuristic.of_array g)
+  fun g ->
+    match Inltune_resilience.Faultinject.check "eval" with
+    | Some Inltune_resilience.Faultinject.Raise ->
+      raise (Inltune_resilience.Faultinject.Injected "eval")
+    | Some Inltune_resilience.Faultinject.Hang ->
+      (* A hung evaluation is one that burns its whole fuel budget. *)
+      raise Inltune_vm.Machine.Out_of_fuel
+    | Some Inltune_resilience.Faultinject.Corrupt -> Float.nan
+    | None -> f (Heuristic.of_array g)
 

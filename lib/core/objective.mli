@@ -25,7 +25,14 @@ val fitness :
   goal:goal ->
   Heuristic.t -> float
 
-(** {!fitness} composed with the genome decoding, for the GA. *)
+(** Whether an exception is a transient evaluation failure — fuel
+    exhaustion, a VM trap, a stack overflow, or an injected fault — worth a
+    bounded retry before the genome is penalized. *)
+val transient_failure : exn -> bool
+
+(** {!fitness} composed with the genome decoding, for the GA.  Each call
+    checks the ["eval"] fault-injection site (see
+    {!Inltune_resilience.Faultinject}), so failure paths are testable. *)
 val genome_fitness :
   suite:Inltune_workloads.Suites.benchmark list ->
   scenario:Inltune_vm.Machine.scenario ->

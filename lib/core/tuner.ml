@@ -30,6 +30,8 @@ let spec_of = function
 
 let all_scenarios = [ Adapt_x86; Opt_bal_x86; Opt_tot_x86; Adapt_ppc; Opt_bal_ppc ]
 
+let scenario_names = [ "adapt"; "opt:bal"; "opt:tot"; "adapt-ppc"; "opt:bal-ppc" ]
+
 let scenario_of_string = function
   | "adapt" -> Adapt_x86
   | "opt:bal" -> Opt_bal_x86
@@ -37,6 +39,14 @@ let scenario_of_string = function
   | "adapt-ppc" -> Adapt_ppc
   | "opt:bal-ppc" -> Opt_bal_ppc
   | s -> invalid_arg ("Tuner.scenario_of_string: " ^ s)
+
+(* File-name-safe scenario tag (checkpoint paths, per-scenario artifacts). *)
+let scenario_slug = function
+  | Adapt_x86 -> "adapt"
+  | Opt_bal_x86 -> "opt_bal"
+  | Opt_tot_x86 -> "opt_tot"
+  | Adapt_ppc -> "adapt_ppc"
+  | Opt_bal_ppc -> "opt_bal_ppc"
 
 (* Search effort.  The paper evolves 20 individuals over 500 generations on
    real hardware over days; the simulator makes far smaller budgets converge
@@ -50,10 +60,27 @@ type outcome = {
   heuristic : Heuristic.t;
   fitness : float;  (* geomean vs default; < 1 is an improvement *)
   ga : Ga.Evolve.result;
+  degraded : string option;  (* why the search stopped early, if it did *)
 }
 
+(* Failure isolation for fitness evaluation: retry transient VM failures,
+   penalize and quarantine genomes that keep failing, stop the search (with
+   the best-known answer) if a generation's failure rate explodes. *)
+let guard ~max_retries =
+  { Ga.Evolve.default_guard with Ga.Evolve.max_retries; classify = Objective.transient_failure }
+
+(* A search can degrade so far that its "best" genome is itself a penalized
+   failure; shipping that as a tuned heuristic would be worse than useless,
+   so fall back to the Jikes default (paper Table 4, column 1). *)
+let best_or_default gu (ga : Ga.Evolve.result) =
+  if Float.is_finite ga.Ga.Evolve.best_fitness
+     && ga.Ga.Evolve.best_fitness < gu.Ga.Evolve.penalty
+  then Heuristic.of_array ga.Ga.Evolve.best
+  else Heuristic.default
+
 (* Tune the heuristic for one scenario over the training suite. *)
-let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec) id =
+let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
+    ?checkpoint ?resume ?(max_retries = 1) id =
   let spec = spec_of id in
   let fitness =
     Objective.genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
@@ -67,16 +94,21 @@ let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.sp
       seed = budget.seed;
     }
   in
-  let ga = Ga.Evolve.run ?on_generation ~spec:Params.genome_spec ~params ~fitness () in
+  let gu = guard ~max_retries in
+  let ga =
+    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~spec:Params.genome_spec
+      ~params ~fitness ()
+  in
   {
     spec;
-    heuristic = Heuristic.of_array ga.Ga.Evolve.best;
+    heuristic = best_or_default gu ga;
     fitness = ga.Ga.Evolve.best_fitness;
     ga;
+    degraded = ga.Ga.Evolve.stopped;
   }
 
 (* Per-program tuning for running time (paper Fig. 10). *)
-let tune_per_program ?(budget = default_budget) bm =
+let tune_per_program ?(budget = default_budget) ?(max_retries = 1) bm =
   let suite = [ bm ] in
   let fitness =
     Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
@@ -90,5 +122,6 @@ let tune_per_program ?(budget = default_budget) bm =
       seed = budget.seed;
     }
   in
-  let ga = Ga.Evolve.run ~spec:Params.genome_spec ~params ~fitness () in
-  (Heuristic.of_array ga.Ga.Evolve.best, ga.Ga.Evolve.best_fitness)
+  let gu = guard ~max_retries in
+  let ga = Ga.Evolve.run ~guard:gu ~spec:Params.genome_spec ~params ~fitness () in
+  (best_or_default gu ga, ga.Ga.Evolve.best_fitness)

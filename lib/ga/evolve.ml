@@ -3,6 +3,9 @@ module Pool = Inltune_support.Pool
 module Stats = Inltune_support.Stats
 module Trace = Inltune_obs.Trace
 module Event = Inltune_obs.Event
+module Metric = Inltune_obs.Metric
+module Sandbox = Inltune_resilience.Sandbox
+module Checkpoint = Inltune_resilience.Checkpoint
 
 (* Generational genetic algorithm over integer-vector genomes, minimizing a
    fitness function — the role ECJ plays in the paper.
@@ -11,7 +14,22 @@ module Event = Inltune_obs.Event
    population with offspring produced by tournament selection, one-point
    crossover and per-gene reset mutation.  Fitness evaluations are memoized
    (the GA revisits genotypes constantly) and cache misses of a generation
-   are evaluated in parallel across domains. *)
+   are evaluated in parallel across domains.
+
+   The paper's searches run for days; two mechanisms keep them alive:
+
+   - A [guard] makes evaluation fault-tolerant: each cache miss runs inside
+     [Sandbox.protect] (bounded retry, deterministic backoff), a genome whose
+     every attempt fails gets the penalty fitness and is quarantined so it is
+     never evaluated again, and a generation whose fresh-evaluation failure
+     rate exceeds the threshold stops the search gracefully — best-known
+     result, recorded reason — instead of crashing it.
+
+   - [checkpoint] appends one complete snapshot per generation (population,
+     RNG state, memo cache, quarantine, history, counters); [resume] restores
+     the snapshot and continues bit-identically to an uninterrupted run,
+     because every stochastic choice flows through the restored RNG and no
+     fitness is ever recomputed. *)
 
 type params = {
   pop_size : int;
@@ -36,6 +54,25 @@ let default_params =
     domains = None;
   }
 
+(* Failure isolation policy for fitness evaluation.  [classify] decides which
+   exceptions are sandboxed (retried, then penalized); anything else is still
+   isolated per-item by the pool but fails without retry. *)
+type guard = {
+  max_retries : int;          (* additional attempts after the first failure *)
+  penalty : float;            (* fitness assigned to genomes that keep failing *)
+  failure_threshold : float;  (* stop when > this fraction of a generation's
+                                 fresh evaluations fail *)
+  classify : exn -> bool;     (* transient (retryable) failure? *)
+}
+
+let default_guard =
+  {
+    max_retries = 1;
+    penalty = 1.0e6;
+    failure_threshold = 0.5;
+    classify = (fun _ -> true);
+  }
+
 type progress = {
   generation : int;
   best_fitness : float;
@@ -49,6 +86,9 @@ type result = {
   history : progress list;  (* oldest first *)
   evaluations : int;
   cache_hits : int;
+  failures : int;           (* distinct genomes whose evaluation failed *)
+  quarantined : int;        (* size of the quarantine set at the end *)
+  stopped : string option;  (* reason the search degraded/stopped early *)
 }
 
 let crossover rng a b =
@@ -70,15 +110,39 @@ let mutate spec params rng g =
       else v)
     g
 
-let run ?on_generation ~spec ~params ~fitness () =
+let progress_entry p =
+  {
+    Checkpoint.e_gen = p.generation;
+    e_best = p.best_fitness;
+    e_mean = p.mean_fitness;
+    e_evals = p.evaluations;
+  }
+
+let entry_progress (e : Checkpoint.entry) =
+  {
+    generation = e.Checkpoint.e_gen;
+    best_fitness = e.Checkpoint.e_best;
+    mean_fitness = e.Checkpoint.e_mean;
+    evaluations = e.Checkpoint.e_evals;
+  }
+
+let run ?on_generation ?guard ?checkpoint ?resume ~spec ~params ~fitness () =
   if params.pop_size < 2 then invalid_arg "Evolve.run: population too small";
   if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
   if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
-  let rng = Rng.create params.seed in
   let t_start = Trace.now () in
+  let c_quarantined = Metric.counter "eval.quarantined" in
+  let c_quarantine_hits = Metric.counter "eval.quarantine_hits" in
   let cache : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let quarantine : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let evaluations = ref 0 in
   let cache_hits = ref 0 in
+  let failures = ref 0 in
+  let retries = ref 0 in
+  let stopped = ref None in
+  (* Failure rate of the most recent evaluate_all, for the degradation check. *)
+  let last_failed = ref 0 in
+  let last_attempted = ref 0 in
   let evaluate_all pop =
     (* Partition into cached and new genotypes; evaluate the new ones in
        parallel, then read everything from the cache. *)
@@ -86,23 +150,124 @@ let run ?on_generation ~spec ~params ~fitness () =
     Array.iter
       (fun g ->
         let k = Genome.key g in
-        if Hashtbl.mem cache k then incr cache_hits
+        if Hashtbl.mem cache k then begin
+          incr cache_hits;
+          if Hashtbl.mem quarantine k then Metric.incr c_quarantine_hits
+        end
         else if not (Hashtbl.mem fresh k) then Hashtbl.add fresh k g)
       pop;
     let todo = Hashtbl.fold (fun _ g acc -> g :: acc) fresh [] |> Array.of_list in
     (* Sort for a deterministic evaluation order independent of hashing. *)
     Array.sort compare todo;
-    let scores = Pool.map ?domains:params.domains fitness todo in
-    Array.iteri
-      (fun i g ->
-        Hashtbl.replace cache (Genome.key g) scores.(i);
-        incr evaluations)
-      todo;
+    (match guard with
+    | None ->
+      (* Legacy semantics: any failure escapes as Pool.Worker_failure. *)
+      let scores = Pool.map ?domains:params.domains fitness todo in
+      Array.iteri
+        (fun i g ->
+          Hashtbl.replace cache (Genome.key g) scores.(i);
+          incr evaluations)
+        todo
+    | Some gu ->
+      let outcomes =
+        Pool.map_result ?domains:params.domains
+          (fun g ->
+            Sandbox.protect ~max_retries:gu.max_retries ~classify:gu.classify ~site:"eval"
+              (fun () -> fitness g))
+          todo
+      in
+      let failed_here = ref 0 in
+      Array.iteri
+        (fun i g ->
+          let k = Genome.key g in
+          (match outcomes.(i) with
+          | Ok (Ok ok) ->
+            retries := !retries + (ok.Sandbox.attempts - 1);
+            Hashtbl.replace cache k ok.Sandbox.value
+          | Ok (Error fl) ->
+            (* Sandboxed failure: every attempt raised or returned garbage. *)
+            incr failed_here;
+            retries := !retries + (fl.Sandbox.f_attempts - 1);
+            Hashtbl.replace cache k gu.penalty;
+            Hashtbl.replace quarantine k ();
+            Metric.incr c_quarantined;
+            if Trace.enabled () then
+              Trace.emit "eval.quarantine"
+                ~fields:
+                  [
+                    ("genome", Event.Str k);
+                    ("attempts", Event.Int fl.Sandbox.f_attempts);
+                    ("reason", Event.Str fl.Sandbox.f_reason);
+                  ]
+          | Error e ->
+            (* Non-sandboxable exception (guard.classify rejected it): the
+               pool still isolated it, so penalize without retry. *)
+            incr failed_here;
+            Metric.incr (Metric.counter "eval.failures");
+            Hashtbl.replace cache k gu.penalty;
+            Hashtbl.replace quarantine k ();
+            Metric.incr c_quarantined;
+            if Trace.enabled () then
+              Trace.emit "eval.quarantine"
+                ~fields:
+                  [
+                    ("genome", Event.Str k);
+                    ("attempts", Event.Int 1);
+                    ("reason", Event.Str (Printexc.to_string e));
+                  ]);
+          incr evaluations)
+        todo;
+      failures := !failures + !failed_here;
+      last_failed := !failed_here;
+      last_attempted := Array.length todo);
     Array.map (fun g -> Hashtbl.find cache (Genome.key g)) pop
   in
-  let pop = ref (Array.init params.pop_size (fun _ -> Genome.random spec rng)) in
-  let fits = ref (evaluate_all !pop) in
-  let best = ref !pop.(0) in
+  let degraded gen =
+    match guard with
+    | Some gu
+      when !last_attempted > 0
+           && Float.of_int !last_failed /. Float.of_int !last_attempted > gu.failure_threshold ->
+      let reason =
+        Printf.sprintf "generation %d: %d of %d fresh evaluations failed (threshold %.2f)" gen
+          !last_failed !last_attempted gu.failure_threshold
+      in
+      if Trace.enabled () then
+        Trace.emit "ga.degraded"
+          ~fields:
+            [
+              ("gen", Event.Int gen);
+              ("failed", Event.Int !last_failed);
+              ("attempted", Event.Int !last_attempted);
+              ("threshold", Event.Float gu.failure_threshold);
+            ];
+      Some reason
+    | _ -> None
+  in
+  (* Restore a snapshot, or build generation 0 from scratch. *)
+  let restored =
+    match resume with
+    | None -> None
+    | Some path -> (
+      match Checkpoint.load ~path with
+      | Error msg -> invalid_arg (Printf.sprintf "Evolve.run: cannot resume: %s" msg)
+      | Ok s ->
+        if s.Checkpoint.pop_size <> params.pop_size || s.Checkpoint.seed <> params.seed then
+          invalid_arg
+            (Printf.sprintf
+               "Evolve.run: checkpoint was written with pop_size %d seed %d, params say %d/%d"
+               s.Checkpoint.pop_size s.Checkpoint.seed params.pop_size params.seed);
+        if not (Array.for_all (Genome.valid spec) s.Checkpoint.pop) then
+          invalid_arg "Evolve.run: checkpoint population does not fit the genome spec";
+        Some s)
+  in
+  let rng =
+    match restored with
+    | Some s -> Rng.of_state s.Checkpoint.rng
+    | None -> Rng.create params.seed
+  in
+  let pop = ref [||] in
+  let fits = ref [||] in
+  let best = ref [||] in
   let best_fit = ref infinity in
   let history = ref [] in
   let note_generation gen =
@@ -135,7 +300,62 @@ let run ?on_generation ~spec ~params ~fitness () =
           ];
     match on_generation with Some f -> f p | None -> ()
   in
-  note_generation 0;
+  let write_ckpt gen =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      let cache_assoc =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let quarantine_keys =
+        Hashtbl.fold (fun k () acc -> k :: acc) quarantine [] |> List.sort compare
+      in
+      Checkpoint.write ~path
+        {
+          Checkpoint.gen;
+          rng = Rng.state rng;
+          pop = !pop;
+          best = !best;
+          best_fitness = !best_fit;
+          cache = cache_assoc;
+          quarantine = quarantine_keys;
+          history = List.rev_map progress_entry !history;
+          evaluations = !evaluations;
+          cache_hits = !cache_hits;
+          failures = !failures;
+          retries = !retries;
+          pop_size = params.pop_size;
+          seed = params.seed;
+        }
+  in
+  let start_gen =
+    match restored with
+    | Some s ->
+      pop := s.Checkpoint.pop;
+      List.iter (fun (k, v) -> Hashtbl.replace cache k v) s.Checkpoint.cache;
+      List.iter (fun k -> Hashtbl.replace quarantine k ()) s.Checkpoint.quarantine;
+      evaluations := s.Checkpoint.evaluations;
+      cache_hits := s.Checkpoint.cache_hits;
+      failures := s.Checkpoint.failures;
+      retries := s.Checkpoint.retries;
+      best := s.Checkpoint.best;
+      best_fit := s.Checkpoint.best_fitness;
+      history := List.rev_map entry_progress s.Checkpoint.history;
+      fits := Array.map (fun g -> Hashtbl.find cache (Genome.key g)) !pop;
+      if Trace.enabled () then
+        Trace.emit "ga.resume"
+          ~fields:
+            [ ("gen", Event.Int s.Checkpoint.gen); ("evals", Event.Int !evaluations) ];
+      s.Checkpoint.gen + 1
+    | None ->
+      pop := Array.init params.pop_size (fun _ -> Genome.random spec rng);
+      fits := evaluate_all !pop;
+      note_generation 0;
+      write_ckpt 0;
+      (match degraded 0 with Some r -> stopped := Some r | None -> ());
+      1
+  in
   let select () =
     (* Tournament: best (lowest fitness) of [tournament] uniform picks. *)
     let best_i = ref (Rng.int rng params.pop_size) in
@@ -145,28 +365,34 @@ let run ?on_generation ~spec ~params ~fitness () =
     done;
     !pop.(!best_i)
   in
-  for gen = 1 to params.generations do
-    (* Elites: indices of the best [elites] individuals. *)
-    let order = Array.init params.pop_size (fun i -> i) in
-    Array.sort (fun a b -> compare !fits.(a) !fits.(b)) order;
-    let next = Inltune_support.Vec.create () in
-    for e = 0 to params.elites - 1 do
-      Inltune_support.Vec.push next (Array.copy !pop.(order.(e)))
-    done;
-    while Inltune_support.Vec.length next < params.pop_size do
-      let a = select () and b = select () in
-      let c1, c2 =
-        if Rng.chance rng params.crossover_prob then crossover rng a b
-        else (Array.copy a, Array.copy b)
-      in
-      Inltune_support.Vec.push next (mutate spec params rng c1);
-      if Inltune_support.Vec.length next < params.pop_size then
-        Inltune_support.Vec.push next (mutate spec params rng c2)
-    done;
-    pop := Inltune_support.Vec.to_array next;
-    fits := evaluate_all !pop;
-    note_generation gen
-  done;
+  let exception Stop in
+  (try
+     for gen = start_gen to params.generations do
+       if !stopped <> None then raise Stop;
+       (* Elites: indices of the best [elites] individuals. *)
+       let order = Array.init params.pop_size (fun i -> i) in
+       Array.sort (fun a b -> compare !fits.(a) !fits.(b)) order;
+       let next = Inltune_support.Vec.create () in
+       for e = 0 to params.elites - 1 do
+         Inltune_support.Vec.push next (Array.copy !pop.(order.(e)))
+       done;
+       while Inltune_support.Vec.length next < params.pop_size do
+         let a = select () and b = select () in
+         let c1, c2 =
+           if Rng.chance rng params.crossover_prob then crossover rng a b
+           else (Array.copy a, Array.copy b)
+         in
+         Inltune_support.Vec.push next (mutate spec params rng c1);
+         if Inltune_support.Vec.length next < params.pop_size then
+           Inltune_support.Vec.push next (mutate spec params rng c2)
+       done;
+       pop := Inltune_support.Vec.to_array next;
+       fits := evaluate_all !pop;
+       note_generation gen;
+       write_ckpt gen;
+       match degraded gen with Some r -> stopped := Some r | None -> ()
+     done
+   with Stop -> ());
   if Trace.enabled () then
     Trace.emit "ga.result"
       ~fields:
@@ -174,6 +400,7 @@ let run ?on_generation ~spec ~params ~fitness () =
           ("best", Event.Float !best_fit);
           ("evals", Event.Int !evaluations);
           ("cache_hits", Event.Int !cache_hits);
+          ("failures", Event.Int !failures);
           ("wall_s", Event.Float (Trace.now () -. t_start));
         ];
   {
@@ -182,6 +409,9 @@ let run ?on_generation ~spec ~params ~fitness () =
     history = List.rev !history;
     evaluations = !evaluations;
     cache_hits = !cache_hits;
+    failures = !failures;
+    quarantined = Hashtbl.length quarantine;
+    stopped = !stopped;
   }
 
 (* Random search with the same evaluation budget — the ablation baseline the

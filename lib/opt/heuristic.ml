@@ -89,14 +89,26 @@ let to_array t =
     t.hot_callee_max_size;
   |]
 
+(* Paper Table 1: the GA's search ranges. *)
+let ranges = [| (1, 50); (1, 20); (1, 15); (1, 4000); (1, 400) |]
+
+(* Genes arrive from the GA, hand-written CLI overrides, and checkpoint
+   files; the last two can carry anything.  Clamping into the Table 1 ranges
+   here means no caller can build an out-of-range heuristic (a 0 or negative
+   parameter would make the Fig. 3 tests nonsensical), and the GA's own
+   genomes are always in range already so clamping never alters them. *)
 let of_array a =
   if Array.length a <> 5 then invalid_arg "Heuristic.of_array: need 5 genes";
+  let clamp i v =
+    let lo, hi = ranges.(i) in
+    max lo (min hi v)
+  in
   {
-    callee_max_size = a.(0);
-    always_inline_size = a.(1);
-    max_inline_depth = a.(2);
-    caller_max_size = a.(3);
-    hot_callee_max_size = a.(4);
+    callee_max_size = clamp 0 a.(0);
+    always_inline_size = clamp 1 a.(1);
+    max_inline_depth = clamp 2 a.(2);
+    caller_max_size = clamp 3 a.(3);
+    hot_callee_max_size = clamp 4 a.(4);
   }
 
 let equal a b = a = b
@@ -114,9 +126,6 @@ let param_names =
     "CALLER_MAX_SIZE";
     "HOT_CALLEE_MAX_SIZE";
   |]
-
-(* Paper Table 1: the GA's search ranges. *)
-let ranges = [| (1, 50); (1, 20); (1, 15); (1, 4000); (1, 400) |]
 
 let clamp_to_ranges a =
   Array.mapi

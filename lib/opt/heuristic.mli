@@ -51,7 +51,9 @@ val consider_hot : t -> callee_size:int -> bool
 (** Genome encoding: the five parameters in Table 1 order. *)
 val to_array : t -> int array
 
-(** Inverse of {!to_array}; raises on wrong length. *)
+(** Inverse of {!to_array} for in-range genes; raises on wrong length and
+    clamps each gene into its Table 1 range, so a corrupt checkpoint or
+    hand-written genome cannot produce an out-of-range heuristic. *)
 val of_array : int array -> t
 
 val equal : t -> t -> bool

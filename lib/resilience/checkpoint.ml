@@ -1,0 +1,288 @@
+(* GA checkpoint files: append-only JSONL, one self-contained snapshot per
+   generation.
+
+   The snapshot carries everything the search needs to continue bit-identically
+   from where it stopped: the population, the RNG's raw state (all stochastic
+   choices flow through it), the fitness memo cache (so no evaluation is
+   repeated), the quarantine set (so known-bad genotypes stay penalized), the
+   generation history, and the running counters.  Floats are printed with
+   "%.17g" so parsing them back yields the identical bit pattern, and the RNG
+   state is carried as a decimal string because JSON numbers are doubles and
+   would silently round an int64.
+
+   Append-only JSONL is deliberate: a run killed mid-write leaves at most one
+   truncated final line, and the loader walks backwards to the last line that
+   parses — the previous generation's complete snapshot. *)
+
+module Json = Inltune_obs.Json
+module Metric = Inltune_obs.Metric
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
+
+let version = 1
+
+type entry = {
+  e_gen : int;
+  e_best : float;
+  e_mean : float;
+  e_evals : int;
+}
+
+type state = {
+  gen : int;                      (* last completed generation *)
+  rng : int64;                    (* raw RNG state after this generation *)
+  pop : int array array;
+  best : int array;
+  best_fitness : float;
+  cache : (string * float) list;  (* genome key -> fitness, sorted by key *)
+  quarantine : string list;       (* genome keys, sorted *)
+  history : entry list;           (* oldest first *)
+  evaluations : int;
+  cache_hits : int;
+  failures : int;
+  retries : int;
+  pop_size : int;                 (* echo of the run's params, for validation *)
+  seed : int;
+}
+
+(* --- writing ------------------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape_into buf s;
+  Buffer.add_char buf '"'
+
+(* Exact round-trip: %.17g re-parses to the identical double.  Non-finite
+   values are not JSON numbers, so carry them as strings ("inf", "nan"). *)
+let add_float buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else add_str buf (if f > 0.0 then "inf" else if f < 0.0 then "-inf" else "nan")
+
+let add_int_array buf a =
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    a;
+  Buffer.add_char buf ']'
+
+let to_line s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"v\":%d,\"gen\":%d,\"rng\":" version s.gen);
+  add_str buf (Int64.to_string s.rng);
+  Buffer.add_string buf ",\"pop_size\":";
+  Buffer.add_string buf (string_of_int s.pop_size);
+  Buffer.add_string buf ",\"seed\":";
+  Buffer.add_string buf (string_of_int s.seed);
+  Buffer.add_string buf ",\"pop\":[";
+  Array.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_int_array buf g)
+    s.pop;
+  Buffer.add_string buf "],\"best\":";
+  add_int_array buf s.best;
+  Buffer.add_string buf ",\"best_fitness\":";
+  add_float buf s.best_fitness;
+  Buffer.add_string buf ",\"cache\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_float buf v)
+    s.cache;
+  Buffer.add_string buf "},\"quarantine\":[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k)
+    s.quarantine;
+  Buffer.add_string buf "],\"history\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"gen\":%d,\"best\":" e.e_gen);
+      add_float buf e.e_best;
+      Buffer.add_string buf ",\"mean\":";
+      add_float buf e.e_mean;
+      Buffer.add_string buf (Printf.sprintf ",\"evals\":%d}" e.e_evals))
+    s.history;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"evaluations\":%d,\"cache_hits\":%d,\"failures\":%d,\"retries\":%d}"
+       s.evaluations s.cache_hits s.failures s.retries);
+  Buffer.contents buf
+
+let write ~path s =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_line s);
+      output_char oc '\n');
+  Metric.incr (Metric.counter "ckpt.writes");
+  if Trace.enabled () then
+    Trace.emit "ckpt.write"
+      ~fields:[ ("gen", Event.Int s.gen); ("cache", Event.Int (List.length s.cache)) ]
+
+(* --- reading ------------------------------------------------------------- *)
+
+let field name j = Json.member name j
+
+let get_int name j =
+  match Option.bind (field name j) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-integer %S" name)
+
+let get_float name j =
+  match field name j with
+  | Some (Json.Num f) -> Ok f
+  | Some (Json.Str s) -> (
+    (* Non-finite values round-trip as strings ("inf", "-inf", "nan"). *)
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad float string %S in %S" s name))
+  | _ -> Error (Printf.sprintf "missing or non-number %S" name)
+
+let get_str name j =
+  match Option.bind (field name j) Json.to_string with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S" name)
+
+let ( let* ) = Result.bind
+
+let int_array name j =
+  match field name j with
+  | Some (Json.List items) ->
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | it :: rest -> (
+        match Json.to_int it with
+        | Some v -> go (v :: acc) rest
+        | None -> Error (Printf.sprintf "non-integer element in %S" name))
+    in
+    go [] items
+  | _ -> Error (Printf.sprintf "missing or non-array %S" name)
+
+let of_json j =
+  let* v = get_int "v" j in
+  if v <> version then Error (Printf.sprintf "unsupported checkpoint version %d" v)
+  else
+    let* gen = get_int "gen" j in
+    let* rng_s = get_str "rng" j in
+    let* rng =
+      match Int64.of_string_opt rng_s with
+      | Some r -> Ok r
+      | None -> Error (Printf.sprintf "bad rng state %S" rng_s)
+    in
+    let* pop_size = get_int "pop_size" j in
+    let* seed = get_int "seed" j in
+    let* pop =
+      match field "pop" j with
+      | Some (Json.List gs) ->
+        let rec go acc i = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | Json.List items :: rest ->
+            let rec genes acc' = function
+              | [] -> Ok (Array.of_list (List.rev acc'))
+              | it :: r -> (
+                match Json.to_int it with
+                | Some v -> genes (v :: acc') r
+                | None -> Error "non-integer gene in \"pop\"")
+            in
+            let* g = genes [] items in
+            go (g :: acc) (i + 1) rest
+          | _ -> Error "non-array individual in \"pop\""
+        in
+        go [] 0 gs
+      | _ -> Error "missing or non-array \"pop\""
+    in
+    let* best = int_array "best" j in
+    let* best_fitness = get_float "best_fitness" j in
+    let* cache =
+      match field "cache" j with
+      | Some (Json.Obj kvs) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Num f) :: rest -> go ((k, f) :: acc) rest
+          | (k, Json.Str s) :: rest -> (
+            match float_of_string_opt s with
+            | Some f -> go ((k, f) :: acc) rest
+            | None -> Error (Printf.sprintf "bad cached fitness for %S" k))
+          | (k, _) :: _ -> Error (Printf.sprintf "non-number cache entry %S" k)
+        in
+        go [] kvs
+      | _ -> Error "missing or non-object \"cache\""
+    in
+    let* quarantine =
+      match field "quarantine" j with
+      | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Str s :: rest -> go (s :: acc) rest
+          | _ -> Error "non-string quarantine key"
+        in
+        go [] items
+      | _ -> Error "missing or non-array \"quarantine\""
+    in
+    let* history =
+      match field "history" j with
+      | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | it :: rest ->
+            let* e_gen = get_int "gen" it in
+            let* e_best = get_float "best" it in
+            let* e_mean = get_float "mean" it in
+            let* e_evals = get_int "evals" it in
+            go ({ e_gen; e_best; e_mean; e_evals } :: acc) rest
+        in
+        go [] items
+      | _ -> Error "missing or non-array \"history\""
+    in
+    let* evaluations = get_int "evaluations" j in
+    let* cache_hits = get_int "cache_hits" j in
+    let* failures = get_int "failures" j in
+    let* retries = get_int "retries" j in
+    Ok
+      {
+        gen; rng; pop; best; best_fitness; cache; quarantine; history;
+        evaluations; cache_hits; failures; retries; pop_size; seed;
+      }
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+(* Last line that parses wins: a kill mid-append truncates only the final
+   line, and every earlier line is a complete snapshot. *)
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let rec last_valid = function
+      | [] -> Error (Printf.sprintf "%s: no complete checkpoint record" path)
+      | line :: rest ->
+        if String.trim line = "" then last_valid rest
+        else ( match of_line line with Ok s -> Ok s | Error _ -> last_valid rest)
+    in
+    last_valid !lines

@@ -1,0 +1,48 @@
+(** GA checkpoint files: append-only JSONL, one complete snapshot per line.
+
+    Each snapshot carries everything needed to continue a search
+    bit-identically: population, raw RNG state, fitness memo cache,
+    quarantine set, generation history, and counters.  Floats round-trip
+    exactly ("%.17g"); the RNG state travels as a decimal string (JSON
+    numbers are doubles and would round an int64).  {!load} returns the last
+    line that parses, so a run killed mid-append resumes from the previous
+    complete generation.  Writes bump the ["ckpt.writes"] counter and emit a
+    ["ckpt.write"] trace event. *)
+
+(** One generation of history (mirrors the GA's progress records). *)
+type entry = {
+  e_gen : int;
+  e_best : float;
+  e_mean : float;
+  e_evals : int;
+}
+
+type state = {
+  gen : int;                      (** last completed generation *)
+  rng : int64;                    (** raw RNG state after this generation *)
+  pop : int array array;
+  best : int array;
+  best_fitness : float;
+  cache : (string * float) list;  (** genome key -> fitness *)
+  quarantine : string list;       (** genome keys never to re-evaluate *)
+  history : entry list;           (** oldest first *)
+  evaluations : int;
+  cache_hits : int;
+  failures : int;
+  retries : int;
+  pop_size : int;                 (** echo of the run's params, for validation *)
+  seed : int;
+}
+
+(** Append one snapshot line (creating the file if needed). *)
+val write : path:string -> state -> unit
+
+(** Serialize one snapshot (exposed for tests). *)
+val to_line : state -> string
+
+(** Parse one snapshot line (exposed for tests). *)
+val of_line : string -> (state, string) result
+
+(** Load the most recent complete snapshot, skipping truncated/garbled
+    lines.  [Error] when the file is missing or holds no valid record. *)
+val load : path:string -> (state, string) result

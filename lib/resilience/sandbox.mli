@@ -1,0 +1,39 @@
+(** Sandboxed evaluation with bounded retry and deterministic backoff.
+
+    Turns "this evaluation raised / returned garbage" into a value the
+    caller can penalize, instead of an exception that aborts the search.
+    Emits the ["<site>.retries"], ["<site>.failures"], and
+    ["<site>.backoff_units"] counters, and a ["<site>.failure"] trace event
+    on final failure. *)
+
+type ok = {
+  value : float;    (** the successful evaluation's result *)
+  attempts : int;   (** total attempts made; 1 = first try succeeded *)
+}
+
+type failure = {
+  f_site : string;
+  f_reason : string;       (** printable cause of the last attempt's failure *)
+  f_attempts : int;        (** total attempts made, all failed *)
+  f_backoff_units : int;   (** simulated backoff work units consumed *)
+}
+
+val failure_to_string : failure -> string
+
+(** Deterministic exponential backoff schedule: [2^(attempt-1)] simulated
+    work units after the given (1-based) failed attempt, capped. *)
+val backoff_units : attempt:int -> int
+
+(** [protect ~site f] runs [f ()]; a non-finite result is treated as corrupt
+    output and an exception for which [classify] holds (default: every
+    exception) as a transient failure — both are retried up to [max_retries]
+    times (default 1).  Exceptions [classify] rejects propagate to the
+    caller.  The result is never an exception for sandboxed causes: either
+    the value with its attempt count, or a {!failure} describing why every
+    attempt failed. *)
+val protect :
+  ?max_retries:int ->
+  ?classify:(exn -> bool) ->
+  site:string ->
+  (unit -> float) ->
+  (ok, failure) result

@@ -3,50 +3,66 @@
    GA fitness evaluation is embarrassingly parallel: each individual's
    simulation touches only freshly allocated VM state.  We spawn [domains - 1]
    worker domains per call and share work through an atomic index counter; the
-   calling domain participates too.  Exceptions raised by [f] are captured and
-   re-raised on the caller once all domains have joined, so no work is
-   leaked. *)
+   calling domain participates too.
+
+   [map_result] is the fault-isolating primitive: every item is evaluated and
+   its outcome — value or exception — is recorded independently, so one bad
+   item cannot abort the batch.  The legacy [map]/[mapi] are rebased on it and
+   re-raise exactly one [Worker_failure], carrying the lowest failing index. *)
 
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
-exception Worker_failure of exn
+exception Worker_failure of int * exn
 
-let map ?domains f input =
+exception Deadline_exceeded of float
+
+let run_item f x deadline_s =
+  match deadline_s with
+  | None -> ( match f x with y -> Ok y | exception e -> Error e)
+  | Some limit -> (
+    (* Domains cannot be interrupted, so the deadline is cooperative: the item
+       runs to completion (the VM's own fuel budget bounds it) and an overrun
+       result is discarded as a failure rather than returned late. *)
+    let t0 = Unix.gettimeofday () in
+    match f x with
+    | y ->
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > limit then Error (Deadline_exceeded dt) else Ok y
+    | exception e -> Error e)
+
+let map_result ?domains ?deadline_s f input =
   let n = Array.length input in
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map f input
+  else if domains = 1 || n = 1 then Array.map (fun x -> run_item f x deadline_s) input
   else begin
-    let results = Array.make n None in
+    let results = Array.make n (Error Not_found) in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let worker () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue := false
-        else
-          match f input.(i) with
-          | y -> results.(i) <- Some y
-          | exception e ->
-            (* First failure wins; racing stores of a different exception are
-               harmless because we only ever re-raise one. *)
-            Atomic.set failure (Some e);
-            continue := false
+        if i >= n then continue := false
+        else results.(i) <- run_item f input.(i) deadline_s
       done
     in
     let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
-    match Atomic.get failure with
-    | Some e -> raise (Worker_failure e)
-    | None ->
-      Array.map
-        (function
-          | Some y -> y
-          | None -> invalid_arg "Pool.map: missing result (worker aborted)")
-        results
+    results
   end
+
+let reraise_first results =
+  let fail = ref None in
+  Array.iteri
+    (fun i r ->
+      match (r, !fail) with Error e, None -> fail := Some (i, e) | _ -> ())
+    results;
+  match !fail with
+  | Some (i, e) -> raise (Worker_failure (i, e))
+  | None -> Array.map (function Ok y -> y | Error _ -> assert false) results
+
+let map ?domains f input = reraise_first (map_result ?domains f input)
 
 let mapi ?domains f input =
   let indexed = Array.mapi (fun i x -> (i, x)) input in

@@ -3,15 +3,30 @@
     Intended for pure, CPU-bound work items (e.g. GA fitness evaluations).
     The function [f] must not share mutable state across items. *)
 
-(** Raised by {!map} when any work item raised; carries the first failure. *)
-exception Worker_failure of exn
+(** Raised by {!map}/{!mapi} when any work item raised; carries the lowest
+    failing input index and that item's exception. *)
+exception Worker_failure of int * exn
+
+(** Recorded (never raised) by {!map_result} for items whose evaluation
+    overran the [deadline_s] budget; carries the elapsed seconds.  Domains
+    cannot be interrupted, so the deadline is cooperative: the item runs to
+    completion and its late result is discarded. *)
+exception Deadline_exceeded of float
 
 (** Number of domains used by default (bounded, >= 1). *)
 val default_domains : unit -> int
 
+(** [map_result ?domains ?deadline_s f a] evaluates every item and returns
+    its outcome in input order: [Ok (f a.(i))], or [Error e] if that item
+    raised (or overran [deadline_s]).  One bad item never aborts the batch —
+    this is the fault-isolation primitive the GA's guarded evaluation uses. *)
+val map_result :
+  ?domains:int -> ?deadline_s:float -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+
 (** [map ?domains f a] is [Array.map f a] computed in parallel.  Result order
-    matches input order.  If any application of [f] raises, all domains are
-    drained and [Worker_failure] is raised on the caller. *)
+    matches input order.  If any application of [f] raises, every other item
+    still completes and exactly one [Worker_failure] is raised on the caller,
+    carrying the lowest failing index. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** Indexed variant of {!map}. *)

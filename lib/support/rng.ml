@@ -9,6 +9,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* Raw state capture/restore, for checkpointing a search mid-run: a generator
+   rebuilt with [of_state (state t)] continues the exact stream of [t]. *)
+let state t = t.state
+
+let of_state s = { state = s }
+
 let golden = 0x9E3779B97F4A7C15L
 
 let next_int64 t =

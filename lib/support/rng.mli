@@ -11,6 +11,14 @@ val create : int -> t
 (** Independent copy sharing no future state with the original. *)
 val copy : t -> t
 
+(** Raw internal state, for checkpointing.  [of_state (state t)] continues
+    the exact stream of [t]. *)
+val state : t -> int64
+
+(** Rebuild a generator from a captured {!state}. *)
+val of_state : int64 -> t
+
+
 (** Next raw 64-bit output. *)
 val next_int64 : t -> int64
 

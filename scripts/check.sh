@@ -28,4 +28,44 @@ for section in "inlining decisions" "compile-time breakdown" "GA fitness"; do
   echo "$summary" | grep -q "$section" || { echo "missing '$section' in trace-summary"; exit 1; }
 done
 
+echo "== fault-injection smoke =="
+# Two injected faults hit the same genome, so its retry fails too: the run
+# must quarantine it and still finish, with the failure visible in the trace.
+faults=$(mktemp -t inltune_faults.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$faults"' EXIT
+rm -f "$faults"
+INLTUNE_FAULTS="eval:raise@3,eval:raise@4" \
+  dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --trace "$faults" \
+  > /dev/null 2>&1
+grep -q '"ev":"eval.quarantine"' "$faults" || { echo "missing eval.quarantine event"; exit 1; }
+dune exec --no-build bin/main.exe -- trace-summary "$faults" | grep -q "eval.failures" \
+  || { echo "missing eval.failures counter in trace-summary"; exit 1; }
+
+echo "== checkpoint/resume smoke =="
+# A run interrupted after 1 generation and resumed must print exactly what an
+# uninterrupted run prints.
+ckpt=$(mktemp -t inltune_ckpt.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$faults" "$ckpt"' EXIT
+rm -f "$ckpt"
+full=$(dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 2> /dev/null)
+dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 1 --checkpoint "$ckpt" \
+  > /dev/null 2>&1
+resumed=$(dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --resume "$ckpt" \
+  2> /dev/null)
+[ "$full" = "$resumed" ] || {
+  echo "resumed run differs from uninterrupted run:"
+  echo "--- full ---"; echo "$full"
+  echo "--- resumed ---"; echo "$resumed"
+  exit 1
+}
+
+echo "== CLI error smoke =="
+# Bad flag values must die with a one-line error and exit code 2.
+rc=0
+dune exec --no-build bin/main.exe -- tune -s nonsense > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "bad --scenario exited $rc, want 2"; exit 1; }
+rc=0
+INLTUNE_FAULTS="garbage" dune exec --no-build bin/main.exe -- list > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "bad INLTUNE_FAULTS exited $rc, want 2"; exit 1; }
+
 echo "OK"

@@ -141,6 +141,61 @@ let test_tune_micro_budget_beats_or_matches_default () =
   Alcotest.(check bool) "genome in ranges" true
     (Inltune_ga.Genome.valid Params.genome_spec (Heuristic.to_array o.Tuner.heuristic))
 
+(* --- Resilience wiring: classifier, fault hooks, fuel-exhaustion penalty --- *)
+
+let test_transient_failure_classification () =
+  Alcotest.(check bool) "out of fuel" true (Objective.transient_failure Machine.Out_of_fuel);
+  Alcotest.(check bool) "trap" true (Objective.transient_failure (Machine.Trap "x"));
+  Alcotest.(check bool) "stack overflow" true (Objective.transient_failure Stack_overflow);
+  Alcotest.(check bool) "injected fault" true
+    (Objective.transient_failure (Inltune_resilience.Faultinject.Injected "eval"));
+  Alcotest.(check bool) "other exceptions are bugs" false (Objective.transient_failure Exit)
+
+let test_genome_fitness_fault_injection () =
+  let module F = Inltune_resilience.Faultinject in
+  F.install
+    [
+      { F.site = "eval"; action = F.Corrupt; at = 1 };
+      { F.site = "eval"; action = F.Raise; at = 2 };
+    ];
+  Fun.protect ~finally:F.clear (fun () ->
+      let f =
+        Objective.genome_fitness ~suite:[ bm_compress ] ~scenario:Machine.Opt
+          ~platform:Platform.x86 ~goal:Objective.Total
+      in
+      let g = Heuristic.to_array Heuristic.default in
+      Alcotest.(check bool) "corrupt -> nan" true (Float.is_nan (f g));
+      Alcotest.(check bool) "raise -> Injected" true
+        (try ignore (f g); false with F.Injected _ -> true);
+      Alcotest.(check (float 1e-9)) "healthy call unaffected" 1.0 (f g))
+
+let test_fuel_exhaustion_penalized () =
+  (* An evaluation that exhausts its fuel budget is retried, then penalized
+     and quarantined; genomes that evaluate cleanly still win the search. *)
+  let fitness g = if g.(0) > 25 then raise Machine.Out_of_fuel else 1.0 in
+  let guard =
+    {
+      Inltune_ga.Evolve.default_guard with
+      Inltune_ga.Evolve.classify = Objective.transient_failure;
+      failure_threshold = 1.1;
+    }
+  in
+  let params =
+    {
+      Inltune_ga.Evolve.default_params with
+      Inltune_ga.Evolve.pop_size = 8;
+      generations = 3;
+      seed = 11;
+      domains = Some 1;
+    }
+  in
+  let r = Inltune_ga.Evolve.run ~guard ~spec:Params.genome_spec ~params ~fitness () in
+  Alcotest.(check bool) "some evaluations failed" true (r.Inltune_ga.Evolve.failures > 0);
+  Alcotest.(check int) "failures quarantined" r.Inltune_ga.Evolve.failures
+    r.Inltune_ga.Evolve.quarantined;
+  Alcotest.(check (float 0.0)) "survivors score normally" 1.0
+    r.Inltune_ga.Evolve.best_fitness
+
 (* --- Report / Experiments (cheap ones only) --- *)
 
 let test_report_bars_table () =
@@ -194,6 +249,9 @@ let suite =
     ("tuner scenario specs", `Quick, test_scenario_specs);
     ("tuner scenario parsing", `Quick, test_scenario_of_string);
     ("tuner micro budget", `Slow, test_tune_micro_budget_beats_or_matches_default);
+    ("transient failure classification", `Quick, test_transient_failure_classification);
+    ("genome_fitness fault injection", `Quick, test_genome_fitness_fault_injection);
+    ("fuel exhaustion penalized", `Quick, test_fuel_exhaustion_penalized);
     ("report bars table", `Quick, test_report_bars_table);
     ("experiment table1", `Quick, test_experiment_table1_runs);
     ("experiment fig1", `Slow, test_experiment_fig1_runs);

@@ -9,6 +9,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("shapes", Test_shapes.suite);
       ("ga", Test_ga.suite);
+      ("resilience", Test_resilience.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);

@@ -53,6 +53,21 @@ let test_heuristic_of_array_arity () =
   Alcotest.check_raises "bad arity" (Invalid_argument "Heuristic.of_array: need 5 genes")
     (fun () -> ignore (Heuristic.of_array [| 1; 2 |]))
 
+let test_heuristic_of_array_clamps () =
+  (* Out-of-range genes (corrupt checkpoint, hand-written genome) clamp into
+     the Table 1 ranges instead of producing an impossible heuristic. *)
+  let low = Heuristic.of_array [| 0; -3; 0; -100; 0 |] in
+  Alcotest.(check (array int)) "clamped to lower bounds" [| 1; 1; 1; 1; 1 |]
+    (Heuristic.to_array low);
+  let high = Heuristic.of_array [| 99; 999; 999; 99999; 9999 |] in
+  Alcotest.(check (array int)) "clamped to upper bounds" [| 50; 20; 15; 4000; 400 |]
+    (Heuristic.to_array high);
+  Array.iteri
+    (fun i (lo, hi) ->
+      Alcotest.(check bool) "bounds match Table 1" true
+        (lo = 1 && hi = [| 50; 20; 15; 4000; 400 |].(i)))
+    Heuristic.ranges
+
 let test_clamp_to_ranges () =
   let clamped = Heuristic.clamp_to_ranges [| 0; 100; -3; 9999; 0 |] in
   Alcotest.(check (array int)) "clamped" [| 1; 20; 1; 4000; 1 |] clamped
@@ -524,6 +539,7 @@ let suite =
     ("never heuristic", `Quick, test_never_heuristic);
     ("heuristic genome roundtrip", `Quick, test_heuristic_roundtrip);
     ("heuristic of_array arity", `Quick, test_heuristic_of_array_arity);
+    ("heuristic of_array clamps", `Quick, test_heuristic_of_array_clamps);
     ("heuristic clamp", `Quick, test_clamp_to_ranges);
     ("heuristic ranges match Table 1", `Quick, test_ranges_match_paper);
     ("heuristic defaults match Jikes", `Quick, test_default_matches_jikes);

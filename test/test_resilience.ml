@@ -1,0 +1,344 @@
+module R = Inltune_resilience
+module Faultinject = R.Faultinject
+module Sandbox = R.Sandbox
+module Checkpoint = R.Checkpoint
+module Evolve = Inltune_ga.Evolve
+module Genome = Inltune_ga.Genome
+
+(* --- Faultinject --- *)
+
+let test_parse_ok () =
+  match Faultinject.parse "eval:raise@3, eval:corrupt@7,io:hang@1" with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok specs ->
+    Alcotest.(check int) "three specs" 3 (List.length specs);
+    let s = List.nth specs 0 in
+    Alcotest.(check string) "site" "eval" s.Faultinject.site;
+    Alcotest.(check int) "at" 3 s.Faultinject.at;
+    Alcotest.(check string) "action" "raise" (Faultinject.action_name s.Faultinject.action)
+
+let test_parse_empty () =
+  match Faultinject.parse "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty string should arm nothing"
+  | Error m -> Alcotest.failf "empty string rejected: %s" m
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Faultinject.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" s
+      | Error _ -> ())
+    [ "bogus"; "eval:raise"; "eval:explode@3"; "eval:raise@0"; "eval:raise@x"; ":raise@1" ]
+
+let test_fires_at_exactly_k () =
+  (match Faultinject.parse "eval:raise@3" with
+  | Ok specs -> Faultinject.install specs
+  | Error m -> Alcotest.failf "parse: %s" m);
+  Fun.protect ~finally:Faultinject.clear (fun () ->
+      Alcotest.(check bool) "armed" true (Faultinject.active ());
+      let hits =
+        List.init 5 (fun _ -> match Faultinject.check "eval" with Some _ -> 1 | None -> 0)
+      in
+      Alcotest.(check (list int)) "only the 3rd call fires" [ 0; 0; 1; 0; 0 ] hits;
+      Alcotest.(check int) "call count" 5 (Faultinject.calls "eval");
+      Alcotest.(check int) "other sites unaffected" 0 (Faultinject.calls "io"))
+
+let test_clear_disarms () =
+  (match Faultinject.parse "eval:corrupt@1" with
+  | Ok specs -> Faultinject.install specs
+  | Error m -> Alcotest.failf "parse: %s" m);
+  Faultinject.clear ();
+  Alcotest.(check bool) "disarmed" false (Faultinject.active ());
+  Alcotest.(check bool) "check is a no-op" true (Faultinject.check "eval" = None)
+
+(* --- Sandbox --- *)
+
+let test_sandbox_first_try () =
+  match Sandbox.protect ~site:"t" (fun () -> 0.25) with
+  | Ok ok ->
+    Alcotest.(check (float 0.0)) "value" 0.25 ok.Sandbox.value;
+    Alcotest.(check int) "one attempt" 1 ok.Sandbox.attempts
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Sandbox.failure_to_string f)
+
+let test_sandbox_retry_then_success () =
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    if !calls < 3 then failwith "flaky" else 0.5
+  in
+  match Sandbox.protect ~max_retries:2 ~site:"t" f with
+  | Ok ok ->
+    Alcotest.(check (float 0.0)) "value" 0.5 ok.Sandbox.value;
+    Alcotest.(check int) "attempts" 3 ok.Sandbox.attempts;
+    Alcotest.(check int) "calls" 3 !calls
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Sandbox.failure_to_string f)
+
+let test_sandbox_exhaustion () =
+  let calls = ref 0 in
+  let f () = incr calls; failwith "always" in
+  match Sandbox.protect ~max_retries:2 ~site:"t" f with
+  | Ok _ -> Alcotest.fail "should have failed"
+  | Error fl ->
+    Alcotest.(check int) "attempts = 1 + max_retries" 3 fl.Sandbox.f_attempts;
+    Alcotest.(check int) "calls" 3 !calls;
+    (* 2^0 after attempt 1, 2^1 after attempt 2 (no backoff after the last). *)
+    Alcotest.(check int) "backoff units" 3 fl.Sandbox.f_backoff_units
+
+let test_sandbox_corrupt_output () =
+  let calls = ref 0 in
+  let f () = incr calls; Float.nan in
+  (match Sandbox.protect ~max_retries:1 ~site:"t" f with
+  | Ok _ -> Alcotest.fail "NaN must not be an Ok value"
+  | Error fl ->
+    Alcotest.(check int) "retried once" 2 fl.Sandbox.f_attempts;
+    Alcotest.(check bool) "reason mentions corrupt" true
+      (String.length fl.Sandbox.f_reason >= 7
+      && String.sub fl.Sandbox.f_reason 0 7 = "corrupt"));
+  match Sandbox.protect ~site:"t" (fun () -> Float.infinity) with
+  | Ok _ -> Alcotest.fail "infinity must not be an Ok value"
+  | Error _ -> ()
+
+let test_sandbox_classify_rejects () =
+  let f () = raise Exit in
+  Alcotest.check_raises "unclassified exception propagates" Exit (fun () ->
+      ignore (Sandbox.protect ~classify:(fun e -> e <> Exit) ~site:"t" f))
+
+let test_backoff_schedule () =
+  Alcotest.(check (list int)) "exponential" [ 1; 2; 4; 8 ]
+    (List.map (fun a -> Sandbox.backoff_units ~attempt:a) [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "capped" (Sandbox.backoff_units ~attempt:100)
+    (Sandbox.backoff_units ~attempt:21)
+
+(* --- Checkpoint --- *)
+
+let sample_state =
+  {
+    Checkpoint.gen = 7;
+    rng = -4616189618054758400L;
+    pop = [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |];
+    best = [| 1; 2; 3 |];
+    best_fitness = 0.123456789012345678;
+    cache = [ ("1,2,3", 0.5); ("4,5,6", 1.0e6) ];
+    quarantine = [ "4,5,6" ];
+    history =
+      [
+        { Checkpoint.e_gen = 0; e_best = 1.0; e_mean = 2.0; e_evals = 2 };
+        { Checkpoint.e_gen = 7; e_best = 0.5; e_mean = 0.75; e_evals = 4 };
+      ];
+    evaluations = 4;
+    cache_hits = 9;
+    failures = 1;
+    retries = 2;
+    pop_size = 2;
+    seed = 42;
+  }
+
+let test_checkpoint_roundtrip () =
+  match Checkpoint.of_line (Checkpoint.to_line sample_state) with
+  | Error m -> Alcotest.failf "of_line: %s" m
+  | Ok s ->
+    Alcotest.(check bool) "exact round-trip" true (s = sample_state);
+    Alcotest.(check int64) "raw rng state" sample_state.Checkpoint.rng s.Checkpoint.rng
+
+let test_checkpoint_float_fidelity () =
+  let s = { sample_state with Checkpoint.best_fitness = 0.1 +. 0.2 } in
+  match Checkpoint.of_line (Checkpoint.to_line s) with
+  | Error m -> Alcotest.failf "of_line: %s" m
+  | Ok s' ->
+    Alcotest.(check bool) "bit-identical float" true
+      (Int64.equal
+         (Int64.bits_of_float s.Checkpoint.best_fitness)
+         (Int64.bits_of_float s'.Checkpoint.best_fitness))
+
+let test_checkpoint_load_last_valid () =
+  let path = Filename.temp_file "inltune_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let early = { sample_state with Checkpoint.gen = 3 } in
+      Checkpoint.write ~path early;
+      Checkpoint.write ~path sample_state;
+      (* Simulate a crash mid-append: a truncated last line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc (String.sub (Checkpoint.to_line sample_state) 0 25);
+      close_out oc;
+      match Checkpoint.load ~path with
+      | Error m -> Alcotest.failf "load: %s" m
+      | Ok s -> Alcotest.(check int) "last complete snapshot wins" 7 s.Checkpoint.gen)
+
+let test_checkpoint_load_missing () =
+  match Checkpoint.load ~path:"/nonexistent/inltune.ckpt" with
+  | Ok _ -> Alcotest.fail "missing file must not load"
+  | Error _ -> ()
+
+(* --- Guarded evolution --- *)
+
+let spec3 = Genome.spec [| (0, 20); (0, 20); (0, 20) |]
+
+let small_params =
+  {
+    Evolve.default_params with
+    Evolve.pop_size = 8;
+    generations = 5;
+    seed = 7;
+    domains = Some 1;
+  }
+
+(* Sphere function: smooth, deterministic, minimized at (5,5,5). *)
+let sphere g =
+  Array.fold_left (fun acc v -> acc +. (Float.of_int ((v - 5) * (v - 5)) /. 100.0)) 0.01 g
+
+let test_guarded_run_isolates_failures () =
+  (* Genomes whose first gene is even fail every attempt; the search must
+     still complete and return a finite (odd-first-gene) best. *)
+  let fitness g = if g.(0) mod 2 = 0 then failwith "injected" else sphere g in
+  let guard = { Evolve.default_guard with Evolve.failure_threshold = 1.1 } in
+  let r = Evolve.run ~guard ~spec:spec3 ~params:small_params ~fitness () in
+  Alcotest.(check bool) "failures recorded" true (r.Evolve.failures > 0);
+  Alcotest.(check int) "every failure quarantined" r.Evolve.failures r.Evolve.quarantined;
+  Alcotest.(check bool) "run not degraded" true (r.Evolve.stopped = None);
+  Alcotest.(check bool) "best is a real evaluation" true
+    (Float.is_finite r.Evolve.best_fitness && r.Evolve.best_fitness < 100.0);
+  Alcotest.(check int) "best genome survived the fault" 1 (r.Evolve.best.(0) mod 2)
+
+let test_quarantine_stops_reevaluation () =
+  (* A persistently failing genotype is attempted exactly (1 + max_retries)
+     times in total, however many generations revisit it. *)
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let fitness g =
+    let k = Genome.key g in
+    Hashtbl.replace attempts k (1 + Option.value ~default:0 (Hashtbl.find_opt attempts k));
+    if g.(0) mod 2 = 0 then failwith "injected" else sphere g
+  in
+  let guard =
+    { Evolve.default_guard with Evolve.max_retries = 2; failure_threshold = 1.1 }
+  in
+  let r = Evolve.run ~guard ~spec:spec3 ~params:small_params ~fitness () in
+  Alcotest.(check bool) "some genomes failed" true (r.Evolve.quarantined > 0);
+  Hashtbl.iter
+    (fun k n ->
+      let even = int_of_string (List.hd (String.split_on_char ',' k)) mod 2 = 0 in
+      if even then Alcotest.(check int) ("attempts for failing " ^ k) 3 n
+      else Alcotest.(check int) ("attempts for healthy " ^ k) 1 n)
+    attempts
+
+let test_degradation_stops_search () =
+  let fitness _ = failwith "dead evaluator" in
+  let r = Evolve.run ~guard:Evolve.default_guard ~spec:spec3 ~params:small_params ~fitness () in
+  (match r.Evolve.stopped with
+  | None -> Alcotest.fail "total failure must degrade the search"
+  | Some reason ->
+    Alcotest.(check bool) "reason is human-readable" true
+      (String.length reason > 0 && String.sub reason 0 10 = "generation"));
+  Alcotest.(check bool) "stopped at generation 0" true (List.length r.Evolve.history = 1);
+  Alcotest.(check (float 0.0)) "every fitness is the penalty"
+    Evolve.default_guard.Evolve.penalty r.Evolve.best_fitness
+
+let test_classify_limits_retry () =
+  (* Exceptions the guard does not classify as transient are penalized
+     without retry: exactly one attempt per distinct genome. *)
+  let calls = ref 0 in
+  let fitness _ = incr calls; raise Exit in
+  let guard =
+    {
+      Evolve.default_guard with
+      Evolve.max_retries = 5;
+      failure_threshold = 1.1;
+      classify = (function Exit -> false | _ -> true);
+    }
+  in
+  let r = Evolve.run ~guard ~spec:spec3 ~params:small_params ~fitness () in
+  Alcotest.(check int) "one attempt per distinct genome" r.Evolve.evaluations !calls;
+  Alcotest.(check int) "all quarantined" r.Evolve.evaluations r.Evolve.quarantined
+
+(* --- Checkpoint / resume determinism --- *)
+
+let run_ga ?checkpoint ?resume ~gens () =
+  let params = { small_params with Evolve.generations = gens } in
+  Evolve.run ?checkpoint ?resume ~guard:Evolve.default_guard ~spec:spec3 ~params
+    ~fitness:sphere ()
+
+let check_same_result label (a : Evolve.result) (b : Evolve.result) =
+  Alcotest.(check (array int)) (label ^ ": best genome") a.Evolve.best b.Evolve.best;
+  Alcotest.(check bool)
+    (label ^ ": best fitness bit-identical")
+    true
+    (Int64.equal
+       (Int64.bits_of_float a.Evolve.best_fitness)
+       (Int64.bits_of_float b.Evolve.best_fitness));
+  Alcotest.(check int) (label ^ ": evaluations") a.Evolve.evaluations b.Evolve.evaluations;
+  Alcotest.(check int) (label ^ ": cache hits") a.Evolve.cache_hits b.Evolve.cache_hits;
+  Alcotest.(check bool) (label ^ ": history") true (a.Evolve.history = b.Evolve.history)
+
+let test_resume_matches_uninterrupted () =
+  let ckpt = Filename.temp_file "inltune_resume" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove ckpt)
+    (fun () ->
+      let full = run_ga ~gens:6 () in
+      Sys.remove ckpt;
+      (* "Crash" after generation 3, then resume to the same horizon. *)
+      let _interrupted = run_ga ~checkpoint:ckpt ~gens:3 () in
+      let resumed = run_ga ~resume:ckpt ~gens:6 () in
+      check_same_result "resume = uninterrupted" full resumed)
+
+let test_resume_from_own_checkpoint_file () =
+  (* Resuming and checkpointing into the same file mid-flight also works:
+     snapshots append, and load picks the newest. *)
+  let ckpt = Filename.temp_file "inltune_resume2" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove ckpt)
+    (fun () ->
+      let full = run_ga ~gens:6 () in
+      Sys.remove ckpt;
+      let _ = run_ga ~checkpoint:ckpt ~gens:2 () in
+      let _ = run_ga ~checkpoint:ckpt ~resume:ckpt ~gens:4 () in
+      let resumed = run_ga ~checkpoint:ckpt ~resume:ckpt ~gens:6 () in
+      check_same_result "chained resumes" full resumed)
+
+let test_resume_rejects_mismatched_params () =
+  let ckpt = Filename.temp_file "inltune_resume3" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove ckpt)
+    (fun () ->
+      Sys.remove ckpt;
+      let _ = run_ga ~checkpoint:ckpt ~gens:2 () in
+      let params =
+        { small_params with Evolve.generations = 4; seed = small_params.Evolve.seed + 1 }
+      in
+      let raised =
+        try
+          ignore
+            (Evolve.run ~resume:ckpt ~guard:Evolve.default_guard ~spec:spec3 ~params
+               ~fitness:sphere ());
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "seed mismatch rejected" true raised)
+
+let suite =
+  [
+    ("faultinject parse ok", `Quick, test_parse_ok);
+    ("faultinject parse empty", `Quick, test_parse_empty);
+    ("faultinject parse errors", `Quick, test_parse_errors);
+    ("faultinject fires at exactly k", `Quick, test_fires_at_exactly_k);
+    ("faultinject clear disarms", `Quick, test_clear_disarms);
+    ("sandbox first try", `Quick, test_sandbox_first_try);
+    ("sandbox retry then success", `Quick, test_sandbox_retry_then_success);
+    ("sandbox exhaustion", `Quick, test_sandbox_exhaustion);
+    ("sandbox corrupt output", `Quick, test_sandbox_corrupt_output);
+    ("sandbox classify rejects", `Quick, test_sandbox_classify_rejects);
+    ("sandbox backoff schedule", `Quick, test_backoff_schedule);
+    ("checkpoint roundtrip", `Quick, test_checkpoint_roundtrip);
+    ("checkpoint float fidelity", `Quick, test_checkpoint_float_fidelity);
+    ("checkpoint load last valid", `Quick, test_checkpoint_load_last_valid);
+    ("checkpoint load missing", `Quick, test_checkpoint_load_missing);
+    ("guarded run isolates failures", `Quick, test_guarded_run_isolates_failures);
+    ("quarantine stops re-evaluation", `Quick, test_quarantine_stops_reevaluation);
+    ("degradation stops search", `Quick, test_degradation_stops_search);
+    ("classify limits retry", `Quick, test_classify_limits_retry);
+    ("resume matches uninterrupted", `Quick, test_resume_matches_uninterrupted);
+    ("resume from own checkpoint", `Quick, test_resume_from_own_checkpoint_file);
+    ("resume rejects mismatched params", `Quick, test_resume_rejects_mismatched_params);
+  ]

@@ -213,6 +213,34 @@ let test_pool_mapi () =
   let out = Pool.mapi ~domains:2 (fun i x -> i + x) [| 10; 20; 30 |] in
   Alcotest.(check (array int)) "mapi" [| 10; 21; 32 |] out
 
+let test_pool_map_result_isolates () =
+  let input = Array.init 64 (fun i -> i) in
+  let out =
+    Pool.map_result ~domains:2 (fun x -> if x = 13 then failwith "boom" else 2 * x) input
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok y -> Alcotest.(check int) "survivor" (2 * i) y
+      | Error (Failure m) ->
+        Alcotest.(check int) "only index 13 fails" 13 i;
+        Alcotest.(check string) "failure carried" "boom" m
+      | Error e -> Alcotest.failf "unexpected error at %d: %s" i (Printexc.to_string e))
+    out
+
+let test_pool_worker_failure_index () =
+  (* map reports the lowest failing index, whatever domain hit it. *)
+  let idx =
+    try
+      ignore
+        (Pool.map ~domains:4
+           (fun x -> if x mod 20 = 17 then failwith "boom" else x)
+           (Array.init 100 (fun i -> i)));
+      -1
+    with Pool.Worker_failure (i, Failure _) -> i
+  in
+  Alcotest.(check int) "lowest failing index" 17 idx
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -250,4 +278,6 @@ let suite =
     ("pool propagates exceptions", `Quick, test_pool_propagates_exception);
     ("pool preserves order", `Quick, test_pool_order_preserved);
     ("pool mapi", `Quick, test_pool_mapi);
+    ("pool map_result isolates failures", `Quick, test_pool_map_result_isolates);
+    ("pool worker failure index", `Quick, test_pool_worker_failure_index);
   ]
