@@ -5,6 +5,7 @@
        dune exec bench/main.exe                 # everything
        dune exec bench/main.exe fig5            # one experiment
        dune exec bench/main.exe ablations       # just the ablations
+       dune exec bench/main.exe policy          # GA-vs-learned policy comparison
        dune exec bench/main.exe micro           # just the micro-benchmarks
 
    Environment knobs (for bigger GA budgets):
@@ -410,6 +411,57 @@ let extensions () =
   ga_stability ();
   search_comparison ()
 
+(* ---- Learned-policy comparison ------------------------------------------ *)
+
+module P = Inltune_policy
+
+(* The GA-vs-learned protocol: tune and train on SPECjvm98, then measure
+   default vs GA-tuned vs learned CART policy on both suites.  Besides the
+   printed tables, the per-suite geomean time ratios land in
+   BENCH_policy.json so CI and tooling can diff runs without scraping
+   tables. *)
+let policy_comparison () =
+  print_endline "==== Learned-policy comparison (default vs GA-tuned vs CART) ====\n";
+  let o = Tuner.tune ~budget:(budget ()) Tuner.Opt_tot_x86 in
+  let cfg = { P.Dataset.default_config with P.Dataset.max_sites = 12 } in
+  let examples = P.Dataset.generate cfg W.Suites.spec in
+  let tree = P.Cart.train (P.Dataset.to_training examples) in
+  Printf.printf "tuned heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
+  Printf.printf "dataset: %d examples; tree: %d nodes, depth %d\n\n"
+    (List.length examples) (P.Dtree.size tree) (P.Dtree.depth tree);
+  let store = P.Store.Tree tree in
+  let reports =
+    List.map
+      (fun (tag, suite) ->
+        let r =
+          P.Evaluate.compare ~tuned:o.Tuner.heuristic ~scenario:Machine.Opt
+            ~platform:Platform.x86 store suite
+        in
+        Table.print (P.Evaluate.table r);
+        print_newline ();
+        (tag, r))
+      [ ("spec", W.Suites.spec); ("dacapo", W.Suites.dacapo) ]
+  in
+  let oc = open_out "BENCH_policy.json" in
+  let goal_json (g : P.Evaluate.geo option) metric =
+    let v sel = match g with None -> 1.0 | Some g -> sel g in
+    match metric with
+    | `Running -> v (fun g -> g.P.Evaluate.g_running)
+    | `Total -> v (fun g -> g.P.Evaluate.g_total)
+  in
+  let suite_json (tag, r) =
+    let tuned = P.Evaluate.tuned_geo r and learned = Some (P.Evaluate.learned_geo r) in
+    Printf.sprintf
+      "\"%s\":{\"running\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f},\"total\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f}}"
+      tag
+      (goal_json tuned `Running) (goal_json learned `Running)
+      (goal_json tuned `Total) (goal_json learned `Total)
+  in
+  Printf.fprintf oc "{\"scenario\":\"opt\",\"platform\":\"x86\",\"suites\":{%s}}\n"
+    (String.concat "," (List.map suite_json reports));
+  close_out oc;
+  print_endline "wrote BENCH_policy.json\n"
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -518,8 +570,10 @@ let () =
     Experiments.run_all ctx;
     ablations ();
     extensions ();
+    policy_comparison ();
     micro ()
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
+  | "policy" -> policy_comparison ()
   | "micro" -> micro ()
   | id -> Experiments.run_one ctx id

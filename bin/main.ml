@@ -7,6 +7,10 @@
      tune                      GA-tune the heuristic for a scenario
      experiment <id>           regenerate a paper table/figure (or "all")
      trace-summary <file>      aggregate a JSONL trace into report tables
+     features <bench>          dump call-site feature vectors
+     dataset <file>            build a flip-oracle labeled dataset (resumable)
+     train-policy              induce a decision-tree (or threshold) policy
+     eval-policy <file>        run a stored policy on a suite vs default/GA
 *)
 
 open Cmdliner
@@ -335,9 +339,15 @@ let trace_summary_cmd =
     let records, malformed = Inltune_obs.Summary.load_file path in
     if malformed > 0 then
       Printf.eprintf "warning: skipped %d malformed line(s) in %s\n%!" malformed path;
+    (* Counter-only traces (every sink flushes metric snapshots on close) must
+       say so explicitly, not render a counters table that looks like a run. *)
+    if not (Inltune_obs.Summary.has_events records) then
+      Printf.printf "no trace events in %s%s\n" path
+        (if records = [] then "" else " (counters only)");
     match Inltune_obs.Summary.tables records with
-    | [] -> Printf.printf "no trace events in %s\n" path
+    | [] -> ()
     | tables ->
+      if not (Inltune_obs.Summary.has_events records) then print_newline ();
       List.iteri
         (fun i t ->
           if i > 0 then print_newline ();
@@ -352,24 +362,259 @@ let trace_summary_cmd =
        ~doc:"Aggregate a JSONL trace (from --trace or INLTUNE_TRACE) into report tables")
     Term.(const run $ path)
 
+(* --- learned policies ------------------------------------------------------ *)
+
+module P = Inltune_policy
+
+let suite_of_flag = function
+  | "spec" -> W.Suites.spec
+  | "dacapo" -> W.Suites.dacapo
+  | "all" -> W.Suites.all
+  | s -> die "unknown suite '%s' (valid: spec, dacapo, all)" s
+
+let benches_of_flags suite bench_csv =
+  match bench_csv with
+  | "" -> suite_of_flag suite
+  | csv -> List.map find_bench (String.split_on_char ',' csv)
+
+let goal_of_flag s =
+  try Objective.goal_of_string s
+  with Invalid_argument _ -> die "unknown goal '%s' (valid: running, total, balance)" s
+
+let load_policy path =
+  match P.Store.load path with
+  | Ok store -> store
+  | Error msg -> die "bad policy file %s: %s" path msg
+
+let features_cmd =
+  let run bench =
+    let bm = find_bench bench in
+    let p = W.Suites.program bm in
+    let ctx = P.Features.make_ctx p in
+    let sites = P.Features.of_program ctx p in
+    Printf.printf "# %s\n" (String.concat " " (Array.to_list P.Features.names));
+    Array.iter
+      (fun ((s : Policy.site), x) ->
+        Printf.printf "%s -> %s : %s\n"
+          p.Inltune_jir.Ir.methods.(s.Policy.owner).Inltune_jir.Ir.mname
+          p.Inltune_jir.Ir.methods.(s.Policy.callee).Inltune_jir.Ir.mname
+          (P.Features.vector_to_string x))
+      sites
+  in
+  Cmd.v
+    (Cmd.info "features"
+       ~doc:"Dump the feature vector of every static call site of a benchmark")
+    Term.(const run $ bench_arg)
+
+let dataset_cmd =
+  let run out suite bench_csv scenario platform hstring goal max_sites iterations
+      max_retries trace =
+    setup_trace trace;
+    let cfg =
+      {
+        P.Dataset.scenario = scenario_of_flag scenario;
+        platform = platform_of_flag platform;
+        heuristic = heuristic_of_flag hstring;
+        goal = goal_of_flag goal;
+        iterations;
+        max_sites;
+        max_retries;
+      }
+    in
+    let benches = benches_of_flags suite bench_csv in
+    let examples =
+      P.Dataset.generate ~resume:out
+        ~on_benchmark:(fun b n -> Printf.eprintf "[inltune] labeling %s: %d sites\n%!" b n)
+        cfg benches
+    in
+    let flips = List.length (List.filter (fun e -> e.P.Dataset.x_label <> e.P.Dataset.x_base) examples) in
+    Printf.printf "%s: %d examples (%d oracle flips) over %d benchmarks\n" out
+      (List.length examples) flips (List.length benches)
+  in
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Output JSONL dataset.  Append-only and resumable: already-labeled sites in \
+               the file are kept, only missing ones are measured.")
+  in
+  let suite =
+    Arg.(value & opt string "spec" & info [ "suite" ] ~doc:"Benchmark suite: spec, dacapo, or all")
+  in
+  let bench_csv =
+    Arg.(value & opt string "" & info [ "bench" ] ~docv:"NAMES"
+         ~doc:"Comma-separated benchmark names (overrides --suite)")
+  in
+  let goal =
+    Arg.(value & opt string "total" & info [ "goal" ] ~doc:"Oracle metric: running, total, or balance")
+  in
+  let max_sites =
+    Arg.(value & opt int 20 & info [ "max-sites" ] ~docv:"N"
+         ~doc:"Flip measurements per benchmark (0 = every site)")
+  in
+  let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations per measurement") in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:"Label call-site inlining decisions with the flip oracle (resumable)")
+    Term.(
+      const run $ out $ suite $ bench_csv $ scenario_arg $ platform_arg $ heuristic_arg
+      $ goal $ max_sites $ iters $ max_retries_arg $ trace_arg)
+
+let train_policy_cmd =
+  let run data out kind hstring max_depth min_leaf holdout =
+    let store =
+      match kind with
+      | "threshold" -> P.Store.Threshold (heuristic_of_flag hstring)
+      | "tree" -> (
+        match data with
+        | None -> die "training a tree needs a dataset (give the JSONL file as DATASET)"
+        | Some path ->
+          let examples, bad = P.Dataset.load path in
+          if bad > 0 then
+            Printf.eprintf "warning: skipped %d malformed line(s) in %s\n%!" bad path;
+          if examples = [] then die "dataset %s holds no examples" path;
+          let pairs = P.Dataset.to_training examples in
+          let train_set, test_set =
+            if holdout >= 2 && Array.length pairs >= holdout then P.Cart.split ~k:holdout pairs
+            else (pairs, [||])
+          in
+          let params = { P.Cart.default_params with P.Cart.max_depth; min_leaf } in
+          let tree = P.Cart.train ~params train_set in
+          Printf.printf "examples: %d train / %d test\n" (Array.length train_set)
+            (Array.length test_set);
+          Printf.printf "tree: %d nodes, depth %d\n" (P.Dtree.size tree) (P.Dtree.depth tree);
+          Printf.printf "train accuracy: %.3f\n" (P.Cart.accuracy tree train_set);
+          if Array.length test_set > 0 then
+            Printf.printf "test accuracy:  %.3f\n" (P.Cart.accuracy tree test_set);
+          print_string (P.Dtree.pretty ~names:P.Features.names tree);
+          P.Store.Tree tree)
+      | s -> die "unknown policy kind '%s' (valid: tree, threshold)" s
+    in
+    P.Store.save out store;
+    Printf.printf "wrote %s policy to %s\n" (P.Store.kind_name store) out
+  in
+  let data =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DATASET"
+         ~doc:"JSONL dataset from the $(b,dataset) command (required for --kind tree)")
+  in
+  let out =
+    Arg.(value & opt string "policy.txt" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output policy file")
+  in
+  let kind =
+    Arg.(value & opt string "tree" & info [ "kind" ] ~doc:"Policy kind: tree or threshold")
+  in
+  let max_depth = Arg.(value & opt int 6 & info [ "max-depth" ] ~doc:"CART depth limit") in
+  let min_leaf = Arg.(value & opt int 3 & info [ "min-leaf" ] ~doc:"CART minimum leaf size") in
+  let holdout =
+    Arg.(value & opt int 4 & info [ "holdout" ] ~docv:"K"
+         ~doc:"Hold out every K-th example as the test split (0 disables)")
+  in
+  Cmd.v
+    (Cmd.info "train-policy" ~doc:"Train a decision-tree inlining policy from a dataset")
+    Term.(const run $ data $ out $ kind $ heuristic_arg $ max_depth $ min_leaf $ holdout)
+
+let eval_policy_cmd =
+  let run path print_only suite bench_csv scenario platform iterations no_tuned tuned_params
+      pop gens seed trace =
+    setup_trace trace;
+    let store = load_policy path in
+    if print_only then print_string (P.Store.to_string store)
+    else begin
+      let scen = scenario_of_flag scenario in
+      let plat = platform_of_flag platform in
+      let benches = benches_of_flags suite bench_csv in
+      let tuned =
+        if no_tuned then None
+        else if tuned_params <> "" then Some (heuristic_of_flag tuned_params)
+        else begin
+          Printf.eprintf "[inltune] GA-tuning the comparison heuristic (use --no-tuned to skip)\n%!";
+          let budget = { Tuner.pop; gens; seed } in
+          let o = Tuner.tune ~budget Tuner.Opt_tot_x86 in
+          Some o.Tuner.heuristic
+        end
+      in
+      let report =
+        P.Evaluate.compare ~iterations ?tuned ~scenario:scen ~platform:plat store benches
+      in
+      Inltune_support.Table.print (P.Evaluate.table report)
+    end
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY" ~doc:"Stored policy file")
+  in
+  let print_only =
+    Arg.(value & flag & info [ "print" ]
+         ~doc:"Parse, validate, and reprint the policy in canonical form; no simulation")
+  in
+  let suite =
+    Arg.(value & opt string "dacapo" & info [ "suite" ] ~doc:"Benchmark suite: spec, dacapo, or all")
+  in
+  let bench_csv =
+    Arg.(value & opt string "" & info [ "bench" ] ~docv:"NAMES"
+         ~doc:"Comma-separated benchmark names (overrides --suite)")
+  in
+  let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations (>= 2)") in
+  let no_tuned =
+    Arg.(value & flag & info [ "no-tuned" ] ~doc:"Skip the GA-tuned comparison column")
+  in
+  let tuned_params =
+    Arg.(value & opt string "" & info [ "tuned" ] ~docv:"PARAMS"
+         ~doc:"Use this heuristic for the tuned column instead of running the GA")
+  in
+  let pop = Arg.(value & opt int 16 & info [ "pop" ] ~doc:"GA population size") in
+  let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
+  Cmd.v
+    (Cmd.info "eval-policy"
+       ~doc:"Run a stored policy on a suite and compare default vs GA-tuned vs learned")
+    Term.(
+      const run $ path $ print_only $ suite $ bench_csv $ scenario_arg $ platform_arg $ iters
+      $ no_tuned $ tuned_params $ pop $ gens $ seed $ trace_arg)
+
 (* --- experiment ----------------------------------------------------------- *)
+
+(* The learned-policy row lives here rather than in Experiments because the
+   policy library sits above the core library in the build: train on
+   SPECjvm98 (GA + flip-oracle dataset + CART), evaluate on unseen
+   DaCapo+JBB against the default and GA-tuned heuristics. *)
+let policy_experiment ~verbose ~budget =
+  let say fmt = Printf.ksprintf (fun s -> if verbose then Printf.eprintf "%s%!" s) fmt in
+  say "[inltune] GA-tuning Opt:Tot on SPECjvm98\n";
+  let o = Tuner.tune ~budget Tuner.Opt_tot_x86 in
+  say "[inltune] tuned heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
+  let cfg = { P.Dataset.default_config with P.Dataset.max_sites = 12 } in
+  let examples =
+    P.Dataset.generate
+      ~on_benchmark:(fun b n -> say "[inltune] labeling %s: %d sites\n" b n)
+      cfg W.Suites.spec
+  in
+  let tree = P.Cart.train (P.Dataset.to_training examples) in
+  say "[inltune] trained tree: %d nodes, depth %d\n" (P.Dtree.size tree) (P.Dtree.depth tree);
+  let report =
+    P.Evaluate.compare ~tuned:o.Tuner.heuristic ~scenario:Machine.Opt ~platform:Platform.x86
+      (P.Store.Tree tree) W.Suites.dacapo
+  in
+  Inltune_support.Table.print (P.Evaluate.table report)
 
 let experiment_cmd =
   let run id pop gens seed quiet max_retries checkpoint resume trace =
     setup_trace trace;
     let budget = { Tuner.pop; gens; seed } in
-    (* One experiment tunes several scenarios, so the checkpoint/resume paths
-       here are bases: each GA run appends ".<scenario-slug>". *)
-    let ctx =
-      Experiments.make_ctx ~verbose:(not quiet) ~budget ?checkpoint ?resume ~max_retries ()
-    in
-    Experiments.run_one ctx id
+    if id = "policy" then policy_experiment ~verbose:(not quiet) ~budget
+    else begin
+      (* One experiment tunes several scenarios, so the checkpoint/resume paths
+         here are bases: each GA run appends ".<scenario-slug>". *)
+      let ctx =
+        Experiments.make_ctx ~verbose:(not quiet) ~budget ?checkpoint ?resume ~max_retries ()
+      in
+      Experiments.run_one ctx id
+    end
   in
   let id =
     Arg.(
       required
-      & pos 0 (some (Arg.enum (List.map (fun s -> (s, s)) Experiments.known))) None
-      & info [] ~docv:"EXPERIMENT" ~doc:"One of: table1 fig1 fig2 table4 fig5..fig10 table5 all")
+      & pos 0 (some (Arg.enum (List.map (fun s -> (s, s)) (Experiments.known @ [ "policy" ]))))
+          None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of: table1 fig1 fig2 table4 fig5..fig10 table5 sweep policy all")
   in
   let pop = Arg.(value & opt int 16 & info [ "pop" ] ~doc:"GA population size") in
   let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
@@ -386,7 +631,8 @@ let main_cmd =
   Cmd.group (Cmd.info "inltune" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; run_cmd; tune_cmd; experiment_cmd; export_cmd; run_file_cmd;
-      knapsack_cmd; search_cmd; trace_summary_cmd;
+      knapsack_cmd; search_cmd; trace_summary_cmd; features_cmd; dataset_cmd;
+      train_policy_cmd; eval_policy_cmd;
     ]
 
 let () =

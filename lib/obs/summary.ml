@@ -161,6 +161,13 @@ let counter_values recs =
     (select "counter" recs);
   Hashtbl.fold (fun name v l -> (name, v) :: l) tbl [] |> List.sort compare
 
+(* Whether the trace holds any real events, as opposed to only the
+   counter/histogram snapshots every sink flushes on close.  trace-summary
+   uses this to say "no events" instead of printing a counters-only report
+   that looks like a run happened. *)
+let has_events recs =
+  List.exists (fun r -> r.ev <> "counter" && r.ev <> "histogram") recs
+
 (* --- tables ------------------------------------------------------------- *)
 
 let pct part whole =

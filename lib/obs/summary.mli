@@ -26,6 +26,10 @@ val pass_totals : record list -> (string * (int * int * float)) list
 (** counter name -> last reported value. *)
 val counter_values : record list -> (string * int) list
 
+(** Whether any record is a real trace event (not a "counter"/"histogram"
+    snapshot); false for empty or counter-only traces. *)
+val has_events : record list -> bool
+
 (** The heuristic parameter (paper Table 1) governing a decision reason. *)
 val parameter_of_reason : string -> string
 

@@ -35,27 +35,20 @@ type stats = {
 let fresh_stats () =
   { sites_seen = 0; sites_inlined = 0; hot_sites_seen = 0; hot_sites_inlined = 0 }
 
-(* Why a call site was (not) inlined: the heuristic test that fired, or one
-   of the transformation's own guards.  One of these is attached to every
+(* Why a call site was (not) inlined: the policy rule that fired, or one of
+   the transformation's own guards.  One of these is attached to every
    decision record / "inline.decision" trace event. *)
 type reason =
-  | Static of Heuristic.outcome    (* the Fig. 3 test sequence *)
-  | Hot of Heuristic.hot_outcome   (* the Fig. 4 hot-site test *)
-  | Custom_policy of bool          (* verdict of a [Custom] decision function *)
-  | Recursive                      (* callee already on the inline chain *)
-  | Space_cap                      (* heuristic said yes, max_expanded_size said no *)
+  | Rule of Policy.verdict  (* whatever rule the policy reported *)
+  | Recursive               (* callee already on the inline chain *)
+  | Space_cap               (* policy said yes, max_expanded_size said no *)
 
 let reason_accepts = function
-  | Static (Heuristic.Always_inline | Heuristic.All_tests_pass) -> true
-  | Hot Heuristic.Hot_accept -> true
-  | Custom_policy b -> b
-  | Static _ | Hot _ | Recursive | Space_cap -> false
+  | Rule v -> v.Policy.accept
+  | Recursive | Space_cap -> false
 
 let reason_name = function
-  | Static o -> Heuristic.outcome_name o
-  | Hot o -> Heuristic.hot_outcome_name o
-  | Custom_policy true -> "custom_accept"
-  | Custom_policy false -> "custom_reject"
+  | Rule v -> v.Policy.rule
   | Recursive -> "recursive"
   | Space_cap -> "space_cap"
 
@@ -83,23 +76,12 @@ type out_block = {
   mutable oterm : Ir.terminator option;
 }
 
-(* What decides each call site.  [Heuristic_policy] is the paper's Fig. 3/4
-   procedure (with an optional hot-site predicate selecting the Fig. 4
-   path); [Custom] lets alternative inlining strategies — e.g. the knapsack
-   baseline of Arnold et al. — reuse the same transformation. *)
-type policy =
-  | Heuristic_policy of Heuristic.t * (site_owner:Ir.mid -> callee:Ir.mid -> bool) option
-  | Custom of
-      (site_owner:Ir.mid ->
-      callee:Ir.mid ->
-      callee_size:int ->
-      inline_depth:int ->
-      caller_size:int ->
-      bool)
-
 type ctx = {
   prog : Ir.program;
-  policy : policy;
+  policy : Policy.t;
+  hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+      (* adaptive scenario: which sites are profile-hot; the flag is passed
+         to the policy (the heuristic policy takes the Fig. 4 path on it) *)
   callee_size : Ir.mid -> int;  (* cached static size estimates *)
   out : out_block Vec.t;
   mutable nregs : int;
@@ -148,29 +130,29 @@ let terminate ctx t =
   assert (b.oterm = None);
   b.oterm <- Some t
 
-(* Decide one call site; returns the reason (which implies accept/reject)
-   and the callee's cached size estimate. *)
+(* Decide one call site; returns the reason (which implies accept/reject),
+   the callee's cached size estimate, and whether the site was hot. *)
 let decide ctx ~site_owner ~callee ~depth =
   let callee_size = ctx.callee_size callee in
   ctx.stats.sites_seen <- ctx.stats.sites_seen + 1;
-  let reason =
-    match ctx.policy with
-    | Heuristic_policy (h, hot_site) ->
-      let hot = match hot_site with Some f -> f ~site_owner ~callee | None -> false in
-      if hot then begin
-        ctx.stats.hot_sites_seen <- ctx.stats.hot_sites_seen + 1;
-        Hot (Heuristic.evaluate_hot h ~callee_size)
-      end
-      else Static (Heuristic.evaluate h ~callee_size ~inline_depth:depth ~caller_size:ctx.size)
-    | Custom f ->
-      Custom_policy
-        (f ~site_owner ~callee ~callee_size ~inline_depth:depth ~caller_size:ctx.size)
+  let hot = match ctx.hot_site with Some f -> f ~site_owner ~callee | None -> false in
+  if hot then ctx.stats.hot_sites_seen <- ctx.stats.hot_sites_seen + 1;
+  let verdict =
+    ctx.policy.Policy.decide
+      {
+        Policy.owner = site_owner;
+        callee;
+        callee_size;
+        inline_depth = depth;
+        caller_size = ctx.size;
+        hot;
+      }
   in
   let reason =
-    if reason_accepts reason && ctx.size + callee_size > max_expanded_size then Space_cap
-    else reason
+    if verdict.Policy.accept && ctx.size + callee_size > max_expanded_size then Space_cap
+    else Rule verdict
   in
-  (reason, callee_size)
+  (reason, callee_size, hot)
 
 (* Copy [body]'s blocks into the output with registers shifted by [base] and
    labels mapped through [label_map]; recursively processes nested calls.
@@ -217,15 +199,12 @@ and emit_instr ctx ~owner ~depth ~chain ~remap i =
       push ctx (Ir.Call (dst, callee, args))
     end
     else begin
-      let reason, callee_size = decide ctx ~site_owner:owner ~callee ~depth:(depth + 1) in
+      let reason, callee_size, hot = decide ctx ~site_owner:owner ~callee ~depth:(depth + 1) in
       if observing then
         note_decision ctx ~site_owner:owner ~callee ~callee_size ~depth:(depth + 1) reason;
       if reason_accepts reason then begin
         ctx.stats.sites_inlined <- ctx.stats.sites_inlined + 1;
-        (match reason with
-        | Hot Heuristic.Hot_accept ->
-          ctx.stats.hot_sites_inlined <- ctx.stats.hot_sites_inlined + 1
-        | _ -> ());
+        if hot then ctx.stats.hot_sites_inlined <- ctx.stats.hot_sites_inlined + 1;
         let body = ctx.prog.Ir.methods.(callee) in
         (* Bind formal parameters: callee registers 0..nargs-1 live at
            [base..base+nargs-1] after the shift performed by [splice]. *)
@@ -253,7 +232,7 @@ and emit_instr ctx ~owner ~depth ~chain ~remap i =
   | Ir.Alloc (d, k, s) -> push ctx (Ir.Alloc (remap d, k, s))
   | Ir.Print r -> push ctx (Ir.Print (remap r))
 
-let run_policy ?decisions ~program ~policy m =
+let run_policy ?hot_site ?decisions ~program ~policy m =
   let size_cache = Hashtbl.create 64 in
   let callee_size mid =
     match Hashtbl.find_opt size_cache mid with
@@ -267,6 +246,7 @@ let run_policy ?decisions ~program ~policy m =
     {
       prog = program;
       policy;
+      hot_site;
       callee_size;
       out = Vec.create ();
       nregs = m.Ir.nregs;
@@ -299,7 +279,7 @@ let run_policy ?decisions ~program ~policy m =
   ({ m with Ir.nregs = ctx.nregs; blocks }, ctx.stats)
 
 let run ?hot_site ?decisions ~program ~heuristic m =
-  run_policy ?decisions ~program ~policy:(Heuristic_policy (heuristic, hot_site)) m
+  run_policy ?hot_site ?decisions ~program ~policy:(Policy.of_heuristic heuristic) m
 
 let run_custom ?decisions ~decide ~program m =
-  run_policy ?decisions ~program ~policy:(Custom decide) m
+  run_policy ?decisions ~program ~policy:(Policy.of_custom decide) m

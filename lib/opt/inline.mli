@@ -12,16 +12,14 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-(** Why a call site was or wasn't inlined: the heuristic test that fired
-    (Fig. 3 / Fig. 4 vocabulary), or one of the transformation's own
-    guards. *)
+(** Why a call site was or wasn't inlined: the policy rule that fired (for
+    the heuristic policy this is the Fig. 3 / Fig. 4 vocabulary), or one of
+    the transformation's own guards. *)
 type reason =
-  | Static of Heuristic.outcome    (** the Fig. 3 test sequence *)
-  | Hot of Heuristic.hot_outcome   (** the Fig. 4 hot-site test *)
-  | Custom_policy of bool          (** verdict of a custom decision function *)
-  | Recursive                      (** callee already on the inline chain *)
-  | Space_cap                      (** accepted by the heuristic, blocked by
-                                       {!max_expanded_size} *)
+  | Rule of Policy.verdict  (** the policy's verdict, with the rule name *)
+  | Recursive               (** callee already on the inline chain *)
+  | Space_cap               (** accepted by the policy, blocked by
+                                {!max_expanded_size} *)
 
 val reason_accepts : reason -> bool
 val reason_name : reason -> string
@@ -43,12 +41,23 @@ val decision_accepts : decision -> bool
     normally allows. *)
 val max_expanded_size : int
 
-(** [run ~program ~heuristic m] inlines call sites in [m] per the heuristic.
-    [hot_site] (adaptive scenario) selects call sites that take the
-    single-test hot path; [site_owner] is the method whose source body the
-    call site originally belonged to.  [decisions], when given, collects one
-    {!decision} record per examined call site; independently, every decision
-    is emitted as an "inline.decision" trace event when tracing is enabled. *)
+(** [run_policy ~program ~policy m] inlines call sites in [m] as decided by
+    an arbitrary first-class policy.  [hot_site] (adaptive scenario) selects
+    the call sites whose {!Policy.site.hot} flag is set — the heuristic
+    policy takes the single-test Fig. 4 path on them.  [decisions], when
+    given, collects one {!decision} record per examined call site;
+    independently, every decision is emitted as an "inline.decision" trace
+    event when tracing is enabled. *)
+val run_policy :
+  ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
+  ?decisions:decision Inltune_support.Vec.t ->
+  program:Ir.program ->
+  policy:Policy.t ->
+  Ir.methd ->
+  Ir.methd * stats
+
+(** [run ~program ~heuristic m] is {!run_policy} with
+    [Policy.of_heuristic heuristic] (the paper's Fig. 3/4 procedure). *)
 val run :
   ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
   ?decisions:decision Inltune_support.Vec.t ->

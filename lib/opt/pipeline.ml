@@ -22,14 +22,17 @@ type config = {
   inline_enabled : bool;
   optimize : bool;  (* run the dataflow passes; off only for ablations *)
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+  policy : Policy.t option;
+      (* first-class policy replacing the heuristic (e.g. a learned tree) *)
   custom_inliner : site_decision option;
-      (* overrides the heuristic entirely (e.g. the knapsack baseline) *)
+      (* bare decision closure; overrides both (e.g. the knapsack baseline) *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (* adaptive scenario: guard-devirtualize monomorphic virtual sites *)
 }
 
 let opt_config ?hot_site heuristic =
-  { heuristic; inline_enabled = true; optimize = true; hot_site; custom_inliner = None; devirt_oracle = None }
+  { heuristic; inline_enabled = true; optimize = true; hot_site; policy = None;
+    custom_inliner = None; devirt_oracle = None }
 
 let no_inline_config =
   {
@@ -37,6 +40,7 @@ let no_inline_config =
     inline_enabled = false;
     optimize = true;
     hot_site = None;
+    policy = None;
     custom_inliner = None;
     devirt_oracle = None;
   }
@@ -47,7 +51,19 @@ let custom_config decide =
     inline_enabled = true;
     optimize = true;
     hot_site = None;
+    policy = None;
     custom_inliner = Some decide;
+    devirt_oracle = None;
+  }
+
+let policy_config ?hot_site policy =
+  {
+    heuristic = Heuristic.never;
+    inline_enabled = true;
+    optimize = true;
+    hot_site;
+    policy = Some policy;
+    custom_inliner = None;
     devirt_oracle = None;
   }
 
@@ -98,9 +114,12 @@ let run program config m =
     if not config.inline_enabled then (m, Inline.fresh_stats ())
     else
       pass "inline" (fun (_, s) -> s.Inline.sites_inlined) (fun () ->
-          match config.custom_inliner with
-          | Some decide -> Inline.run_custom ~decide ~program m
-          | None -> Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m)
+          match (config.custom_inliner, config.policy) with
+          | Some decide, _ -> Inline.run_custom ~decide ~program m
+          | None, Some policy ->
+            Inline.run_policy ?hot_site:config.hot_site ~program ~policy m
+          | None, None ->
+            Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m)
   in
   let size_peak = Size.of_method m in
   let m, cp2 =

@@ -15,9 +15,11 @@ type config = {
   inline_enabled : bool;
   optimize : bool;
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
-      (** adaptive scenario: which call sites take the hot-heuristic path *)
+      (** adaptive scenario: which call sites are profile-hot *)
+  policy : Policy.t option;
+      (** first-class policy replacing the heuristic (e.g. a learned tree) *)
   custom_inliner : site_decision option;
-      (** overrides the heuristic entirely (e.g. the knapsack baseline) *)
+      (** bare decision closure; overrides both (e.g. the knapsack baseline) *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (** adaptive scenario: guard-devirtualize monomorphic virtual sites *)
 }
@@ -30,6 +32,10 @@ val no_inline_config : config
 
 (** Optimizations on, inlining decided per call site by [decide]. *)
 val custom_config : site_decision -> config
+
+(** Optimizations on, inlining decided by a first-class {!Policy.t}. *)
+val policy_config :
+  ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) -> Policy.t -> config
 
 type stats = {
   size_before : int;   (** size estimate of the input method *)

@@ -1,0 +1,141 @@
+(* CART induction with Gini impurity.  Small datasets (thousands of call
+   sites), so the O(features * n log n) scan per node is plenty; what matters
+   here is determinism — training must be reproducible bit-for-bit, so split
+   ties break on (feature index, threshold) order and nothing consults a
+   clock or RNG. *)
+
+type params = {
+  max_depth : int;
+  min_leaf : int;
+  min_gain : float;
+}
+
+let default_params = { max_depth = 6; min_leaf = 3; min_gain = 1e-9 }
+
+let gini pos n =
+  if n = 0 then 0.0
+  else
+    let p = Float.of_int pos /. Float.of_int n in
+    2.0 *. p *. (1.0 -. p)
+
+let count_pos xs lo hi =
+  let pos = ref 0 in
+  for i = lo to hi - 1 do
+    if snd xs.(i) then incr pos
+  done;
+  !pos
+
+(* Majority label; ties prefer not inlining (the conservative decision). *)
+let majority xs lo hi =
+  let n = hi - lo in
+  2 * count_pos xs lo hi > n
+
+type best = { b_feat : int; b_thresh : float; b_gain : float }
+
+let best_split ~dim ~min_leaf xs lo hi =
+  let n = hi - lo in
+  let total_pos = count_pos xs lo hi in
+  let parent = gini total_pos n in
+  let best = ref None in
+  let better c =
+    match !best with
+    | None -> true
+    | Some b ->
+      c.b_gain > b.b_gain +. 1e-15
+      || (Float.abs (c.b_gain -. b.b_gain) <= 1e-15
+          && (c.b_feat < b.b_feat || (c.b_feat = b.b_feat && c.b_thresh < b.b_thresh)))
+  in
+  let vals = Array.make n (0.0, false) in
+  for f = 0 to dim - 1 do
+    for i = 0 to n - 1 do
+      let x, y = xs.(lo + i) in
+      vals.(i) <- (x.(f), y)
+    done;
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) vals;
+    (* Sweep left-to-right, considering a split between each pair of distinct
+       consecutive values. *)
+    let left_pos = ref 0 in
+    for i = 0 to n - 2 do
+      if snd vals.(i) then incr left_pos;
+      let v, _ = vals.(i) and v', _ = vals.(i + 1) in
+      if v < v' then begin
+        let nl = i + 1 in
+        let nr = n - nl in
+        if nl >= min_leaf && nr >= min_leaf then begin
+          let child =
+            (Float.of_int nl *. gini !left_pos nl
+            +. Float.of_int nr *. gini (total_pos - !left_pos) nr)
+            /. Float.of_int n
+          in
+          let c = { b_feat = f; b_thresh = (v +. v') /. 2.0; b_gain = parent -. child } in
+          if better c then best := Some c
+        end
+      end
+    done
+  done;
+  !best
+
+let train ?(params = default_params) examples =
+  let dim =
+    match Array.length examples with
+    | 0 -> 0
+    | _ ->
+      let d = Array.length (fst examples.(0)) in
+      Array.iter
+        (fun (x, _) ->
+          if Array.length x <> d then invalid_arg "Cart.train: ragged feature vectors")
+        examples;
+      d
+  in
+  if Array.length examples = 0 then Dtree.Leaf false
+  else begin
+    let xs = Array.copy examples in
+    (* In-place partition of xs.(lo..hi-1); returns the split point. *)
+    let partition lo hi feat thresh =
+      let tmp = Array.sub xs lo (hi - lo) in
+      let k = ref lo in
+      Array.iter (fun ((x, _) as e) -> if x.(feat) <= thresh then begin xs.(!k) <- e; incr k end) tmp;
+      let mid = !k in
+      Array.iter (fun ((x, _) as e) -> if x.(feat) > thresh then begin xs.(!k) <- e; incr k end) tmp;
+      mid
+    in
+    let rec grow lo hi d =
+      let n = hi - lo in
+      let pos = count_pos xs lo hi in
+      if pos = 0 then Dtree.Leaf false
+      else if pos = n then Dtree.Leaf true
+      else if d >= params.max_depth || n < 2 * params.min_leaf then
+        Dtree.Leaf (majority xs lo hi)
+      else
+        match best_split ~dim ~min_leaf:params.min_leaf xs lo hi with
+        | Some b when b.b_gain >= params.min_gain ->
+          let mid = partition lo hi b.b_feat b.b_thresh in
+          let le = grow lo mid (d + 1) in
+          let gt = grow mid hi (d + 1) in
+          (* A split whose children agree is dead weight; collapse it. *)
+          (match (le, gt) with
+          | Dtree.Leaf a, Dtree.Leaf b' when a = b' -> Dtree.Leaf a
+          | _ -> Dtree.Split { feat = b.b_feat; thresh = b.b_thresh; le; gt })
+        | _ -> Dtree.Leaf (majority xs lo hi)
+    in
+    grow 0 (Array.length xs) 1
+  end
+
+let accuracy t examples =
+  let n = Array.length examples in
+  if n = 0 then 1.0
+  else begin
+    let ok = ref 0 in
+    Array.iter (fun (x, y) -> if Dtree.decide t x = y then incr ok) examples;
+    Float.of_int !ok /. Float.of_int n
+  end
+
+let split ~k examples =
+  if k < 2 then invalid_arg "Cart.split: k must be >= 2";
+  let train = Inltune_support.Vec.create () and test = Inltune_support.Vec.create () in
+  Array.iteri
+    (fun i e ->
+      if i mod k = k - 1 then Inltune_support.Vec.push test e
+      else Inltune_support.Vec.push train e)
+    examples;
+  (Inltune_support.Vec.to_array train, Inltune_support.Vec.to_array test)

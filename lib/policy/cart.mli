@@ -1,0 +1,24 @@
+(** Hand-rolled CART-style decision-tree induction (Gini impurity, axis-
+    aligned splits at midpoints between consecutive distinct feature values).
+    Deterministic: ties between candidate splits resolve to the lowest
+    feature index, then the lowest threshold. *)
+
+type params = {
+  max_depth : int;   (** leaves are forced at this depth (>= 1) *)
+  min_leaf : int;    (** never produce a leaf holding fewer examples *)
+  min_gain : float;  (** reject splits whose impurity decrease is below this *)
+}
+
+val default_params : params
+
+(** [train ~params examples] induces a tree from [(features, inline?)] pairs.
+    An empty dataset yields [Dtree.Leaf false] (never inline: the safe
+    default).  Raises [Invalid_argument] on ragged feature vectors. *)
+val train : ?params:params -> (float array * bool) array -> Dtree.t
+
+(** Fraction of examples the tree classifies correctly (1.0 on empty). *)
+val accuracy : Dtree.t -> (float array * bool) array -> float
+
+(** Deterministic train/test split: every [1/k]-th example (by index) goes to
+    the test set.  [k >= 2]. *)
+val split : k:int -> (float array * bool) array -> (float array * bool) array * (float array * bool) array

@@ -1,0 +1,93 @@
+(* Binary decision trees over feature vectors, with an exact-round-trip text
+   form.  Parsing is defensive: policy files arrive from disk and must fail
+   with a one-line message, not a crash (mirroring Heuristic.of_array's
+   clamping contract for genomes). *)
+
+type t =
+  | Leaf of bool
+  | Split of { feat : int; thresh : float; le : t; gt : t }
+
+let rec decide t x =
+  match t with
+  | Leaf b -> b
+  | Split s -> if x.(s.feat) <= s.thresh then decide s.le x else decide s.gt x
+
+let rec size = function Leaf _ -> 1 | Split s -> 1 + size s.le + size s.gt
+
+let rec depth = function Leaf _ -> 1 | Split s -> 1 + max (depth s.le) (depth s.gt)
+
+(* Preorder, one node per line.  "%.17g" makes float thresholds round-trip
+   bit-for-bit, the same choice the GA checkpoints make. *)
+let to_text t =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Leaf b -> Buffer.add_string buf (if b then "leaf inline\n" else "leaf no-inline\n")
+    | Split s ->
+      Buffer.add_string buf (Printf.sprintf "split %d %.17g\n" s.feat s.thresh);
+      go s.le;
+      go s.gt
+  in
+  go t;
+  Buffer.contents buf
+
+let of_text ~dim text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let rest = ref lines in
+  let lineno = ref 0 in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let next () =
+    incr lineno;
+    match !rest with
+    | [] -> fail "line %d: unexpected end of tree" !lineno
+    | l :: tl ->
+      rest := tl;
+      String.trim l
+  in
+  let rec node () =
+    let line = next () in
+    match String.split_on_char ' ' line with
+    | [ "leaf"; "inline" ] -> Leaf true
+    | [ "leaf"; "no-inline" ] -> Leaf false
+    | [ "split"; f; th ] ->
+      let feat =
+        match int_of_string_opt f with
+        | Some i when i >= 0 && i < dim -> i
+        | Some i -> fail "line %d: feature index %d outside [0, %d)" !lineno i dim
+        | None -> fail "line %d: bad feature index '%s'" !lineno f
+      in
+      let thresh =
+        match float_of_string_opt th with
+        | Some v when Float.is_finite v -> v
+        | Some _ -> fail "line %d: non-finite threshold" !lineno
+        | None -> fail "line %d: bad threshold '%s'" !lineno th
+      in
+      let le = node () in
+      let gt = node () in
+      Split { feat; thresh; le; gt }
+    | _ -> fail "line %d: bad node '%s'" !lineno line
+  in
+  match
+    let t = node () in
+    match !rest with
+    | [] -> Ok t
+    | l :: _ -> Error (Printf.sprintf "line %d: trailing garbage '%s'" (!lineno + 1) (String.trim l))
+  with
+  | result -> result
+  | exception Bad msg -> Error msg
+
+let pretty ~names t =
+  let buf = Buffer.create 256 in
+  let rec go indent = function
+    | Leaf b -> Buffer.add_string buf (Printf.sprintf "%s-> %s\n" indent (if b then "inline" else "no-inline"))
+    | Split s ->
+      let name = if s.feat < Array.length names then names.(s.feat) else string_of_int s.feat in
+      Buffer.add_string buf (Printf.sprintf "%sif %s <= %g:\n" indent name s.thresh);
+      go (indent ^ "  ") s.le;
+      Buffer.add_string buf (Printf.sprintf "%selse:\n" indent);
+      go (indent ^ "  ") s.gt
+  in
+  go "" t;
+  Buffer.contents buf

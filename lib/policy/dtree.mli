@@ -1,0 +1,36 @@
+(** Binary decision trees over feature vectors: the representation trained
+    policies are stored and evaluated in. *)
+
+type t =
+  | Leaf of bool  (** inline? *)
+  | Split of {
+      feat : int;      (** feature index, [0 .. Features.dim) *)
+      thresh : float;  (** go left when [x.(feat) <= thresh] *)
+      le : t;
+      gt : t;
+    }
+
+(** Evaluate the tree on a feature vector.  Raises [Invalid_argument] if the
+    vector is shorter than a referenced feature index (cannot happen for
+    trees accepted by {!of_text} with the right [dim]). *)
+val decide : t -> float array -> bool
+
+(** Number of nodes (leaves + splits). *)
+val size : t -> int
+
+(** Longest root-to-leaf path; a lone leaf has depth 1. *)
+val depth : t -> int
+
+(** Serialize in preorder, one node per line: ["leaf inline"],
+    ["leaf no-inline"], or ["split <feat> <thresh>"].  Threshold floats
+    round-trip exactly (["%.17g"]). *)
+val to_text : t -> string
+
+(** Parse {!to_text} output.  Validates shape like {!Inltune_opt.Heuristic}
+    validates genomes: a malformed node line, a feature index outside
+    [0 .. dim), a non-finite threshold, or trailing garbage is an [Error]
+    with a one-line message — never an exception. *)
+val of_text : dim:int -> string -> (t, string) result
+
+(** Human-readable rendering with feature names, for reports. *)
+val pretty : names:string array -> t -> string

@@ -41,12 +41,16 @@ type config = {
   guarded_devirt_enabled : bool; (* false = ablation: no guarded devirtualization *)
   custom_inliner : Pipeline.site_decision option;
       (* per-site decision override (e.g. the knapsack baseline) *)
+  policy_factory : (Profile.t -> Policy.t) option;
+      (* first-class inlining policy built against the VM's live profile at
+         each (re)compile, so feature-driven policies (lib/policy) see
+         current call-edge hotness; [custom_inliner] wins if both are set *)
   fuel : int;             (* interpreter step budget per iteration *)
 }
 
 let config ?(inline_enabled = true) ?(optimize = true) ?(icache_enabled = true)
     ?(hot_path_enabled = true) ?(guarded_devirt_enabled = true) ?custom_inliner
-    ?(fuel = 100_000_000) scenario heuristic =
+    ?policy_factory ?(fuel = 100_000_000) scenario heuristic =
   {
     scenario;
     heuristic;
@@ -56,6 +60,7 @@ let config ?(inline_enabled = true) ?(optimize = true) ?(icache_enabled = true)
     hot_path_enabled;
     guarded_devirt_enabled;
     custom_inliner;
+    policy_factory;
     fuel;
   }
 
@@ -138,6 +143,7 @@ let pipeline_config vm =
     inline_enabled = vm.cfg.inline_enabled;
     optimize = vm.cfg.optimize;
     hot_site;
+    policy = Option.map (fun f -> f vm.profile) vm.cfg.policy_factory;
     custom_inliner = vm.cfg.custom_inliner;
     devirt_oracle;
   }

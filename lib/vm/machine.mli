@@ -28,6 +28,10 @@ type config = {
   guarded_devirt_enabled : bool;  (** false = ablation: no PIC guards *)
   custom_inliner : Pipeline.site_decision option;
       (** per-site decision override (e.g. the knapsack oracle) *)
+  policy_factory : (Profile.t -> Policy.t) option;
+      (** first-class inlining policy, rebuilt against the VM's live profile
+          at each (re)compile so feature-driven policies see current
+          call-edge hotness; [custom_inliner] wins if both are set *)
   fuel : int;                     (** interpreter step budget per iteration *)
 }
 
@@ -39,6 +43,7 @@ val config :
   ?hot_path_enabled:bool ->
   ?guarded_devirt_enabled:bool ->
   ?custom_inliner:Pipeline.site_decision ->
+  ?policy_factory:(Profile.t -> Policy.t) ->
   ?fuel:int ->
   scenario ->
   Heuristic.t ->

@@ -59,6 +59,31 @@ resumed=$(dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --resu
   exit 1
 }
 
+echo "== policy smoke =="
+# Tiny dataset -> train -> eval round-trip: label a handful of compress call
+# sites with the flip oracle, induce a tree, run it end-to-end on one unseen
+# DaCapo benchmark, and verify the policy file reserializes canonically.
+ds=$(mktemp -t inltune_ds.XXXXXX.jsonl)
+pol=$(mktemp -t inltune_pol.XXXXXX.txt)
+pol2=$(mktemp -t inltune_pol2.XXXXXX.txt)
+trap 'rm -f "$trace" "$faults" "$ckpt" "$ds" "$pol" "$pol2"' EXIT
+rm -f "$ds"
+dune exec --no-build bin/main.exe -- dataset "$ds" --bench compress --max-sites 6 \
+  > /dev/null 2>&1
+[ -s "$ds" ] || { echo "dataset produced no examples"; exit 1; }
+dune exec --no-build bin/main.exe -- train-policy "$ds" -o "$pol" > /dev/null
+dune exec --no-build bin/main.exe -- eval-policy "$pol" --no-tuned --bench antlr \
+  | grep -q "policy comparison" || { echo "missing eval-policy comparison table"; exit 1; }
+# Serialize/deserialize equality: reprinting a reprinted policy is a fixpoint.
+dune exec --no-build bin/main.exe -- eval-policy "$pol" --print > "$pol2"
+dune exec --no-build bin/main.exe -- eval-policy "$pol2" --print | cmp -s - "$pol2" \
+  || { echo "policy canonical form is not a serialization fixpoint"; exit 1; }
+# A corrupt policy file must die with a one-line error and exit code 2.
+printf 'inltune-policy v1 tree\nsplit 99 1.0\nleaf inline\nleaf no-inline\n' > "$pol"
+rc=0
+dune exec --no-build bin/main.exe -- eval-policy "$pol" --print > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "corrupt policy exited $rc, want 2"; exit 1; }
+
 echo "== CLI error smoke =="
 # Bad flag values must die with a one-line error and exit code 2.
 rc=0

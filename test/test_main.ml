@@ -11,6 +11,7 @@ let () =
       ("ga", Test_ga.suite);
       ("resilience", Test_resilience.suite);
       ("core", Test_core.suite);
+      ("policy", Test_policy.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
     ]

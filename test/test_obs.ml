@@ -223,6 +223,24 @@ let test_parameter_of_reason () =
   Alcotest.(check string) "hot cap" "HOT_CALLEE_MAX_SIZE"
     (Summary.parameter_of_reason "hot_callee_too_big")
 
+let test_has_events () =
+  let parse lines = fst (Summary.of_lines lines) in
+  Alcotest.(check bool) "empty trace" false (Summary.has_events []);
+  Alcotest.(check bool) "counter/histogram-only trace" false
+    (Summary.has_events
+       (parse
+          [
+            {|{"ts":1.0,"ev":"counter","name":"x","value":3}|};
+            {|{"ts":1.0,"ev":"histogram","name":"h","count":1}|};
+          ]));
+  Alcotest.(check bool) "real event" true
+    (Summary.has_events
+       (parse
+          [
+            {|{"ts":1.0,"ev":"counter","name":"x","value":3}|};
+            {|{"ts":2.0,"ev":"inline.decision","reason":"always_inline","accept":true}|};
+          ]))
+
 let suite =
   [
     Alcotest.test_case "event json round trip" `Quick test_event_json_round_trip;
@@ -243,4 +261,5 @@ let suite =
     Alcotest.test_case "summary counter values" `Quick test_summary_counter_values;
     Alcotest.test_case "summary tables render" `Quick test_summary_tables_nonempty;
     Alcotest.test_case "reason to Table 1 parameter" `Quick test_parameter_of_reason;
+    Alcotest.test_case "has_events ignores counter snapshots" `Quick test_has_events;
   ]
