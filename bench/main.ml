@@ -6,6 +6,7 @@
        dune exec bench/main.exe fig5            # one experiment
        dune exec bench/main.exe ablations       # just the ablations
        dune exec bench/main.exe policy          # GA-vs-learned policy comparison
+       dune exec bench/main.exe tuner           # fitness-cache off/on protocol
        dune exec bench/main.exe micro           # just the micro-benchmarks
 
    Environment knobs (for bigger GA budgets):
@@ -462,6 +463,88 @@ let policy_comparison () =
   close_out oc;
   print_endline "wrote BENCH_policy.json\n"
 
+(* ---- Tuner caching bench ------------------------------------------------- *)
+
+(* The decision-signature caching protocol (EXPERIMENTS.md): one fixed-seed
+   GA run twice — cache off, then cache on starting empty.  Caching must be
+   bit-transparent, so the two searches are required to produce the same
+   best genome and the same per-generation history; the win is the count of
+   full VM simulations avoided.  Numbers land in BENCH_tuner.json so CI can
+   diff runs without scraping tables. *)
+let tuner_bench () =
+  print_endline "==== Tuner bench: decision-signature fitness caching ====\n";
+  let suite = [ W.Suites.find "compress"; W.Suites.find "raytrace"; W.Suites.find "db" ] in
+  let budget = budget () in
+  let value name = Inltune_obs.Metric.value (Inltune_obs.Metric.counter name) in
+  (* Default-heuristic baselines are memoized process-wide by
+     [Measure.run_default]; pay for them once before either timed run so
+     neither side gets them for free. *)
+  Fitcache.set_enabled false;
+  Fitcache.clear ();
+  List.iter
+    (fun bm -> ignore (Measure.run_default ~scenario:Machine.Opt ~platform:Platform.x86 bm))
+    suite;
+  let timed_run () =
+    let s0 = value "measure.simulations" in
+    let t0 = Inltune_support.Pool.now () in
+    let o = Tuner.tune ~budget ~suite Tuner.Opt_tot_x86 in
+    let wall = Inltune_support.Pool.now () -. t0 in
+    (o, value "measure.simulations" - s0, wall)
+  in
+  let off, sims_off, wall_off = timed_run () in
+  Fitcache.clear ();
+  Fitcache.set_enabled true;
+  let h0 = value "fitness.sig_hits"
+  and m0 = value "fitness.sig_misses"
+  and u0 = value "fitness.unique_plans" in
+  let on, sims_on, wall_on = timed_run () in
+  let sig_hits = value "fitness.sig_hits" - h0
+  and sig_misses = value "fitness.sig_misses" - m0
+  and unique_plans = value "fitness.unique_plans" - u0 in
+  let identical_best = off.Tuner.ga.Inltune_ga.Evolve.best = on.Tuner.ga.Inltune_ga.Evolve.best in
+  let identical_history =
+    off.Tuner.ga.Inltune_ga.Evolve.history = on.Tuner.ga.Inltune_ga.Evolve.history
+  in
+  let avoided = sims_off - sims_on in
+  let frac = Float.of_int avoided /. Float.of_int (max 1 sims_off) in
+  let t =
+    Table.create ~title:"Fixed-seed GA, cache off vs on (Opt:Tot, 3 benchmarks)"
+      ~header:[| "run"; "wall (s)"; "simulations"; "sig hits"; "sig misses"; "unique plans" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
+  in
+  Table.add_row t
+    [| "cache off"; Printf.sprintf "%.2f" wall_off; string_of_int sims_off; "-"; "-"; "-" |];
+  Table.add_row t
+    [|
+      "cache on"; Printf.sprintf "%.2f" wall_on; string_of_int sims_on;
+      string_of_int sig_hits; string_of_int sig_misses; string_of_int unique_plans;
+    |];
+  Table.add_rule t;
+  Table.add_row t
+    [|
+      "avoided"; ""; Printf.sprintf "%d (%.0f%%)" avoided (100.0 *. frac); ""; ""; "";
+    |];
+  Table.print t;
+  Printf.printf "best genome identical: %b   per-generation history identical: %b\n"
+    identical_best identical_history;
+  let oc = open_out "BENCH_tuner.json" in
+  Printf.fprintf oc
+    "{\"suite\":[%s],\"scenario\":\"opt:tot\",\"pop\":%d,\"gens\":%d,\"seed\":%d,\
+     \"cache_off\":{\"wall_s\":%.3f,\"simulations\":%d},\
+     \"cache_on\":{\"wall_s\":%.3f,\"simulations\":%d,\"sig_hits\":%d,\"sig_misses\":%d,\
+     \"unique_plans\":%d},\
+     \"simulations_avoided\":%d,\"avoided_fraction\":%.4f,\
+     \"identical_best\":%b,\"identical_history\":%b}\n"
+    (String.concat "," (List.map (fun bm -> "\"" ^ bm.W.Suites.bname ^ "\"") suite))
+    budget.Tuner.pop budget.Tuner.gens budget.Tuner.seed wall_off sims_off wall_on sims_on
+    sig_hits sig_misses unique_plans avoided frac identical_best identical_history;
+  close_out oc;
+  print_endline "wrote BENCH_tuner.json\n";
+  if not (identical_best && identical_history) then begin
+    prerr_endline "tuner bench: caching changed the search result (must be bit-transparent)";
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -571,9 +654,11 @@ let () =
     ablations ();
     extensions ();
     policy_comparison ();
+    tuner_bench ();
     micro ()
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
   | "policy" -> policy_comparison ()
+  | "tuner" -> tuner_bench ()
   | "micro" -> micro ()
   | id -> Experiments.run_one ctx id

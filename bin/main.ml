@@ -72,6 +72,36 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let domains_arg =
+  let doc =
+    "Bound parallel fitness evaluation to $(docv) domains (>= 1); 1 runs strictly \
+     sequentially on the calling domain.  Default: the machine's recommended domain \
+     count, capped at 8."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* The one shared --domains parser: validate, then set the process-wide
+   default so every Pool user — explicit [?domains] thread-through or not —
+   is bounded uniformly. *)
+let domains_of_flag = function
+  | Some d when d < 1 -> die "bad --domains %d: must be >= 1" d
+  | d ->
+    Option.iter Inltune_support.Pool.set_default_domains d;
+    d
+
+let fitness_cache_arg =
+  let doc =
+    "Persist fitness measurements to $(docv) (append-only JSONL keyed by program, \
+     scenario, platform and decision signature) and reload its entries at startup, so \
+     repeated tuning runs skip simulations they have already paid for.  Corrupt or \
+     truncated lines are skipped with a warning."
+  in
+  Arg.(value & opt (some string) None & info [ "fitness-cache" ] ~docv:"FILE" ~doc)
+
+let setup_fitness_cache = function
+  | None -> ()
+  | Some path -> Fitcache.set_file (Some path)
+
 let setup_trace = function
   | Some "-" -> Inltune_obs.Trace.to_channel stderr
   | Some path -> (
@@ -184,8 +214,10 @@ let max_retries_arg =
   Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
 
 let tune_cmd =
-  let run scenario pop gens seed max_retries checkpoint resume trace =
+  let run scenario pop gens seed max_retries domains fcache checkpoint resume trace =
     setup_trace trace;
+    let domains = domains_of_flag domains in
+    setup_fitness_cache fcache;
     let id = tuner_scenario_of_flag scenario in
     let budget = { Tuner.pop; gens; seed } in
     let on_generation (p : Inltune_ga.Evolve.progress) =
@@ -193,7 +225,7 @@ let tune_cmd =
         p.Inltune_ga.Evolve.generation p.Inltune_ga.Evolve.best_fitness
         p.Inltune_ga.Evolve.mean_fitness p.Inltune_ga.Evolve.evaluations
     in
-    let o = Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries id in
+    let o = Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains id in
     Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
     (match o.Tuner.degraded with
     | Some reason -> Printf.printf "search stopped early: %s\n" reason
@@ -219,8 +251,8 @@ let tune_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
     Term.(
-      const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ checkpoint_arg
-      $ resume_arg $ trace_arg)
+      const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ domains_arg
+      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ trace_arg)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
@@ -408,8 +440,13 @@ let features_cmd =
 
 let dataset_cmd =
   let run out suite bench_csv scenario platform hstring goal max_sites iterations
-      max_retries trace =
+      max_retries domains trace =
     setup_trace trace;
+    (* The flip-oracle labeling loop is sequential by design (the output file
+       is append-ordered and resumable), but its measurements share the
+       process-wide pool default with every other subcommand — validate and
+       apply the bound here too so the flag behaves uniformly. *)
+    let (_ : int option) = domains_of_flag domains in
     let cfg =
       {
         P.Dataset.scenario = scenario_of_flag scenario;
@@ -456,7 +493,7 @@ let dataset_cmd =
        ~doc:"Label call-site inlining decisions with the flip oracle (resumable)")
     Term.(
       const run $ out $ suite $ bench_csv $ scenario_arg $ platform_arg $ heuristic_arg
-      $ goal $ max_sites $ iters $ max_retries_arg $ trace_arg)
+      $ goal $ max_sites $ iters $ max_retries_arg $ domains_arg $ trace_arg)
 
 let train_policy_cmd =
   let run data out kind hstring max_depth min_leaf holdout =
@@ -513,8 +550,9 @@ let train_policy_cmd =
 
 let eval_policy_cmd =
   let run path print_only suite bench_csv scenario platform iterations no_tuned tuned_params
-      pop gens seed trace =
+      pop gens seed domains trace =
     setup_trace trace;
+    let domains = domains_of_flag domains in
     let store = load_policy path in
     if print_only then print_string (P.Store.to_string store)
     else begin
@@ -527,7 +565,7 @@ let eval_policy_cmd =
         else begin
           Printf.eprintf "[inltune] GA-tuning the comparison heuristic (use --no-tuned to skip)\n%!";
           let budget = { Tuner.pop; gens; seed } in
-          let o = Tuner.tune ~budget Tuner.Opt_tot_x86 in
+          let o = Tuner.tune ~budget ?domains Tuner.Opt_tot_x86 in
           Some o.Tuner.heuristic
         end
       in
@@ -567,7 +605,7 @@ let eval_policy_cmd =
        ~doc:"Run a stored policy on a suite and compare default vs GA-tuned vs learned")
     Term.(
       const run $ path $ print_only $ suite $ bench_csv $ scenario_arg $ platform_arg $ iters
-      $ no_tuned $ tuned_params $ pop $ gens $ seed $ trace_arg)
+      $ no_tuned $ tuned_params $ pop $ gens $ seed $ domains_arg $ trace_arg)
 
 (* --- experiment ----------------------------------------------------------- *)
 
@@ -575,10 +613,10 @@ let eval_policy_cmd =
    policy library sits above the core library in the build: train on
    SPECjvm98 (GA + flip-oracle dataset + CART), evaluate on unseen
    DaCapo+JBB against the default and GA-tuned heuristics. *)
-let policy_experiment ~verbose ~budget =
+let policy_experiment ~verbose ~budget ?domains () =
   let say fmt = Printf.ksprintf (fun s -> if verbose then Printf.eprintf "%s%!" s) fmt in
   say "[inltune] GA-tuning Opt:Tot on SPECjvm98\n";
-  let o = Tuner.tune ~budget Tuner.Opt_tot_x86 in
+  let o = Tuner.tune ~budget ?domains Tuner.Opt_tot_x86 in
   say "[inltune] tuned heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
   let cfg = { P.Dataset.default_config with P.Dataset.max_sites = 12 } in
   let examples =
@@ -595,15 +633,18 @@ let policy_experiment ~verbose ~budget =
   Inltune_support.Table.print (P.Evaluate.table report)
 
 let experiment_cmd =
-  let run id pop gens seed quiet max_retries checkpoint resume trace =
+  let run id pop gens seed quiet max_retries domains fcache checkpoint resume trace =
     setup_trace trace;
+    let domains = domains_of_flag domains in
+    setup_fitness_cache fcache;
     let budget = { Tuner.pop; gens; seed } in
-    if id = "policy" then policy_experiment ~verbose:(not quiet) ~budget
+    if id = "policy" then policy_experiment ~verbose:(not quiet) ~budget ?domains ()
     else begin
       (* One experiment tunes several scenarios, so the checkpoint/resume paths
          here are bases: each GA run appends ".<scenario-slug>". *)
       let ctx =
-        Experiments.make_ctx ~verbose:(not quiet) ~budget ?checkpoint ?resume ~max_retries ()
+        Experiments.make_ctx ~verbose:(not quiet) ~budget ?checkpoint ?resume ~max_retries
+          ?domains ()
       in
       Experiments.run_one ctx id
     end
@@ -623,8 +664,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
-      const run $ id $ pop $ gens $ seed $ quiet $ max_retries_arg $ checkpoint_arg
-      $ resume_arg $ trace_arg)
+      const run $ id $ pop $ gens $ seed $ quiet $ max_retries_arg $ domains_arg
+      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ trace_arg)
 
 let main_cmd =
   let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in

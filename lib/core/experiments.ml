@@ -16,12 +16,13 @@ type ctx = {
   checkpoint : string option;  (* base path; per-scenario suffix appended *)
   resume : string option;
   max_retries : int;
+  domains : int option;        (* evaluation parallelism; None = pool default *)
   mutable tuned : (Tuner.scenario_id * Tuner.outcome) list;
 }
 
 let make_ctx ?(verbose = true) ?(budget = Tuner.default_budget) ?checkpoint ?resume
-    ?(max_retries = 1) () =
-  { budget; verbose; checkpoint; resume; max_retries; tuned = [] }
+    ?(max_retries = 1) ?domains () =
+  { budget; verbose; checkpoint; resume; max_retries; domains; tuned = [] }
 
 let progress ctx fmt =
   Printf.ksprintf (fun s -> if ctx.verbose then Printf.eprintf "[inltune] %s\n%!" s) fmt
@@ -46,7 +47,7 @@ let tuned ctx id =
     let resume = Option.map (fun b -> scenario_path b id) ctx.resume in
     let o =
       Tuner.tune ~budget:ctx.budget ~on_generation ?checkpoint ?resume
-        ~max_retries:ctx.max_retries id
+        ~max_retries:ctx.max_retries ?domains:ctx.domains id
     in
     ctx.tuned <- (id, o) :: ctx.tuned;
     (match o.Tuner.degraded with
@@ -279,7 +280,7 @@ let fig10 ctx =
     List.map
       (fun bm ->
         progress ctx "per-program tuning: %s..." bm.W.Suites.bname;
-        let h, fit = Tuner.tune_per_program ~budget:ctx.budget bm in
+        let h, fit = Tuner.tune_per_program ~budget:ctx.budget ?domains:ctx.domains bm in
         Table.add_row t
           [|
             bm.W.Suites.bname;

@@ -1,0 +1,294 @@
+open Inltune_jir
+open Inltune_opt
+open Inltune_vm
+module Metric = Inltune_obs.Metric
+module Json = Inltune_obs.Json
+
+(* Decision-signature fitness cache.
+
+   The GA revisits heuristics constantly, and — the paper's plateau
+   observation — many *distinct* 5-parameter genomes induce exactly the same
+   inlining decisions on a given program.  Simulating both is pure waste: the
+   compiled code, and therefore every cycle count the VM reports, is a
+   function of which call sites get expanded, not of the parameter values
+   that chose them.  This module computes a cheap semantic key — the
+   **decision signature** — for a (program, scenario, platform, heuristic)
+   query by running only the inliner's decision procedure, and reuses the
+   previously measured [Runner.measurement] whenever the signature matches.
+
+   Soundness is scenario-split:
+
+   - [Opt]: every method is optimized exactly once, on its
+     constant-propagated form, with no profile input ([hot_site] and the
+     devirt oracle are [None]).  [Inline.plan] over the constprop'd methods
+     therefore reproduces the *exact* verdict sequence the real compile
+     performs, so the signature is the hash of those plans — two heuristics
+     with equal plans compile every method identically and the measurement
+     carries over bit-for-bit.  This is the maximal sound merge.
+
+   - [Adapt]/[Ladder]: which sites are decided (and their hot flags) depends
+     on the runtime profile, which itself depends on earlier decisions, so a
+     static walk cannot enumerate the queries.  Instead the signature
+     projects the heuristic onto the program: for every distinct static
+     method size [s] it records the three threshold bits
+     [s > CALLEE_MAX_SIZE], [s < ALWAYS_INLINE_SIZE] and
+     [s <= HOT_CALLEE_MAX_SIZE], plus [MAX_INLINE_DEPTH] clamped to the
+     method count (an inline chain holds distinct methods, so no reachable
+     depth exceeds it) and [CALLER_MAX_SIZE] verbatim.  Two heuristics with
+     equal projections return identical verdicts for *any* reachable query —
+     by induction over the decision sequence the whole execution, profile
+     included, stays identical.  Weaker merging than the walk, but sound
+     under profile feedback.
+
+   The cache is two-tier: a mutex-guarded in-memory table, plus an optional
+   append-only JSONL file ([set_file], CLI [--fitness-cache]) that is loaded
+   on attach and appended to on every fresh measurement, so warm state
+   survives process restarts and composes with GA checkpoint/resume (the
+   checkpoint layer memoizes genome fitness above this layer; this layer
+   dedups the simulations below it).  Keys are content-addressed — program
+   digest × scenario × platform × iterations × signature — so files can be
+   shared across runs and machines; a corrupt or truncated line (killed
+   mid-append) is skipped with a warning, never an abort. *)
+
+(* --- per-program derived data ------------------------------------------ *)
+
+type pinfo = {
+  p_digest : string;            (* hex MD5 of the canonical text form *)
+  p_cp : Ir.methd array;        (* constant-propagated methods (Opt walks) *)
+  p_sizes : int array;          (* distinct static method sizes, sorted *)
+  p_nmethods : int;
+}
+
+(* Keyed by physical identity: [Suites.program] shares one immutable program
+   value per benchmark per process, so this list stays as short as the suite. *)
+let pinfo_mu = Mutex.create ()
+let pinfos : (Ir.program * pinfo) list ref = ref []
+
+let pinfo_of prog =
+  Mutex.lock pinfo_mu;
+  let info =
+    match List.find_opt (fun (p, _) -> p == prog) !pinfos with
+    | Some (_, i) -> i
+    | None ->
+      let digest = Digest.to_hex (Digest.string (Text.to_string prog)) in
+      let cp = Array.map (fun m -> fst (Constprop.run prog m)) prog.Ir.methods in
+      let sizes =
+        Array.to_list prog.Ir.methods
+        |> List.map Size.of_method
+        |> List.sort_uniq compare |> Array.of_list
+      in
+      let i =
+        {
+          p_digest = digest;
+          p_cp = cp;
+          p_sizes = sizes;
+          p_nmethods = Array.length prog.Ir.methods;
+        }
+      in
+      pinfos := (prog, i) :: !pinfos;
+      i
+  in
+  Mutex.unlock pinfo_mu;
+  info
+
+let program_digest prog = (pinfo_of prog).p_digest
+
+(* --- signatures --------------------------------------------------------- *)
+
+let signature ~scenario ~heuristic ~inline_enabled prog =
+  if not inline_enabled then "off"
+  else
+    let info = pinfo_of prog in
+    match scenario with
+    | Machine.Opt ->
+      (* Exact: hash of the concatenated per-method decision plans. *)
+      let buf = Buffer.create 256 in
+      Array.iter
+        (fun cpm ->
+          Buffer.add_string buf (Inline.plan ~program:prog ~heuristic cpm);
+          Buffer.add_char buf '|')
+        info.p_cp;
+      "w:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+    | Machine.Adapt | Machine.Ladder ->
+      (* Sound projection under profile feedback: threshold bits per distinct
+         callee size + clamped depth limit + caller limit. *)
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf "p:";
+      Array.iter
+        (fun s ->
+          let b = ref 0 in
+          if s > heuristic.Heuristic.callee_max_size then b := !b lor 4;
+          if s < heuristic.Heuristic.always_inline_size then b := !b lor 2;
+          if s <= heuristic.Heuristic.hot_callee_max_size then b := !b lor 1;
+          Buffer.add_char buf (Char.chr (Char.code '0' + !b)))
+        info.p_sizes;
+      Buffer.add_string buf
+        (Printf.sprintf "/d%d/c%d"
+           (min heuristic.Heuristic.max_inline_depth info.p_nmethods)
+           heuristic.Heuristic.caller_max_size);
+      Buffer.contents buf
+
+let key ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog =
+  Printf.sprintf "%s/%s/%s/%d/%s" (program_digest prog)
+    (Machine.scenario_name scenario) platform.Platform.pname iterations
+    (signature ~scenario ~heuristic ~inline_enabled prog)
+
+(* --- the cache proper --------------------------------------------------- *)
+
+(* Counters are re-resolved per use (not captured at module init) so they
+   stay attached to the registry across [Metric.reset_all]. *)
+let bump name = Metric.incr (Metric.counter name)
+
+let mu = Mutex.create ()
+let table : (string, Runner.measurement) Hashtbl.t = Hashtbl.create 256
+let file : string option ref = ref None
+let on = ref true
+
+let enabled () = !on
+let set_enabled v = on := v
+
+let clear () =
+  Mutex.lock mu;
+  Hashtbl.reset table;
+  Mutex.unlock mu
+
+(* --- JSONL persistence -------------------------------------------------- *)
+
+let fields (m : Runner.measurement) =
+  [
+    ("total_cycles", m.Runner.total_cycles);
+    ("running_cycles", m.Runner.running_cycles);
+    ("first_exec_cycles", m.Runner.first_exec_cycles);
+    ("first_compile_cycles", m.Runner.first_compile_cycles);
+    ("opt_compiles", m.Runner.opt_compiles);
+    ("baseline_compiles", m.Runner.baseline_compiles);
+    ("code_bytes", m.Runner.code_bytes);
+    ("icache_misses", m.Runner.icache_misses);
+    ("icache_accesses", m.Runner.icache_accesses);
+    ("steps", m.Runner.steps);
+    ("ret", m.Runner.ret);
+    ("out_hash", m.Runner.out_hash);
+  ]
+
+let entry_to_line k m =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"key\":\"";
+  Buffer.add_string b (String.escaped k);
+  Buffer.add_string b "\"";
+  (* Fields like out_hash (and ret for some programs) span the full 63-bit
+     int range, and the JSON layer stores numbers as floats — so every field
+     is encoded as a decimal string to survive the round trip exactly. *)
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf ",\"%s\":\"%d\"" name v))
+    (fields m);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let entry_of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok j -> (
+    (* String-encoded to dodge float precision loss; see [entry_to_line]. *)
+    let int name =
+      match Json.member name j with
+      | Some (Json.Str s) -> int_of_string_opt s
+      | _ -> None
+    in
+    match
+      ( Json.member "key" j,
+        int "total_cycles", int "running_cycles", int "first_exec_cycles",
+        int "first_compile_cycles", int "opt_compiles", int "baseline_compiles",
+        int "code_bytes", int "icache_misses", int "icache_accesses",
+        int "steps", int "ret", int "out_hash" )
+    with
+    | ( Some (Json.Str k),
+        Some total_cycles, Some running_cycles, Some first_exec_cycles,
+        Some first_compile_cycles, Some opt_compiles, Some baseline_compiles,
+        Some code_bytes, Some icache_misses, Some icache_accesses,
+        Some steps, Some ret, Some out_hash ) ->
+      Ok
+        ( k,
+          {
+            Runner.total_cycles; running_cycles; first_exec_cycles;
+            first_compile_cycles; opt_compiles; baseline_compiles; code_bytes;
+            icache_misses; icache_accesses; steps; ret; out_hash;
+          } )
+    | _ -> Error "missing or non-integer field")
+
+let append_entry path k m =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (entry_to_line k m);
+  output_char oc '\n';
+  close_out oc
+
+let set_file path =
+  Mutex.lock mu;
+  file := path;
+  (match path with
+  | Some p when Sys.file_exists p ->
+    let ic = open_in p in
+    let lineno = ref 0 and skipped = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then
+           match entry_of_line line with
+           | Ok (k, m) -> if not (Hashtbl.mem table k) then Hashtbl.add table k m
+           | Error e ->
+             incr skipped;
+             Printf.eprintf "warning: fitness cache %s:%d: skipping bad entry (%s)\n%!"
+               p !lineno e
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !skipped > 0 then
+      Printf.eprintf "warning: fitness cache %s: %d corrupt line%s ignored\n%!" p !skipped
+        (if !skipped = 1 then "" else "s")
+  | _ -> ());
+  Mutex.unlock mu
+
+(* --- lookup ------------------------------------------------------------- *)
+
+let find_measurement k =
+  Mutex.lock mu;
+  let r = Hashtbl.find_opt table k in
+  Mutex.unlock mu;
+  r
+
+let store_measurement k m =
+  Mutex.lock mu;
+  if not (Hashtbl.mem table k) then begin
+    Hashtbl.add table k m;
+    bump "fitness.unique_plans";
+    match !file with Some p -> append_entry p k m | None -> ()
+  end;
+  Mutex.unlock mu
+
+let mem ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog =
+  !on
+  &&
+  let k = key ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog in
+  Mutex.lock mu;
+  let r = Hashtbl.mem table k in
+  Mutex.unlock mu;
+  r
+
+(* Two domains racing on the same fresh key both simulate (the simulation
+   runs outside the lock and is deterministic, so both arrive at the same
+   measurement); the first store wins and the counters are best-effort. *)
+let lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~iterations ~program
+    simulate =
+  if not !on then simulate ()
+  else begin
+    let k = key ~scenario ~platform ~heuristic ~inline_enabled ~iterations program in
+    match find_measurement k with
+    | Some m ->
+      bump "fitness.sig_hits";
+      m
+    | None ->
+      bump "fitness.sig_misses";
+      let m = simulate () in
+      store_measurement k m;
+      m
+  end

@@ -1,0 +1,94 @@
+open Inltune_jir
+open Inltune_opt
+open Inltune_vm
+
+(** Decision-signature fitness cache.
+
+    Before paying for a full VM simulation, compute a cheap semantic key for
+    the (program, scenario, platform, heuristic) query — a signature of the
+    inline/no-inline verdicts the Fig. 3/4 tests produce — and reuse the
+    previously measured {!Inltune_vm.Runner.measurement} whenever it
+    matches.  Distinct genomes with identical decisions (the paper's plateau
+    observation) then cost one simulation instead of many; caching is
+    bit-transparent because the compiled code is a function of the decision
+    vector alone.
+
+    Under [Opt] the signature hashes the exact per-method decision plans
+    ({!Inltune_opt.Inline.plan} over the constant-propagated methods — the
+    maximal sound merge); under [Adapt]/[Ladder], where decisions depend on
+    the runtime profile, it projects the heuristic's thresholds onto the
+    program's distinct method sizes, which is sufficient for identical
+    verdicts at every reachable query.
+
+    Two tiers: a process-wide mutex-guarded table (on by default), plus an
+    optional append-only JSONL file ({!set_file}; CLI [--fitness-cache])
+    whose entries are content-keyed — program digest × scenario × platform ×
+    iterations × signature — so they survive restarts and compose with GA
+    checkpoint/resume.  Counters: ["fitness.sig_hits"],
+    ["fitness.sig_misses"], ["fitness.unique_plans"]. *)
+
+(** Hex digest of the program's canonical text form; memoized per program
+    value.  Part of every cache key, so signatures can never collide across
+    programs. *)
+val program_digest : Ir.program -> string
+
+(** The decision signature alone (no program digest or platform).
+    ["off"] when [inline_enabled] is false — every heuristic then compiles
+    identically. *)
+val signature :
+  scenario:Machine.scenario ->
+  heuristic:Heuristic.t ->
+  inline_enabled:bool ->
+  Ir.program ->
+  string
+
+(** The full content-addressed cache key. *)
+val key :
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  heuristic:Heuristic.t ->
+  inline_enabled:bool ->
+  iterations:int ->
+  Ir.program ->
+  string
+
+val enabled : unit -> bool
+
+(** Toggle the cache (default on).  Disabled, {!lookup_or_measure} always
+    simulates and the table is neither consulted nor extended. *)
+val set_enabled : bool -> unit
+
+(** Forget every in-memory measurement (per-program signature data and the
+    attached file are kept).  Tests and the off/on benchmark use this. *)
+val clear : unit -> unit
+
+(** [set_file (Some path)] attaches the on-disk tier: existing entries are
+    loaded (corrupt or truncated lines are skipped with a warning on stderr,
+    never an abort), and every fresh measurement is appended as one JSONL
+    line.  [set_file None] detaches. *)
+val set_file : string option -> unit
+
+(** Is the query's measurement already cached?  (No counters are bumped;
+    [Measure.run_default] uses this to keep its memo counters truthful.) *)
+val mem :
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  heuristic:Heuristic.t ->
+  inline_enabled:bool ->
+  iterations:int ->
+  Ir.program ->
+  bool
+
+(** [lookup_or_measure ... ~program simulate] returns the cached measurement
+    for the query's key, or runs [simulate] (outside the cache lock) and
+    stores — and, when a file is attached, appends — its result.  When the
+    cache is disabled this is just [simulate ()]. *)
+val lookup_or_measure :
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  heuristic:Heuristic.t ->
+  inline_enabled:bool ->
+  iterations:int ->
+  program:Ir.program ->
+  (unit -> Runner.measurement) ->
+  Runner.measurement

@@ -3,7 +3,12 @@ open Inltune_vm
 module Workloads = Inltune_workloads
 
 (* Benchmark measurement: one (benchmark, scenario, platform, heuristic)
-   simulation following the paper's two-iteration methodology. *)
+   simulation following the paper's two-iteration methodology.
+
+   Every measurement flows through [Fitcache]: a query whose decision
+   signature was measured before reuses that result instead of simulating
+   again.  "measure.simulations" counts the full VM simulations actually
+   performed — the number the tuner bench reports caching savings against. *)
 
 type times = {
   running : float;  (* cycles, as float for the fitness arithmetic *)
@@ -20,27 +25,38 @@ let of_measurement m =
     raw = m;
   }
 
+(* Counters are re-resolved per use (not captured at module init) so they
+   stay attached to the registry across [Metric.reset_all]. *)
+let bump name = Inltune_obs.Metric.incr (Inltune_obs.Metric.counter name)
+
 let run ?(iterations = 3) ?(inline_enabled = true) ~scenario ~platform ~heuristic bm =
   let prog = Workloads.Suites.program bm in
-  let cfg = Machine.config ~inline_enabled scenario heuristic in
-  of_measurement (Runner.measure ~iterations cfg platform prog)
+  let simulate () =
+    bump "measure.simulations";
+    let cfg = Machine.config ~inline_enabled scenario heuristic in
+    Runner.measure ~iterations cfg platform prog
+  in
+  of_measurement
+    (Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~iterations
+       ~program:prog simulate)
 
 (* Measurements with the default (Jikes) heuristic are requested constantly —
-   every normalized bar divides by one — so memoize those alone.  The cache
-   key is benchmark/scenario/platform; the heuristic is pinned to default.
-   Mutex-guarded so callers in worker domains (e.g. a fitness function that
-   didn't precompute its baselines) can't corrupt the table; the simulation
-   itself runs outside the lock, so two domains racing on the same key may
-   both measure, but both get the same deterministic result. *)
+   every normalized bar divides by one — so memoize the [times] value itself
+   (callers rely on physical sharing).  A miss routes through {!run}, i.e.
+   through [Fitcache]: even a first-time call here avoids the simulation
+   when some other heuristic with the same decision signature (or a loaded
+   --fitness-cache file) already measured it, and two domains racing on the
+   same key both get the same deterministic result.  The memo key includes
+   [inline_enabled] (pinned true here) so it can never alias a
+   differently-configured measurement; the memo_hits/memo_misses counters
+   report this table's outcomes exactly. *)
 let default_cache : (string, times) Hashtbl.t = Hashtbl.create 64
 let default_cache_mu = Mutex.create ()
-let memo_hits = Inltune_obs.Metric.counter "measure.memo_hits"
-let memo_misses = Inltune_obs.Metric.counter "measure.memo_misses"
 
 let run_default ?(iterations = 3) ~scenario ~platform bm =
   let key =
-    Printf.sprintf "%s/%s/%s/%d" bm.Workloads.Suites.bname (Machine.scenario_name scenario)
-      platform.Platform.pname iterations
+    Printf.sprintf "%s/%s/%s/%d/%b" bm.Workloads.Suites.bname
+      (Machine.scenario_name scenario) platform.Platform.pname iterations true
   in
   let cached =
     Mutex.lock default_cache_mu;
@@ -50,13 +66,19 @@ let run_default ?(iterations = 3) ~scenario ~platform bm =
   in
   match cached with
   | Some t ->
-    Inltune_obs.Metric.incr memo_hits;
+    bump "measure.memo_hits";
     t
   | None ->
-    Inltune_obs.Metric.incr memo_misses;
+    bump "measure.memo_misses";
     let t = run ~iterations ~scenario ~platform ~heuristic:Heuristic.default bm in
     Mutex.lock default_cache_mu;
-    if not (Hashtbl.mem default_cache key) then Hashtbl.add default_cache key t;
+    let t =
+      match Hashtbl.find_opt default_cache key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add default_cache key t;
+        t
+    in
     Mutex.unlock default_cache_mu;
     t
 

@@ -16,7 +16,10 @@ val of_measurement : Runner.measurement -> times
 
 (** [run ~scenario ~platform ~heuristic bm] simulates the benchmark
     ([iterations] defaults to 3 so the adaptive system reaches steady
-    state).  [inline_enabled:false] is the Fig. 1 no-inlining baseline. *)
+    state).  [inline_enabled:false] is the Fig. 1 no-inlining baseline.
+    Results are shared through {!Fitcache}: a query whose decision signature
+    was already measured reuses that measurement instead of simulating; the
+    "measure.simulations" counter reports full simulations actually run. *)
 val run :
   ?iterations:int ->
   ?inline_enabled:bool ->
@@ -27,9 +30,12 @@ val run :
   times
 
 (** Like {!run} with the Jikes default heuristic; memoized (normalized bars
-    divide by this constantly).  The memo table is mutex-guarded, so calling
-    from worker domains is safe; hits and misses are reported via the
-    "measure.memo_hits"/"measure.memo_misses" counters. *)
+    divide by this constantly — callers get a physically shared [times]).
+    The mutex-guarded memo key includes [inline_enabled], and a miss routes
+    through {!run}, i.e. through {!Fitcache}, so a matching decision
+    signature still avoids the simulation.  Safe from worker domains; the
+    "measure.memo_hits"/"measure.memo_misses" counters report this table's
+    outcomes exactly. *)
 val run_default :
   ?iterations:int ->
   scenario:Machine.scenario ->

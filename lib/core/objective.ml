@@ -61,15 +61,41 @@ let transient_failure = function
    boundary: each call checks the "eval" fault-injection site, so CI can make
    the k-th evaluation raise, burn its fuel budget, or return corrupt output
    and exercise the retry/penalty/quarantine paths end to end. *)
+(* The "eval" fault-injection gate shared by the scalar and grid evaluation
+   paths, so CI can make the k-th evaluation raise, burn its fuel budget, or
+   return corrupt output and exercise retry/penalty/quarantine end to end. *)
+let eval_fault_gate () =
+  match Inltune_resilience.Faultinject.check "eval" with
+  | Some Inltune_resilience.Faultinject.Raise ->
+    raise (Inltune_resilience.Faultinject.Injected "eval")
+  | Some Inltune_resilience.Faultinject.Hang ->
+    (* A hung evaluation is one that burns its whole fuel budget. *)
+    raise Inltune_vm.Machine.Out_of_fuel
+  | Some Inltune_resilience.Faultinject.Corrupt -> true
+  | None -> false
+
 let genome_fitness ~suite ~scenario ~platform ~goal =
   let f = fitness ~suite ~scenario ~platform ~goal in
-  fun g ->
-    match Inltune_resilience.Faultinject.check "eval" with
-    | Some Inltune_resilience.Faultinject.Raise ->
-      raise (Inltune_resilience.Faultinject.Injected "eval")
-    | Some Inltune_resilience.Faultinject.Hang ->
-      (* A hung evaluation is one that burns its whole fuel budget. *)
-      raise Inltune_vm.Machine.Out_of_fuel
-    | Some Inltune_resilience.Faultinject.Corrupt -> Float.nan
-    | None -> f (Heuristic.of_array g)
+  fun g -> if eval_fault_gate () then Float.nan else f (Heuristic.of_array g)
+
+(* Grid form of {!genome_fitness} for [Evolve.run ?grid]: the benchmark axis
+   is explicit and each (genome, benchmark) cell is one pool work item.  The
+   cell value and the combine are the exact float operations of the scalar
+   path (per-benchmark [perf] in suite order, then geomean), so the two
+   evaluation modes produce bit-identical fitness.  The fault gate moves to
+   cell granularity — each simulation is one "eval" occurrence. *)
+let genome_grid ~suite ~scenario ~platform ~goal =
+  let baselines =
+    List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
+  in
+  {
+    Inltune_ga.Evolve.grid_axis = Array.of_list baselines;
+    grid_cell =
+      (fun g (bm, default) ->
+        if eval_fault_gate () then Float.nan
+        else
+          let t = Measure.run ~scenario ~platform ~heuristic:(Heuristic.of_array g) bm in
+          perf goal ~t ~default);
+    grid_combine = Stats.geomean;
+  }
 

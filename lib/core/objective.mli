@@ -39,3 +39,17 @@ val genome_fitness :
   platform:Inltune_vm.Platform.t ->
   goal:goal ->
   int array -> float
+
+(** Grid form of {!genome_fitness} for [Evolve.run ?grid]: the suite becomes
+    the explicit benchmark axis and every (genome, benchmark) cell is one
+    independent pool work item, so unique simulations saturate all domains.
+    Cell and combine use the exact float operations of the scalar path —
+    the two evaluation modes are bit-identical.  The ["eval"] fault gate is
+    checked per cell (one occurrence per simulation).  Baselines are
+    measured eagerly on the calling domain. *)
+val genome_grid :
+  suite:Inltune_workloads.Suites.benchmark list ->
+  scenario:Inltune_vm.Machine.scenario ->
+  platform:Inltune_vm.Platform.t ->
+  goal:goal ->
+  (Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid

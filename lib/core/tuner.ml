@@ -78,12 +78,19 @@ let best_or_default gu (ga : Ga.Evolve.result) =
   then Heuristic.of_array ga.Ga.Evolve.best
   else Heuristic.default
 
-(* Tune the heuristic for one scenario over the training suite. *)
+(* Tune the heuristic for one scenario over the training suite.  Evaluation
+   goes through the flat genome × benchmark grid ([Evolve.run ?grid]) so
+   fresh simulations saturate the domain pool; the scalar [fitness] is still
+   supplied for interface compatibility and produces bit-identical values. *)
 let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
-    ?checkpoint ?resume ?(max_retries = 1) id =
+    ?checkpoint ?resume ?(max_retries = 1) ?domains id =
   let spec = spec_of id in
   let fitness =
     Objective.genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
+      ~goal:spec.goal
+  in
+  let grid =
+    Objective.genome_grid ~suite ~scenario:spec.scenario ~platform:spec.platform
       ~goal:spec.goal
   in
   let params =
@@ -92,11 +99,12 @@ let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.sp
       Ga.Evolve.pop_size = budget.pop;
       generations = budget.gens;
       seed = budget.seed;
+      domains;
     }
   in
   let gu = guard ~max_retries in
   let ga =
-    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~spec:Params.genome_spec
+    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~grid ~spec:Params.genome_spec
       ~params ~fitness ()
   in
   {
@@ -108,10 +116,14 @@ let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.sp
   }
 
 (* Per-program tuning for running time (paper Fig. 10). *)
-let tune_per_program ?(budget = default_budget) ?(max_retries = 1) bm =
+let tune_per_program ?(budget = default_budget) ?(max_retries = 1) ?domains bm =
   let suite = [ bm ] in
   let fitness =
     Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Running
+  in
+  let grid =
+    Objective.genome_grid ~suite ~scenario:Machine.Opt ~platform:Platform.x86
       ~goal:Objective.Running
   in
   let params =
@@ -120,8 +132,9 @@ let tune_per_program ?(budget = default_budget) ?(max_retries = 1) bm =
       Ga.Evolve.pop_size = budget.pop;
       generations = budget.gens;
       seed = budget.seed;
+      domains;
     }
   in
   let gu = guard ~max_retries in
-  let ga = Ga.Evolve.run ~guard:gu ~spec:Params.genome_spec ~params ~fitness () in
+  let ga = Ga.Evolve.run ~guard:gu ~grid ~spec:Params.genome_spec ~params ~fitness () in
   (best_or_default gu ga, ga.Ga.Evolve.best_fitness)

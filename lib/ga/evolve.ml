@@ -73,6 +73,20 @@ let default_guard =
     classify = (fun _ -> true);
   }
 
+(* Flat-grid evaluation: instead of one opaque [fitness] call per genome
+   (inside which the suite is walked serially), the GA can be handed the
+   benchmark axis explicitly and submit the whole genome × benchmark grid to
+   the pool as independent cells.  Unique simulations then saturate every
+   domain even when the fresh-genome count of a generation is smaller than
+   the domain count.  [grid_combine] folds one genome's per-benchmark cell
+   values (in [grid_axis] order) into its fitness — with the same float
+   operations as the scalar path, so switching modes is bit-transparent. *)
+type 'bm grid = {
+  grid_axis : 'bm array;
+  grid_cell : int array -> 'bm -> float;
+  grid_combine : float array -> float;
+}
+
 type progress = {
   generation : int;
   best_fitness : float;
@@ -126,7 +140,7 @@ let entry_progress (e : Checkpoint.entry) =
     evaluations = e.Checkpoint.e_evals;
   }
 
-let run ?on_generation ?guard ?checkpoint ?resume ~spec ~params ~fitness () =
+let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness () =
   if params.pop_size < 2 then invalid_arg "Evolve.run: population too small";
   if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
   if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
@@ -159,35 +173,95 @@ let run ?on_generation ?guard ?checkpoint ?resume ~spec ~params ~fitness () =
     let todo = Hashtbl.fold (fun _ g acc -> g :: acc) fresh [] |> Array.of_list in
     (* Sort for a deterministic evaluation order independent of hashing. *)
     Array.sort compare todo;
+    (* Grid mode flattens fresh genomes × benchmarks into independent pool
+       cells; [flat] builds that cell array in genome-major, axis order. *)
+    let flat gr =
+      let nb = Array.length gr.grid_axis in
+      ( nb,
+        Array.init (Array.length todo * nb) (fun i ->
+            (todo.(i / nb), gr.grid_axis.(i mod nb))) )
+    in
     (match guard with
     | None ->
-      (* Legacy semantics: any failure escapes as Pool.Worker_failure. *)
-      let scores = Pool.map ?domains:params.domains fitness todo in
+      (* Legacy semantics: any failure escapes as Pool.Worker_failure,
+         carrying the index of the genome in evaluation order. *)
+      let scores =
+        match grid with
+        | None -> Pool.map ?domains:params.domains fitness todo
+        | Some gr ->
+          let nb, cells = flat gr in
+          let vals =
+            try Pool.map ?domains:params.domains (fun (g, bm) -> gr.grid_cell g bm) cells
+            with Pool.Worker_failure (i, e) -> raise (Pool.Worker_failure (i / nb, e))
+          in
+          Array.mapi (fun i _ -> gr.grid_combine (Array.sub vals (i * nb) nb)) todo
+      in
       Array.iteri
         (fun i g ->
           Hashtbl.replace cache (Genome.key g) scores.(i);
           incr evaluations)
         todo
     | Some gu ->
+      let protect f x =
+        Sandbox.protect ~max_retries:gu.max_retries ~classify:gu.classify ~site:"eval"
+          (fun () -> f x)
+      in
+      (* Per-genome outcome: fitness with the extra (retry) attempts spent, a
+         sandboxed failure, or a non-sandboxable exception.  In grid mode a
+         genome fails if any of its cells failed; the first failing cell (in
+         axis order) names the attempts/reason, and retries spent on its
+         other cells still count. *)
       let outcomes =
-        Pool.map_result ?domains:params.domains
-          (fun g ->
-            Sandbox.protect ~max_retries:gu.max_retries ~classify:gu.classify ~site:"eval"
-              (fun () -> fitness g))
-          todo
+        match grid with
+        | None ->
+          Array.map
+            (function
+              | Ok (Ok ok) -> `Value (ok.Sandbox.value, ok.Sandbox.attempts - 1)
+              | Ok (Error fl) ->
+                (* Sandboxed failure: every attempt raised or returned garbage. *)
+                `Sandboxed (fl.Sandbox.f_attempts, fl.Sandbox.f_reason, fl.Sandbox.f_attempts - 1)
+              | Error e -> `Raw e)
+            (Pool.map_result ?domains:params.domains (protect fitness) todo)
+        | Some gr ->
+          let nb, cells = flat gr in
+          let couts =
+            Pool.map_result ?domains:params.domains
+              (protect (fun (g, bm) -> gr.grid_cell g bm))
+              cells
+          in
+          Array.mapi
+            (fun i _ ->
+              let vals = Array.make nb 0.0 in
+              let extra = ref 0 in
+              let fail = ref None in
+              for j = 0 to nb - 1 do
+                match couts.((i * nb) + j) with
+                | Ok (Ok ok) ->
+                  extra := !extra + (ok.Sandbox.attempts - 1);
+                  vals.(j) <- ok.Sandbox.value
+                | Ok (Error fl) ->
+                  extra := !extra + (fl.Sandbox.f_attempts - 1);
+                  if !fail = None then
+                    fail := Some (`Cell (fl.Sandbox.f_attempts, fl.Sandbox.f_reason))
+                | Error e -> if !fail = None then fail := Some (`Exn e)
+              done;
+              match !fail with
+              | Some (`Cell (attempts, reason)) -> `Sandboxed (attempts, reason, !extra)
+              | Some (`Exn e) -> `Raw e
+              | None -> `Value (gr.grid_combine vals, !extra))
+            todo
       in
       let failed_here = ref 0 in
       Array.iteri
         (fun i g ->
           let k = Genome.key g in
           (match outcomes.(i) with
-          | Ok (Ok ok) ->
-            retries := !retries + (ok.Sandbox.attempts - 1);
-            Hashtbl.replace cache k ok.Sandbox.value
-          | Ok (Error fl) ->
-            (* Sandboxed failure: every attempt raised or returned garbage. *)
+          | `Value (v, extra) ->
+            retries := !retries + extra;
+            Hashtbl.replace cache k v
+          | `Sandboxed (attempts, reason, extra) ->
             incr failed_here;
-            retries := !retries + (fl.Sandbox.f_attempts - 1);
+            retries := !retries + extra;
             Hashtbl.replace cache k gu.penalty;
             Hashtbl.replace quarantine k ();
             Metric.incr c_quarantined;
@@ -196,10 +270,10 @@ let run ?on_generation ?guard ?checkpoint ?resume ~spec ~params ~fitness () =
                 ~fields:
                   [
                     ("genome", Event.Str k);
-                    ("attempts", Event.Int fl.Sandbox.f_attempts);
-                    ("reason", Event.Str fl.Sandbox.f_reason);
+                    ("attempts", Event.Int attempts);
+                    ("reason", Event.Str reason);
                   ]
-          | Error e ->
+          | `Raw e ->
             (* Non-sandboxable exception (guard.classify rejected it): the
                pool still isolated it, so penalize without retry. *)
             incr failed_here;

@@ -111,3 +111,8 @@ let reset_all () =
   Mutex.protect registry_mu (fun () ->
       Hashtbl.reset counters;
       Hashtbl.reset histograms)
+
+(* [lib/support] sits below this library and cannot name the registry, so
+   the pool's counters ("pool.tasks_stolen") arrive through a hook installed
+   once, when this module is linked. *)
+let () = Inltune_support.Pool.set_counter_hook (fun name n -> add (counter name) n)

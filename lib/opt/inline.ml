@@ -281,5 +281,69 @@ let run_policy ?hot_site ?decisions ~program ~policy m =
 let run ?hot_site ?decisions ~program ~heuristic m =
   run_policy ?hot_site ?decisions ~program ~policy:(Policy.of_heuristic heuristic) m
 
+(* Decision-procedure-only walk: visit call sites in exactly the order
+   [run_policy] would and record each policy-decided site's effective accept
+   bit ('1'/'0'), without building any output IR.  The traversal mirrors the
+   transformation precisely — accepted callees are descended into depth-first
+   with the original body from [program], the expanded-size accumulator grows
+   on acceptance, the recursion guard skips chained callees (their outcome is
+   policy-independent, so they contribute no bit), and [max_expanded_size]
+   turns policy acceptances into rejections the same way [decide] does.
+
+   The resulting bit string fully determines the transformed method: the
+   emitted code depends only on which sites are expanded, so two policies
+   with equal plans over a program compile it identically.  That makes the
+   plan a sound semantic key for fitness caching (Fitcache). *)
+let plan_policy ?hot_site ~program ~policy m =
+  let size_cache = Hashtbl.create 64 in
+  let callee_size mid =
+    match Hashtbl.find_opt size_cache mid with
+    | Some s -> s
+    | None ->
+      let s = Size.of_method program.Ir.methods.(mid) in
+      Hashtbl.add size_cache mid s;
+      s
+  in
+  let buf = Buffer.create 64 in
+  let size = ref (Size.of_method m) in
+  let rec walk_blocks ~owner ~depth ~chain blocks =
+    Array.iter
+      (fun blk ->
+        Array.iter
+          (fun i ->
+            match i with
+            | Ir.Call (_, callee, _) when not (List.mem callee chain) ->
+              let cs = callee_size callee in
+              let hot =
+                match hot_site with Some f -> f ~site_owner:owner ~callee | None -> false
+              in
+              let verdict =
+                policy.Policy.decide
+                  {
+                    Policy.owner;
+                    callee;
+                    callee_size = cs;
+                    inline_depth = depth + 1;
+                    caller_size = !size;
+                    hot;
+                  }
+              in
+              let accept = verdict.Policy.accept && !size + cs <= max_expanded_size in
+              Buffer.add_char buf (if accept then '1' else '0');
+              if accept then begin
+                size := !size + cs;
+                walk_blocks ~owner:callee ~depth:(depth + 1) ~chain:(callee :: chain)
+                  program.Ir.methods.(callee).Ir.blocks
+              end
+            | _ -> ())
+          blk.Ir.instrs)
+      blocks
+  in
+  walk_blocks ~owner:m.Ir.mid ~depth:0 ~chain:[ m.Ir.mid ] m.Ir.blocks;
+  Buffer.contents buf
+
+let plan ?hot_site ~program ~heuristic m =
+  plan_policy ?hot_site ~program ~policy:(Policy.of_heuristic heuristic) m
+
 let run_custom ?decisions ~decide ~program m =
   run_policy ?decisions ~program ~policy:(Policy.of_custom decide) m

@@ -1,20 +1,64 @@
-(* Parallel map across OCaml 5 domains.
+(* Persistent worker-domain pool with chunked work-stealing.
 
-   GA fitness evaluation is embarrassingly parallel: each individual's
-   simulation touches only freshly allocated VM state.  We spawn [domains - 1]
-   worker domains per call and share work through an atomic index counter; the
-   calling domain participates too.
+   GA fitness evaluation is embarrassingly parallel: each work item touches
+   only freshly allocated VM state.  Earlier revisions spawned [domains - 1]
+   fresh domains on every [map] call; domain spawn/join is not free (minor
+   heap setup, STW registration), and a tuner calls [map] once per
+   generation.  The pool below instead keeps one set of worker domains alive
+   for the whole process and feeds them batches:
+
+   - [submit] publishes a batch: an array of items, a results buffer and an
+     atomic claim cursor.  Workers (and the submitter, inside [await]) claim
+     chunks of indices with [Atomic.fetch_and_add] — work-stealing in the
+     flat-grid sense: nothing is pre-partitioned, so a worker that drew cheap
+     items immediately steals the next chunk of someone else's share.
+   - [await] makes the calling domain participate until the batch drains,
+     then blocks on a condition variable for stragglers.
+   - A batch carries a participant cap so callers can bound parallelism
+     (e.g. [--domains 1] debugging) below the pool's size.
 
    [map_result] is the fault-isolating primitive: every item is evaluated and
    its outcome — value or exception — is recorded independently, so one bad
-   item cannot abort the batch.  The legacy [map]/[mapi] are rebased on it and
-   re-raise exactly one [Worker_failure], carrying the lowest failing index. *)
+   item cannot abort the batch.  The legacy [map]/[mapi] are compatibility
+   wrappers over submit/await on a shared default pool and re-raise exactly
+   one [Worker_failure], carrying the lowest failing index. *)
 
-let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+(* 0 = no override; set once from the CLI's --domains flag. *)
+let default_override = Atomic.make 0
+let set_default_domains n = Atomic.set default_override (max 1 n)
+
+let default_domains () =
+  match Atomic.get default_override with
+  | 0 -> max 1 (min 8 (Domain.recommended_domain_count ()))
+  | n -> n
 
 exception Worker_failure of int * exn
 
 exception Deadline_exceeded of float
+
+(* Observability bridge.  [lib/support] sits below [lib/obs], so the pool
+   cannot name Metric counters directly; Inltune_obs installs a hook at
+   module-initialization time and stolen-chunk accounting flows through it.
+   Plain ref: written once at startup, read-only afterwards. *)
+let counter_hook : (string -> int -> unit) ref = ref (fun _ _ -> ())
+let set_counter_hook f = counter_hook := f
+
+(* Monotonic-ish clock for deadline accounting.  There is no monotonic
+   syscall binding in the dependency set, so centralize the next best thing:
+   a process-wide high-water mark over [Unix.gettimeofday].  A backwards NTP
+   step can then never produce a negative or shrunken elapsed time — the
+   clock stalls instead of jumping back, which is the safe direction for a
+   [Deadline_exceeded] check. *)
+let now_mu = Mutex.create ()
+let now_last = ref neg_infinity
+
+let now () =
+  Mutex.lock now_mu;
+  let t = Unix.gettimeofday () in
+  let t = if t > !now_last then t else !now_last in
+  now_last := t;
+  Mutex.unlock now_mu;
+  t
 
 let run_item f x deadline_s =
   match deadline_s with
@@ -23,34 +67,186 @@ let run_item f x deadline_s =
     (* Domains cannot be interrupted, so the deadline is cooperative: the item
        runs to completion (the VM's own fuel budget bounds it) and an overrun
        result is discarded as a failure rather than returned late. *)
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     match f x with
     | y ->
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = now () -. t0 in
       if dt > limit then Error (Deadline_exceeded dt) else Ok y
     | exception e -> Error e)
+
+(* One published unit of work.  Type-erased behind [b_run] so a single pool
+   serves batches of any element type; the results buffer lives in the
+   submitter's closure. *)
+type batch = {
+  b_total : int;
+  b_chunk : int;               (* indices claimed per fetch_and_add *)
+  b_next : int Atomic.t;       (* next unclaimed index *)
+  b_done : int Atomic.t;       (* items fully evaluated *)
+  b_slots : int Atomic.t;      (* pool workers still allowed to join *)
+  b_run : int -> unit;         (* evaluate item [i] into the results buffer *)
+  mutable b_finished : bool;   (* set under the pool lock; await sleeps on it *)
+}
+
+type t = {
+  lock : Mutex.t;
+  work_cv : Condition.t;       (* new batch published / shutdown *)
+  done_cv : Condition.t;       (* some batch finished *)
+  mutable queue : batch list;  (* batches that may still have unclaimed work *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  size : int;                  (* worker-domain count *)
+}
+
+type 'a task = { t_pool : t; t_batch : batch; t_results : 'a array }
+
+(* Claim and evaluate chunks until the batch has none left.  [stolen] marks
+   execution by a pool worker rather than the submitting domain; those chunks
+   are what the spawn-per-map design could never overlap. *)
+let exec_batch pool b ~stolen =
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add b.b_next b.b_chunk in
+    if lo >= b.b_total then continue := false
+    else begin
+      let hi = min b.b_total (lo + b.b_chunk) in
+      if stolen then !counter_hook "pool.tasks_stolen" (hi - lo);
+      for i = lo to hi - 1 do
+        b.b_run i
+      done;
+      let finished = hi - lo in
+      if Atomic.fetch_and_add b.b_done finished + finished = b.b_total then begin
+        Mutex.lock pool.lock;
+        b.b_finished <- true;
+        pool.queue <- List.filter (fun b' -> b' != b) pool.queue;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.lock
+      end
+    end
+  done
+
+let claimable b = Atomic.get b.b_next < b.b_total && Atomic.get b.b_slots > 0
+
+let worker_main pool =
+  Mutex.lock pool.lock;
+  let continue = ref true in
+  while !continue do
+    match List.find_opt claimable pool.queue with
+    | Some b ->
+      (* Join the batch if a participant slot is left; losing the race just
+         means another worker got there first — look again. *)
+      if Atomic.fetch_and_add b.b_slots (-1) > 0 then begin
+        Mutex.unlock pool.lock;
+        exec_batch pool b ~stolen:true;
+        Mutex.lock pool.lock
+      end
+    | None ->
+      (* Drain before exiting: stop only once no batch has claimable work. *)
+      if pool.stopping then continue := false else Condition.wait pool.work_cv pool.lock
+  done;
+  Mutex.unlock pool.lock
+
+let create ?domains () =
+  let size = match domains with Some d -> max 1 d | None -> default_domains () in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      queue = [];
+      stopping = false;
+      workers = [];
+      size;
+    }
+  in
+  pool.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_main pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.stopping then Mutex.unlock pool.lock
+  else begin
+    pool.stopping <- true;
+    Condition.broadcast pool.work_cv;
+    let ws = pool.workers in
+    pool.workers <- [];
+    Mutex.unlock pool.lock;
+    List.iter Domain.join ws
+  end
+
+let submit pool ?chunk ?max_workers ?deadline_s f input =
+  let n = Array.length input in
+  let results = Array.make n (Error Not_found) in
+  let chunk =
+    match chunk with
+    | Some c -> max 1 c
+    (* Adaptive default: large batches amortize the claim cas, small batches
+       degrade to one-item chunks for load balance (fitness items are slow). *)
+    | None -> max 1 (n / (8 * (pool.size + 1)))
+  in
+  let slots = match max_workers with Some w -> max 0 (w - 1) | None -> pool.size in
+  let b =
+    {
+      b_total = n;
+      b_chunk = chunk;
+      b_next = Atomic.make 0;
+      b_done = Atomic.make 0;
+      b_slots = Atomic.make slots;
+      b_run = (fun i -> results.(i) <- run_item f input.(i) deadline_s);
+      b_finished = (n = 0);
+    }
+  in
+  if n > 0 && slots > 0 then begin
+    Mutex.lock pool.lock;
+    if not pool.stopping then begin
+      pool.queue <- pool.queue @ [ b ];
+      Condition.broadcast pool.work_cv
+    end;
+    Mutex.unlock pool.lock
+  end;
+  { t_pool = pool; t_batch = b; t_results = results }
+
+let await task =
+  let pool = task.t_pool and b = task.t_batch in
+  (* The submitter is always a participant (not counted against b_slots), so
+     even a stopped or fully busy pool makes progress. *)
+  exec_batch pool b ~stolen:false;
+  Mutex.lock pool.lock;
+  while not b.b_finished do
+    Condition.wait pool.done_cv pool.lock
+  done;
+  Mutex.unlock pool.lock;
+  task.t_results
+
+(* --- shared default pool ------------------------------------------------ *)
+
+let default_mu = Mutex.create ()
+let default_pool = ref None
+
+let get_default () =
+  Mutex.lock default_mu;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~domains:(default_domains ()) () in
+      default_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock default_mu;
+  p
+
+(* --- compatibility wrappers -------------------------------------------- *)
 
 let map_result ?domains ?deadline_s f input =
   let n = Array.length input in
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map (fun x -> run_item f x deadline_s) input
-  else begin
-    let results = Array.make n (Error Not_found) in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else results.(i) <- run_item f input.(i) deadline_s
-      done
-    in
-    let spawned = List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    results
-  end
+  else if domains = 1 || n = 1 then
+    (* Strictly sequential on the calling domain: deterministic ordering for
+       tests and fault-injection runs. *)
+    Array.map (fun x -> run_item f x deadline_s) input
+  else await (submit (get_default ()) ~chunk:1 ~max_workers:domains ?deadline_s f input)
 
 let reraise_first results =
   let fail = ref None in

@@ -34,9 +34,11 @@ echo "== fault-injection smoke =="
 faults=$(mktemp -t inltune_faults.XXXXXX.jsonl)
 trap 'rm -f "$trace" "$faults"' EXIT
 rm -f "$faults"
+# --domains 1 keeps evaluation strictly sequential so the occurrence-indexed
+# faults land deterministically.
 INLTUNE_FAULTS="eval:raise@3,eval:raise@4" \
-  dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --trace "$faults" \
-  > /dev/null 2>&1
+  dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --domains 1 \
+  --trace "$faults" > /dev/null 2>&1
 grep -q '"ev":"eval.quarantine"' "$faults" || { echo "missing eval.quarantine event"; exit 1; }
 dune exec --no-build bin/main.exe -- trace-summary "$faults" | grep -q "eval.failures" \
   || { echo "missing eval.failures counter in trace-summary"; exit 1; }
@@ -84,11 +86,26 @@ rc=0
 dune exec --no-build bin/main.exe -- eval-policy "$pol" --print > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "corrupt policy exited $rc, want 2"; exit 1; }
 
+echo "== tuner-bench smoke =="
+# The decision-signature cache must avoid simulations without changing the
+# search: bench tuner runs the same fixed-seed GA cache-off then cache-on and
+# itself exits nonzero if the two searches differ.  Double-check the JSON.
+INLTUNE_POP=6 INLTUNE_GENS=3 dune exec --no-build bench/main.exe tuner > /dev/null
+grep -q '"identical_best":true' BENCH_tuner.json \
+  || { echo "cache changed the best genome"; exit 1; }
+grep -q '"identical_history":true' BENCH_tuner.json \
+  || { echo "cache changed the per-generation history"; exit 1; }
+sig_hits=$(sed -n 's/.*"sig_hits":\([0-9]*\).*/\1/p' BENCH_tuner.json)
+[ "${sig_hits:-0}" -gt 0 ] || { echo "expected sig_hits > 0, got ${sig_hits:-none}"; exit 1; }
+
 echo "== CLI error smoke =="
 # Bad flag values must die with a one-line error and exit code 2.
 rc=0
 dune exec --no-build bin/main.exe -- tune -s nonsense > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "bad --scenario exited $rc, want 2"; exit 1; }
+rc=0
+dune exec --no-build bin/main.exe -- tune --domains 0 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "bad --domains exited $rc, want 2"; exit 1; }
 rc=0
 INLTUNE_FAULTS="garbage" dune exec --no-build bin/main.exe -- list > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "bad INLTUNE_FAULTS exited $rc, want 2"; exit 1; }

@@ -50,6 +50,146 @@ let test_measure_deterministic () =
   in
   Alcotest.(check (float 0.0)) "repeatable" (go ()) (go ())
 
+(* --- Fitcache --- *)
+
+let bm_db = W.Suites.find "db"
+
+let metric name = Inltune_obs.Metric.value (Inltune_obs.Metric.counter name)
+
+(* Restore the cache's default state (on, no file, empty) around a test. *)
+let with_clean_fitcache f =
+  Fitcache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Fitcache.set_file None;
+      Fitcache.set_enabled true;
+      Fitcache.clear ())
+    f
+
+let test_fitcache_distinct_programs_distinct_keys () =
+  (* The program digest is part of every key, so signatures can never
+     collide across programs — even for the same heuristic and scenario. *)
+  let p1 = W.Suites.program bm_compress and p2 = W.Suites.program bm_db in
+  let key p =
+    Fitcache.key ~scenario:Machine.Opt ~platform:Platform.x86 ~heuristic:Heuristic.default
+      ~inline_enabled:true ~iterations:3 p
+  in
+  Alcotest.(check bool) "digests differ" true
+    (Fitcache.program_digest p1 <> Fitcache.program_digest p2);
+  Alcotest.(check bool) "keys differ" true (key p1 <> key p2)
+
+let test_fitcache_signature_separates_decisions () =
+  (* Heuristics with different decision vectors must not share a signature. *)
+  let p = W.Suites.program bm_compress in
+  let s h = Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true p in
+  Alcotest.(check bool) "never <> default" true (s Heuristic.never <> s Heuristic.default);
+  Alcotest.(check string) "inlining off merges everything" "off"
+    (Fitcache.signature ~scenario:Machine.Opt ~heuristic:Heuristic.never ~inline_enabled:false p)
+
+let test_fitcache_inert_param_merges_soundly () =
+  (* Under Opt the hot-site path is never consulted, so HOT_CALLEE_MAX_SIZE
+     is inert: the signature must merge it with the default's, and — the
+     soundness claim behind that merge — the two queries must measure
+     bit-identically even with the cache off. *)
+  let p = W.Suites.program bm_compress in
+  let h2 = { Heuristic.default with Heuristic.hot_callee_max_size = 17 } in
+  let s h = Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true p in
+  Alcotest.(check string) "signatures merge" (s Heuristic.default) (s h2);
+  with_clean_fitcache (fun () ->
+      Fitcache.set_enabled false;
+      let m h =
+        (Measure.run ~scenario:Machine.Opt ~platform:Platform.x86 ~heuristic:h bm_compress)
+          .Measure.raw
+      in
+      Alcotest.(check bool) "cache-off measurements identical" true
+        (m Heuristic.default = m h2))
+
+let test_fitcache_hit_avoids_simulation () =
+  with_clean_fitcache (fun () ->
+      let s0 = metric "measure.simulations" in
+      let m1 =
+        Measure.run ~scenario:Machine.Opt ~platform:Platform.x86
+          ~heuristic:Heuristic.default bm_compress
+      in
+      let s1 = metric "measure.simulations" in
+      Alcotest.(check int) "first query simulates once" (s0 + 1) s1;
+      let h2 = { Heuristic.default with Heuristic.hot_callee_max_size = 17 } in
+      let m2 =
+        Measure.run ~scenario:Machine.Opt ~platform:Platform.x86 ~heuristic:h2 bm_compress
+      in
+      Alcotest.(check int) "signature hit simulates nothing" s1 (metric "measure.simulations");
+      Alcotest.(check bool) "reused measurement is bit-identical" true
+        (m1.Measure.raw = m2.Measure.raw))
+
+let test_fitcache_file_round_trip () =
+  let path = Filename.temp_file "fitcache" ".jsonl" in
+  with_clean_fitcache (fun () ->
+      Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+          Fitcache.set_file (Some path);
+          let m1 =
+            Measure.run ~scenario:Machine.Adapt ~platform:Platform.x86
+              ~heuristic:Heuristic.default bm_db
+          in
+          (* Forget the in-memory tier, then reload from disk. *)
+          Fitcache.set_file None;
+          Fitcache.clear ();
+          Fitcache.set_file (Some path);
+          let p = W.Suites.program bm_db in
+          Alcotest.(check bool) "entry reloaded from disk" true
+            (Fitcache.mem ~scenario:Machine.Adapt ~platform:Platform.x86
+               ~heuristic:Heuristic.default ~inline_enabled:true ~iterations:3 p);
+          let s0 = metric "measure.simulations" in
+          let m2 =
+            Measure.run ~scenario:Machine.Adapt ~platform:Platform.x86
+              ~heuristic:Heuristic.default bm_db
+          in
+          Alcotest.(check int) "no new simulation after reload" s0
+            (metric "measure.simulations");
+          Alcotest.(check bool) "measurement identical across restart" true
+            (m1.Measure.raw = m2.Measure.raw)))
+
+let test_fitcache_corrupt_file_skipped () =
+  let path = Filename.temp_file "fitcache" ".jsonl" in
+  with_clean_fitcache (fun () ->
+      Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+          (* A good entry, wrapped in garbage, a field-less record, and a
+             line truncated mid-append: attach must keep the good entry and
+             skip the rest with warnings, never abort. *)
+          Fitcache.set_file (Some path);
+          ignore
+            (Measure.run ~scenario:Machine.Opt ~platform:Platform.x86
+               ~heuristic:Heuristic.default bm_db);
+          Fitcache.set_file None;
+          let oc = open_out_gen [ Open_append ] 0o644 path in
+          output_string oc "not json at all\n";
+          output_string oc "{\"key\":\"orphan\"}\n";
+          output_string oc "{\"key\":\"k/1\",\"total_cycles\":12,\"running_cy";
+          close_out oc;
+          Fitcache.clear ();
+          Fitcache.set_file (Some path);
+          let p = W.Suites.program bm_db in
+          Alcotest.(check bool) "good entry survives corrupt neighbours" true
+            (Fitcache.mem ~scenario:Machine.Opt ~platform:Platform.x86
+               ~heuristic:Heuristic.default ~inline_enabled:true ~iterations:3 p)))
+
+let test_fitcache_ga_bit_transparent () =
+  (* The tentpole invariant: the same fixed-seed GA, cache off vs on, must
+     produce the same best genome and the same per-generation history. *)
+  let budget = { Tuner.pop = 6; gens = 3; seed = 5 } in
+  let go () = Tuner.tune ~budget ~suite:[ bm_compress; bm_db ] Tuner.Opt_tot_x86 in
+  let off =
+    with_clean_fitcache (fun () ->
+        Fitcache.set_enabled false;
+        go ())
+  in
+  let on = with_clean_fitcache go in
+  Alcotest.(check (array int)) "best genome identical"
+    off.Tuner.ga.Inltune_ga.Evolve.best on.Tuner.ga.Inltune_ga.Evolve.best;
+  Alcotest.(check (float 0.0)) "best fitness identical"
+    off.Tuner.ga.Inltune_ga.Evolve.best_fitness on.Tuner.ga.Inltune_ga.Evolve.best_fitness;
+  Alcotest.(check bool) "per-generation history identical" true
+    (off.Tuner.ga.Inltune_ga.Evolve.history = on.Tuner.ga.Inltune_ga.Evolve.history)
+
 (* --- Objective --- *)
 
 let test_perf_running_and_total () =
@@ -241,6 +381,13 @@ let suite =
     ("measure consistency", `Quick, test_measure_consistency);
     ("measure default cached", `Quick, test_measure_default_cached);
     ("measure deterministic", `Quick, test_measure_deterministic);
+    ("fitcache distinct programs distinct keys", `Quick, test_fitcache_distinct_programs_distinct_keys);
+    ("fitcache signature separates decisions", `Quick, test_fitcache_signature_separates_decisions);
+    ("fitcache inert parameter merges soundly", `Quick, test_fitcache_inert_param_merges_soundly);
+    ("fitcache hit avoids simulation", `Quick, test_fitcache_hit_avoids_simulation);
+    ("fitcache file round trip", `Quick, test_fitcache_file_round_trip);
+    ("fitcache corrupt file skipped", `Quick, test_fitcache_corrupt_file_skipped);
+    ("fitcache GA bit transparent", `Slow, test_fitcache_ga_bit_transparent);
     ("objective perf formulas", `Quick, test_perf_running_and_total);
     ("objective default is unity", `Quick, test_perf_default_is_unity);
     ("objective goal parsing", `Quick, test_goal_of_string);

@@ -241,6 +241,76 @@ let test_pool_worker_failure_index () =
   in
   Alcotest.(check int) "lowest failing index" 17 idx
 
+let test_pool_now_monotonic () =
+  let a = Pool.now () in
+  let b = Pool.now () in
+  let c = Pool.now () in
+  Alcotest.(check bool) "non-decreasing" true (a <= b && b <= c);
+  Alcotest.(check bool) "plausible wall clock" true (a > 0.0)
+
+let test_pool_persistent_reuse () =
+  (* One explicit pool serves many batches; workers survive between them. *)
+  let pool = Pool.create ~domains:2 () in
+  let f x = (3 * x) + 1 in
+  for round = 1 to 5 do
+    let input = Array.init (16 * round) (fun i -> i + round) in
+    let out = Pool.await (Pool.submit pool f input) in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok y -> Alcotest.(check int) "batch value" (f input.(i)) y
+        | Error e -> Alcotest.failf "round %d item %d: %s" round i (Printexc.to_string e))
+      out
+  done;
+  Pool.shutdown pool
+
+let test_pool_drains_after_failure () =
+  (* A failing batch must not wedge the pool: every item's outcome is
+     recorded, and the same pool keeps serving later batches. *)
+  let pool = Pool.create ~domains:2 () in
+  let bad = Pool.await (Pool.submit pool (fun x -> if x mod 7 = 3 then failwith "boom" else x)
+                          (Array.init 50 (fun i -> i))) in
+  Array.iteri
+    (fun i r ->
+      match (r, i mod 7 = 3) with
+      | Ok y, false -> Alcotest.(check int) "survivor" i y
+      | Error (Failure _), true -> ()
+      | Ok _, true -> Alcotest.failf "item %d should have failed" i
+      | Error e, _ -> Alcotest.failf "unexpected error at %d: %s" i (Printexc.to_string e))
+    bad;
+  let ok = Pool.await (Pool.submit pool (fun x -> x * x) (Array.init 20 (fun i -> i))) in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok y -> Alcotest.(check int) "pool still usable" (i * i) y
+      | Error e -> Alcotest.failf "post-failure item %d: %s" i (Printexc.to_string e))
+    ok;
+  Pool.shutdown pool
+
+let test_pool_submit_after_shutdown () =
+  (* A stopped pool degrades to caller-only evaluation instead of hanging. *)
+  let pool = Pool.create ~domains:1 () in
+  Pool.shutdown pool;
+  let out = Pool.await (Pool.submit pool (fun x -> x + 1) [| 1; 2; 3 |]) in
+  Alcotest.(check (array int)) "caller evaluates" [| 2; 3; 4 |]
+    (Array.map (function Ok y -> y | Error _ -> -1) out)
+
+let test_pool_max_workers_one () =
+  (* max_workers:1 keeps everything on the submitting domain. *)
+  let pool = Pool.create ~domains:2 () in
+  let self = Domain.self () in
+  let out =
+    Pool.await
+      (Pool.submit pool ~max_workers:1 (fun _ -> Domain.self () = self)
+         (Array.init 30 (fun i -> i)))
+  in
+  Array.iter
+    (function
+      | Ok ran_on_caller -> Alcotest.(check bool) "ran on caller" true ran_on_caller
+      | Error e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))
+    out;
+  Pool.shutdown pool
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -280,4 +350,9 @@ let suite =
     ("pool mapi", `Quick, test_pool_mapi);
     ("pool map_result isolates failures", `Quick, test_pool_map_result_isolates);
     ("pool worker failure index", `Quick, test_pool_worker_failure_index);
+    ("pool now monotonic", `Quick, test_pool_now_monotonic);
+    ("pool persistent across batches", `Quick, test_pool_persistent_reuse);
+    ("pool drains after worker failure", `Quick, test_pool_drains_after_failure);
+    ("pool submit after shutdown", `Quick, test_pool_submit_after_shutdown);
+    ("pool max_workers one", `Quick, test_pool_max_workers_one);
   ]
