@@ -7,6 +7,7 @@
        dune exec bench/main.exe ablations       # just the ablations
        dune exec bench/main.exe policy          # GA-vs-learned policy comparison
        dune exec bench/main.exe tuner           # fitness-cache off/on protocol
+       dune exec bench/main.exe passes          # plan-interpreter identity + plan GA
        dune exec bench/main.exe micro           # just the micro-benchmarks
 
    Environment knobs (for bigger GA budgets):
@@ -545,6 +546,107 @@ let tuner_bench () =
     exit 1
   end
 
+(* ---- Pass-manager bench --------------------------------------------------- *)
+
+(* The plan-interpreter protocol (EXPERIMENTS.md): the refactored pipeline
+   must be a pure reorganization — an explicitly parsed default plan has to
+   measure bit-identically to the implicit built-in schedule in every
+   scenario, and a fixed-seed heuristic GA run under the explicit plan must
+   reproduce the implicit run's best genome and per-generation history.
+   Then the new capability: a fixed-seed plan-genome GA (heuristic + plan
+   co-evolution) end to end.  Numbers land in BENCH_passes.json so CI can
+   diff runs without scraping tables; any identity violation exits 1. *)
+let passes_bench () =
+  print_endline "==== Pass-manager bench: plan interpreter identity + plan-genome GA ====\n";
+  let suite = [ W.Suites.find "compress"; W.Suites.find "raytrace"; W.Suites.find "db" ] in
+  let budget = budget () in
+  let parsed_default =
+    match Plan.of_string (Plan.to_string Plan.default) with
+    | Ok p -> p
+    | Error msg -> failwith ("default plan does not round-trip: " ^ msg)
+  in
+  (* (a) Raw measurements: implicit built-in schedule vs the parsed default
+     plan, across every scenario. *)
+  let scenarios = [ ("opt", Machine.Opt); ("adapt", Machine.Adapt); ("ladder", Machine.Ladder) ] in
+  let t =
+    Table.create ~title:"Implicit schedule vs parsed default plan (default heuristic, x86)"
+      ~header:[| "benchmark"; "scenario"; "total (implicit)"; "total (plan)"; "identical" |]
+      ~aligns:[| Table.Left; Table.Left; Table.Right; Table.Right; Table.Left |]
+  in
+  let identical_measurements = ref true in
+  List.iter
+    (fun bm ->
+      let p = W.Suites.program bm in
+      List.iter
+        (fun (sname, scen) ->
+          let implicit =
+            Runner.measure (Machine.config scen Heuristic.default) Platform.x86 p
+          in
+          let planned =
+            Runner.measure
+              (Machine.config ~plan:parsed_default scen Heuristic.default)
+              Platform.x86 p
+          in
+          let same = implicit = planned in
+          if not same then identical_measurements := false;
+          Table.add_row t
+            [|
+              bm.W.Suites.bname; sname;
+              string_of_int implicit.Runner.total_cycles;
+              string_of_int planned.Runner.total_cycles;
+              string_of_bool same;
+            |])
+        scenarios)
+    suite;
+  Table.print t;
+  print_newline ();
+  (* (b) Fixed-seed heuristic GA, implicit vs explicit default plan.  The
+     fitness cache is off so both searches simulate from scratch. *)
+  Fitcache.set_enabled false;
+  Fitcache.clear ();
+  let implicit_ga = Tuner.tune ~budget ~suite Tuner.Opt_tot_x86 in
+  let planned_ga = Tuner.tune ~budget ~suite ~plan:parsed_default Tuner.Opt_tot_x86 in
+  Fitcache.set_enabled true;
+  let identical_best =
+    implicit_ga.Tuner.ga.Inltune_ga.Evolve.best = planned_ga.Tuner.ga.Inltune_ga.Evolve.best
+  in
+  let identical_history =
+    implicit_ga.Tuner.ga.Inltune_ga.Evolve.history
+    = planned_ga.Tuner.ga.Inltune_ga.Evolve.history
+  in
+  Printf.printf "heuristic GA under explicit default plan: best identical %b, history identical %b\n"
+    identical_best identical_history;
+  (* (c) The new capability: co-evolve heuristic and plan. *)
+  let po = Tuner.tune_plan ~budget ~suite Tuner.Opt_tot_x86 in
+  Printf.printf "plan-genome GA: fitness %.4f (heuristic-only %.4f)   best plan %s\n"
+    po.Tuner.p_fitness implicit_ga.Tuner.fitness
+    (if Plan.is_default po.Tuner.p_plan then "= default"
+     else "digest " ^ Plan.digest po.Tuner.p_plan);
+  print_string (Plan.to_string po.Tuner.p_plan);
+  print_newline ();
+  let oc = open_out "BENCH_passes.json" in
+  Printf.fprintf oc
+    "{\"suite\":[%s],\"scenario\":\"opt:tot\",\"pop\":%d,\"gens\":%d,\"seed\":%d,\
+     \"identical_measurements\":%b,\"identical_best\":%b,\"identical_history\":%b,\
+     \"heuristic_ga\":{\"best_fitness\":%.6f,\"evaluations\":%d},\
+     \"plan_ga\":{\"best_fitness\":%.6f,\"evaluations\":%d,\"plan_is_default\":%b,\
+     \"plan_digest\":\"%s\"}}\n"
+    (String.concat "," (List.map (fun bm -> "\"" ^ bm.W.Suites.bname ^ "\"") suite))
+    budget.Tuner.pop budget.Tuner.gens budget.Tuner.seed !identical_measurements
+    identical_best identical_history implicit_ga.Tuner.fitness
+    implicit_ga.Tuner.ga.Inltune_ga.Evolve.evaluations po.Tuner.p_fitness
+    po.Tuner.p_ga.Inltune_ga.Evolve.evaluations
+    (Plan.is_default po.Tuner.p_plan)
+    (Plan.digest po.Tuner.p_plan);
+  close_out oc;
+  print_endline "wrote BENCH_passes.json\n";
+  if not (!identical_measurements && identical_best && identical_history) then begin
+    prerr_endline
+      "passes bench: the plan interpreter changed measurements or the GA trajectory \
+       (must be bit-identical under the default plan)";
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -655,10 +757,12 @@ let () =
     extensions ();
     policy_comparison ();
     tuner_bench ();
+    passes_bench ();
     micro ()
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
   | "policy" -> policy_comparison ()
   | "tuner" -> tuner_bench ()
+  | "passes" -> passes_bench ()
   | "micro" -> micro ()
   | id -> Experiments.run_one ctx id

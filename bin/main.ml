@@ -4,7 +4,9 @@
      list                      show the benchmark suites
      show <bench>              dump a benchmark's JIR and shape statistics
      run <bench>               simulate one benchmark and report times
-     tune                      GA-tune the heuristic for a scenario
+     tune                      GA-tune the heuristic (and, with --tune-passes,
+                               the optimization plan) for a scenario
+     plan [<file>]             print, validate, or canonicalize a plan
      experiment <id>           regenerate a paper table/figure (or "all")
      trace-summary <file>      aggregate a JSONL trace into report tables
      features <bench>          dump call-site feature vectors
@@ -57,6 +59,29 @@ let heuristic_of_flag s =
   try Params.heuristic_of_string s with
   | Invalid_argument msg -> die "bad --heuristic: %s" msg
   | Failure _ -> die "bad --heuristic '%s': parameter values must be integers" s
+
+let plan_arg =
+  let doc =
+    "Run the optimizing tier under the plan in $(docv) instead of the built-in schedule \
+     (see the $(b,plan) subcommand for the text format)."
+  in
+  Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+
+let read_text_file path =
+  try
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with Sys_error msg -> die "cannot read plan file: %s" msg
+
+let plan_of_flag = function
+  | None -> None
+  | Some path -> (
+    match Plan.of_string (read_text_file path) with
+    | Ok p -> Some p
+    | Error msg -> die "bad plan %s: %s" path msg)
 
 let find_bench name =
   try W.Suites.find name
@@ -159,13 +184,14 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run bench scenario platform hstring iterations trace =
+  let run bench scenario platform hstring iterations planfile trace =
     setup_trace trace;
     let bm = find_bench bench in
     let plat = platform_of_flag platform in
     let scen = scenario_of_flag scenario in
     let heuristic = heuristic_of_flag hstring in
-    let t = Measure.run ~iterations ~scenario:scen ~platform:plat ~heuristic bm in
+    let plan = plan_of_flag planfile in
+    let t = Measure.run ?plan ~iterations ~scenario:scen ~platform:plat ~heuristic bm in
     let d = Measure.run_default ~iterations ~scenario:scen ~platform:plat bm in
     let raw = t.Measure.raw in
     Printf.printf "%s under %s on %s with %s\n" bench scenario platform
@@ -187,7 +213,9 @@ let run_cmd =
   in
   let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations (>= 2)") in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark and report times")
-    Term.(const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters $ trace_arg)
+    Term.(
+      const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters $ plan_arg
+      $ trace_arg)
 
 (* --- tune ---------------------------------------------------------------- *)
 
@@ -214,30 +242,54 @@ let max_retries_arg =
   Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
 
 let tune_cmd =
-  let run scenario pop gens seed max_retries domains fcache checkpoint resume trace =
+  let run scenario pop gens seed max_retries domains fcache checkpoint resume planfile
+      tune_passes trace =
     setup_trace trace;
     let domains = domains_of_flag domains in
     setup_fitness_cache fcache;
     let id = tuner_scenario_of_flag scenario in
     let budget = { Tuner.pop; gens; seed } in
+    let plan = plan_of_flag planfile in
+    if tune_passes && Option.is_some plan then
+      die "--tune-passes evolves the plan itself; it cannot be combined with --plan";
     let on_generation (p : Inltune_ga.Evolve.progress) =
       Printf.eprintf "[inltune]   gen %2d: best %.4f mean %.4f (%d evals)\n%!"
         p.Inltune_ga.Evolve.generation p.Inltune_ga.Evolve.best_fitness
         p.Inltune_ga.Evolve.mean_fitness p.Inltune_ga.Evolve.evaluations
     in
-    let o = Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains id in
-    Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
-    (match o.Tuner.degraded with
-    | Some reason -> Printf.printf "search stopped early: %s\n" reason
-    | None -> ());
-    Printf.printf "best heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
-    Printf.printf "fitness (geomean vs default, lower is better): %.4f\n" o.Tuner.fitness;
-    Printf.printf "distinct evaluations: %d (cache hits: %d)\n"
-      o.Tuner.ga.Inltune_ga.Evolve.evaluations o.Tuner.ga.Inltune_ga.Evolve.cache_hits;
-    let failures = o.Tuner.ga.Inltune_ga.Evolve.failures in
-    if failures > 0 then
-      Printf.printf "evaluation failures: %d (quarantined genotypes: %d)\n" failures
-        o.Tuner.ga.Inltune_ga.Evolve.quarantined
+    let report_ga (ga : Inltune_ga.Evolve.result) =
+      Printf.printf "distinct evaluations: %d (cache hits: %d)\n"
+        ga.Inltune_ga.Evolve.evaluations ga.Inltune_ga.Evolve.cache_hits;
+      let failures = ga.Inltune_ga.Evolve.failures in
+      if failures > 0 then
+        Printf.printf "evaluation failures: %d (quarantined genotypes: %d)\n" failures
+          ga.Inltune_ga.Evolve.quarantined
+    in
+    if tune_passes then begin
+      let o =
+        Tuner.tune_plan ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains id
+      in
+      Printf.printf "scenario: %s\n" o.Tuner.p_spec.Tuner.label;
+      (match o.Tuner.p_degraded with
+      | Some reason -> Printf.printf "search stopped early: %s\n" reason
+      | None -> ());
+      Printf.printf "best heuristic: %s\n" (Heuristic.to_string o.Tuner.p_heuristic);
+      Printf.printf "best plan:\n%s" (Plan.to_string o.Tuner.p_plan);
+      Printf.printf "fitness (geomean vs default, lower is better): %.4f\n" o.Tuner.p_fitness;
+      report_ga o.Tuner.p_ga
+    end
+    else begin
+      let o =
+        Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains ?plan id
+      in
+      Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
+      (match o.Tuner.degraded with
+      | Some reason -> Printf.printf "search stopped early: %s\n" reason
+      | None -> ());
+      Printf.printf "best heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
+      Printf.printf "fitness (geomean vs default, lower is better): %.4f\n" o.Tuner.fitness;
+      report_ga o.Tuner.ga
+    end
   in
   let scenario =
     Arg.(
@@ -249,10 +301,18 @@ let tune_cmd =
   let pop = Arg.(value & opt int 16 & info [ "pop" ] ~doc:"GA population size") in
   let gens = Arg.(value & opt int 10 & info [ "generations"; "g" ] ~doc:"GA generations") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
+  let tune_passes =
+    Arg.(
+      value & flag
+      & info [ "tune-passes" ]
+          ~doc:
+            "Co-evolve the optimization plan (pass toggles, strengths, payoff-pass order) \
+             together with the five heuristic parameters, over the composite plan genome.")
+  in
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
     Term.(
       const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ domains_arg
-      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ trace_arg)
+      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ plan_arg $ tune_passes $ trace_arg)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
@@ -275,7 +335,7 @@ let export_cmd =
     Term.(const run $ bench_arg $ file)
 
 let run_file_cmd =
-  let run path scenario platform hstring trace =
+  let run path scenario platform hstring planfile trace =
     setup_trace trace;
     let ic = open_in path in
     let len = in_channel_length ic in
@@ -289,7 +349,8 @@ let run_file_cmd =
       let plat = platform_of_flag platform in
       let scen = scenario_of_flag scenario in
       let heuristic = heuristic_of_flag hstring in
-      let m = Runner.measure (Machine.config scen heuristic) plat p in
+      let plan = plan_of_flag planfile in
+      let m = Runner.measure (Machine.config ?plan scen heuristic) plat p in
       Printf.printf "%s under %s on %s with %s\n" p.Inltune_jir.Ir.pname scenario platform
         (Heuristic.to_string heuristic);
       Printf.printf "  total: %d cycles   running: %d cycles   compile: %d cycles\n"
@@ -300,7 +361,32 @@ let run_file_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JIR text file")
   in
   Cmd.v (Cmd.info "run-file" ~doc:"Simulate a program written in the JIR text format")
-    Term.(const run $ path $ scenario_arg $ platform_arg $ heuristic_arg $ trace_arg)
+    Term.(const run $ path $ scenario_arg $ platform_arg $ heuristic_arg $ plan_arg $ trace_arg)
+
+(* --- plan ------------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run file =
+    match file with
+    | None -> print_string (Plan.to_string Plan.default)
+    | Some path -> (
+      match Plan.of_string (read_text_file path) with
+      | Ok p -> print_string (Plan.to_string p)
+      | Error msg -> die "bad plan %s: %s" path msg)
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Plan file to validate and reprint in canonical form.  Without it, print the \
+             built-in default plan (the historical pass schedule).")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Print the default optimization plan, or validate and canonicalize a plan file")
+    Term.(const run $ file)
 
 (* --- knapsack --------------------------------------------------------------- *)
 
@@ -671,8 +757,8 @@ let main_cmd =
   let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in
   Cmd.group (Cmd.info "inltune" ~version:"1.0.0" ~doc)
     [
-      list_cmd; show_cmd; run_cmd; tune_cmd; experiment_cmd; export_cmd; run_file_cmd;
-      knapsack_cmd; search_cmd; trace_summary_cmd; features_cmd; dataset_cmd;
+      list_cmd; show_cmd; run_cmd; tune_cmd; plan_cmd; experiment_cmd; export_cmd;
+      run_file_cmd; knapsack_cmd; search_cmd; trace_summary_cmd; features_cmd; dataset_cmd;
       train_policy_cmd; eval_policy_cmd;
     ]
 

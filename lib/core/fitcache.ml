@@ -95,11 +95,20 @@ let program_digest prog = (pinfo_of prog).p_digest
 
 (* --- signatures --------------------------------------------------------- *)
 
-let signature ~scenario ~heuristic ~inline_enabled prog =
-  if not inline_enabled then "off"
+let signature ~scenario ~heuristic ~inline_enabled ~plan prog =
+  if (not inline_enabled) || not (Plan.has_enabled "inline" plan) then "off"
   else
     let info = pinfo_of prog in
     match scenario with
+    | Machine.Opt when not (Plan.walk_compatible plan) ->
+      (* A plan whose effective pre-inline schedule is not the single
+         constprop the [p_cp] walk assumes: the walk would see the wrong
+         methods, so fall back to the exact parameters — still sound (no
+         merging beyond identical heuristics under the same plan, which the
+         key's plan tag already isolates), just maximally conservative. *)
+      Printf.sprintf "h:%s"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (Heuristic.to_array heuristic))))
     | Machine.Opt ->
       (* Exact: hash of the concatenated per-method decision plans. *)
       let buf = Buffer.create 256 in
@@ -128,10 +137,15 @@ let signature ~scenario ~heuristic ~inline_enabled prog =
            heuristic.Heuristic.caller_max_size);
       Buffer.contents buf
 
-let key ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog =
-  Printf.sprintf "%s/%s/%s/%d/%s" (program_digest prog)
-    (Machine.scenario_name scenario) platform.Platform.pname iterations
-    (signature ~scenario ~heuristic ~inline_enabled prog)
+(* Non-default plans change what every compile does, so their measurements
+   must never alias the default plan's: the key carries a plan tag — a fixed
+   "default" for the default plan, the plan's content digest otherwise. *)
+let plan_tag plan = if Plan.is_default plan then "default" else "plan:" ^ Plan.digest plan
+
+let key ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations prog =
+  Printf.sprintf "%s/%s/%s/%s/%d/%s" (program_digest prog)
+    (Machine.scenario_name scenario) platform.Platform.pname (plan_tag plan) iterations
+    (signature ~scenario ~heuristic ~inline_enabled ~plan prog)
 
 (* --- the cache proper --------------------------------------------------- *)
 
@@ -265,10 +279,10 @@ let store_measurement k m =
   end;
   Mutex.unlock mu
 
-let mem ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog =
+let mem ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations prog =
   !on
   &&
-  let k = key ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog in
+  let k = key ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations prog in
   Mutex.lock mu;
   let r = Hashtbl.mem table k in
   Mutex.unlock mu;
@@ -277,11 +291,11 @@ let mem ~scenario ~platform ~heuristic ~inline_enabled ~iterations prog =
 (* Two domains racing on the same fresh key both simulate (the simulation
    runs outside the lock and is deterministic, so both arrive at the same
    measurement); the first store wins and the counters are best-effort. *)
-let lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~iterations ~program
-    simulate =
+let lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations
+    ~program simulate =
   if not !on then simulate ()
   else begin
-    let k = key ~scenario ~platform ~heuristic ~inline_enabled ~iterations program in
+    let k = key ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations program in
     match find_measurement k with
     | Some m ->
       bump "fitness.sig_hits";

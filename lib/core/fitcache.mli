@@ -33,21 +33,29 @@ open Inltune_vm
 val program_digest : Ir.program -> string
 
 (** The decision signature alone (no program digest or platform).
-    ["off"] when [inline_enabled] is false — every heuristic then compiles
-    identically. *)
+    ["off"] when [inline_enabled] is false or the plan's inline item is
+    disabled — every heuristic then compiles identically.  Under [Opt] with
+    a plan whose pre-inline schedule differs from the historical one
+    ({!Inltune_opt.Plan.walk_compatible} is false) the signature falls back
+    to the raw heuristic parameters: still sound, just no cross-genome
+    merging. *)
 val signature :
   scenario:Machine.scenario ->
   heuristic:Heuristic.t ->
   inline_enabled:bool ->
+  plan:Plan.t ->
   Ir.program ->
   string
 
-(** The full content-addressed cache key. *)
+(** The full content-addressed cache key.  Non-default plans contribute
+    their content digest, so their measurements never alias the default
+    plan's. *)
 val key :
   scenario:Machine.scenario ->
   platform:Platform.t ->
   heuristic:Heuristic.t ->
   inline_enabled:bool ->
+  plan:Plan.t ->
   iterations:int ->
   Ir.program ->
   string
@@ -75,6 +83,7 @@ val mem :
   platform:Platform.t ->
   heuristic:Heuristic.t ->
   inline_enabled:bool ->
+  plan:Plan.t ->
   iterations:int ->
   Ir.program ->
   bool
@@ -88,6 +97,7 @@ val lookup_or_measure :
   platform:Platform.t ->
   heuristic:Heuristic.t ->
   inline_enabled:bool ->
+  plan:Plan.t ->
   iterations:int ->
   program:Ir.program ->
   (unit -> Runner.measurement) ->

@@ -29,15 +29,16 @@ let of_measurement m =
    stay attached to the registry across [Metric.reset_all]. *)
 let bump name = Inltune_obs.Metric.incr (Inltune_obs.Metric.counter name)
 
-let run ?(iterations = 3) ?(inline_enabled = true) ~scenario ~platform ~heuristic bm =
+let run ?(iterations = 3) ?(inline_enabled = true) ?(plan = Plan.default) ~scenario ~platform
+    ~heuristic bm =
   let prog = Workloads.Suites.program bm in
   let simulate () =
     bump "measure.simulations";
-    let cfg = Machine.config ~inline_enabled scenario heuristic in
+    let cfg = Machine.config ~inline_enabled ~plan scenario heuristic in
     Runner.measure ~iterations cfg platform prog
   in
   of_measurement
-    (Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~iterations
+    (Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations
        ~program:prog simulate)
 
 (* Measurements with the default (Jikes) heuristic are requested constantly —

@@ -16,13 +16,16 @@ val of_measurement : Runner.measurement -> times
 
 (** [run ~scenario ~platform ~heuristic bm] simulates the benchmark
     ([iterations] defaults to 3 so the adaptive system reaches steady
-    state).  [inline_enabled:false] is the Fig. 1 no-inlining baseline.
-    Results are shared through {!Fitcache}: a query whose decision signature
-    was already measured reuses that measurement instead of simulating; the
-    "measure.simulations" counter reports full simulations actually run. *)
+    state).  [inline_enabled:false] is the Fig. 1 no-inlining baseline;
+    [plan] (default {!Inltune_opt.Plan.default}) selects the optimizing
+    tier's pass schedule.  Results are shared through {!Fitcache}: a query
+    whose decision signature was already measured reuses that measurement
+    instead of simulating; the "measure.simulations" counter reports full
+    simulations actually run. *)
 val run :
   ?iterations:int ->
   ?inline_enabled:bool ->
+  ?plan:Plan.t ->
   scenario:Machine.scenario ->
   platform:Platform.t ->
   heuristic:Heuristic.t ->

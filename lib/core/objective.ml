@@ -30,10 +30,13 @@ let perf goal ~(t : Measure.times) ~(default : Measure.times) =
     let d = (factor *. default.Measure.running) +. default.Measure.total in
     v /. d
 
-(* A reusable fitness function over a suite.  Baseline (default-heuristic)
-   measurements are taken once, up front, on the calling domain; the returned
-   closure is then safe to call from worker domains. *)
-let fitness ~suite ~scenario ~platform ~goal =
+(* A reusable fitness function over a suite.  Baseline (default-heuristic,
+   default-plan) measurements are taken once, up front, on the calling
+   domain; the returned closure is then safe to call from worker domains.
+   [plan] selects the pass schedule the candidate heuristics run under; the
+   baselines always use the default plan, so 1.0 means "the stock system"
+   regardless of the plan being evaluated. *)
+let fitness ?plan ~suite ~scenario ~platform ~goal =
   let baselines =
     List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
   in
@@ -41,7 +44,7 @@ let fitness ~suite ~scenario ~platform ~goal =
     let scores =
       List.map
         (fun (bm, default) ->
-          let t = Measure.run ~scenario ~platform ~heuristic bm in
+          let t = Measure.run ?plan ~scenario ~platform ~heuristic bm in
           perf goal ~t ~default)
         baselines
     in
@@ -74,8 +77,8 @@ let eval_fault_gate () =
   | Some Inltune_resilience.Faultinject.Corrupt -> true
   | None -> false
 
-let genome_fitness ~suite ~scenario ~platform ~goal =
-  let f = fitness ~suite ~scenario ~platform ~goal in
+let genome_fitness ?plan ~suite ~scenario ~platform ~goal =
+  let f = fitness ?plan ~suite ~scenario ~platform ~goal in
   fun g -> if eval_fault_gate () then Float.nan else f (Heuristic.of_array g)
 
 (* Grid form of {!genome_fitness} for [Evolve.run ?grid]: the benchmark axis
@@ -84,7 +87,7 @@ let genome_fitness ~suite ~scenario ~platform ~goal =
    path (per-benchmark [perf] in suite order, then geomean), so the two
    evaluation modes produce bit-identical fitness.  The fault gate moves to
    cell granularity — each simulation is one "eval" occurrence. *)
-let genome_grid ~suite ~scenario ~platform ~goal =
+let genome_grid ?plan ~suite ~scenario ~platform ~goal () =
   let baselines =
     List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
   in
@@ -94,7 +97,45 @@ let genome_grid ~suite ~scenario ~platform ~goal =
       (fun g (bm, default) ->
         if eval_fault_gate () then Float.nan
         else
-          let t = Measure.run ~scenario ~platform ~heuristic:(Heuristic.of_array g) bm in
+          let t = Measure.run ?plan ~scenario ~platform ~heuristic:(Heuristic.of_array g) bm in
+          perf goal ~t ~default);
+    grid_combine = Stats.geomean;
+  }
+
+(* Plan-genome mode: the genome is the five Table 1 genes followed by the
+   plan genes ({!Params.plan_genome_spec}); heuristic and plan are decoded
+   together per evaluation.  Baselines stay the default heuristic under the
+   default plan, so 1.0 still means "the stock system" and plan-genome
+   fitness values are directly comparable to heuristic-only ones. *)
+let plan_genome_fitness ~suite ~scenario ~platform ~goal =
+  let baselines =
+    List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
+  in
+  fun g ->
+    if eval_fault_gate () then Float.nan
+    else
+      let heuristic, plan = Params.split_plan_genome g in
+      let scores =
+        List.map
+          (fun (bm, default) ->
+            let t = Measure.run ~plan ~scenario ~platform ~heuristic bm in
+            perf goal ~t ~default)
+          baselines
+      in
+      Stats.geomean (Array.of_list scores)
+
+let plan_genome_grid ~suite ~scenario ~platform ~goal =
+  let baselines =
+    List.map (fun bm -> (bm, Measure.run_default ~scenario ~platform bm)) suite
+  in
+  {
+    Inltune_ga.Evolve.grid_axis = Array.of_list baselines;
+    grid_cell =
+      (fun g (bm, default) ->
+        if eval_fault_gate () then Float.nan
+        else
+          let heuristic, plan = Params.split_plan_genome g in
+          let t = Measure.run ~plan ~scenario ~platform ~heuristic bm in
           perf goal ~t ~default);
     grid_combine = Stats.geomean;
   }

@@ -17,8 +17,12 @@ val perf : goal -> t:Measure.times -> default:Measure.times -> float
 
 (** Suite-level fitness: geometric mean of {!perf} over the suite.  Baseline
     measurements are taken eagerly on the calling domain; the returned
-    closure is safe to call from worker domains. *)
+    closure is safe to call from worker domains.  [plan] selects the pass
+    schedule candidates run under (default {!Inltune_opt.Plan.default});
+    baselines always use the default plan, so 1.0 means "the stock
+    system". *)
 val fitness :
+  ?plan:Plan.t ->
   suite:Inltune_workloads.Suites.benchmark list ->
   scenario:Inltune_vm.Machine.scenario ->
   platform:Inltune_vm.Platform.t ->
@@ -34,6 +38,7 @@ val transient_failure : exn -> bool
     checks the ["eval"] fault-injection site (see
     {!Inltune_resilience.Faultinject}), so failure paths are testable. *)
 val genome_fitness :
+  ?plan:Plan.t ->
   suite:Inltune_workloads.Suites.benchmark list ->
   scenario:Inltune_vm.Machine.scenario ->
   platform:Inltune_vm.Platform.t ->
@@ -48,6 +53,31 @@ val genome_fitness :
     checked per cell (one occurrence per simulation).  Baselines are
     measured eagerly on the calling domain. *)
 val genome_grid :
+  ?plan:Plan.t ->
+  suite:Inltune_workloads.Suites.benchmark list ->
+  scenario:Inltune_vm.Machine.scenario ->
+  platform:Inltune_vm.Platform.t ->
+  goal:goal ->
+  unit ->
+  (Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid
+
+(** Plan-genome fitness: the genome is the five Table 1 genes followed by
+    the plan genes ({!Params.plan_genome_spec}); heuristic and plan are
+    decoded together per evaluation ({!Params.split_plan_genome}).
+    Baselines stay the default heuristic under the default plan, so values
+    are directly comparable to {!genome_fitness}'s.  Checks the ["eval"]
+    fault gate like {!genome_fitness}. *)
+val plan_genome_fitness :
+  suite:Inltune_workloads.Suites.benchmark list ->
+  scenario:Inltune_vm.Machine.scenario ->
+  platform:Inltune_vm.Platform.t ->
+  goal:goal ->
+  int array -> float
+
+(** Grid form of {!plan_genome_fitness} — same relationship as
+    {!genome_grid} to {!genome_fitness}: bit-identical combine, per-cell
+    fault gate, eager baselines. *)
+val plan_genome_grid :
   suite:Inltune_workloads.Suites.benchmark list ->
   scenario:Inltune_vm.Machine.scenario ->
   platform:Inltune_vm.Platform.t ->

@@ -57,6 +57,21 @@ let genome_spec =
 let heuristic_of_genome g = Heuristic.of_array g
 let genome_of_heuristic h = Heuristic.to_array h
 
+(* The composite genome for plan tuning: the five Table 1 heuristic genes
+   followed by the plan genes (pass toggles, strengths, payoff order). *)
+let plan_genome_spec =
+  Inltune_ga.Genome.concat genome_spec (Inltune_ga.Genome.spec Plan.tunable_ranges)
+
+let default_plan_genome =
+  Array.append (Heuristic.to_array Heuristic.default) Plan.default_genes
+
+let split_plan_genome g =
+  let nh = List.length table1 in
+  if Array.length g < nh then
+    invalid_arg "Params.split_plan_genome: genome shorter than the heuristic prefix";
+  ( Heuristic.of_array (Array.sub g 0 nh),
+    Plan.of_genes (Array.sub g nh (Array.length g - nh)) )
+
 (* Parse "k=v,k=v" overrides on top of the default heuristic (CLI syntax). *)
 let heuristic_of_string s =
   let h = ref (Heuristic.to_array Heuristic.default) in

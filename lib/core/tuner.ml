@@ -83,15 +83,15 @@ let best_or_default gu (ga : Ga.Evolve.result) =
    fresh simulations saturate the domain pool; the scalar [fitness] is still
    supplied for interface compatibility and produces bit-identical values. *)
 let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
-    ?checkpoint ?resume ?(max_retries = 1) ?domains id =
+    ?checkpoint ?resume ?(max_retries = 1) ?domains ?plan id =
   let spec = spec_of id in
   let fitness =
-    Objective.genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
+    Objective.genome_fitness ?plan ~suite ~scenario:spec.scenario ~platform:spec.platform
       ~goal:spec.goal
   in
   let grid =
-    Objective.genome_grid ~suite ~scenario:spec.scenario ~platform:spec.platform
-      ~goal:spec.goal
+    Objective.genome_grid ?plan ~suite ~scenario:spec.scenario ~platform:spec.platform
+      ~goal:spec.goal ()
   in
   let params =
     {
@@ -115,16 +115,73 @@ let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.sp
     degraded = ga.Ga.Evolve.stopped;
   }
 
+(* Plan tuning: co-evolve the five heuristic parameters with the pass
+   schedule (toggles, strengths, payoff order) over the composite
+   {!Params.plan_genome_spec}.  Fitness values are normalized against the
+   same stock baseline as {!tune}, so the two searches are directly
+   comparable. *)
+type plan_outcome = {
+  p_spec : scenario_spec;
+  p_heuristic : Heuristic.t;
+  p_plan : Plan.t;
+  p_fitness : float;
+  p_ga : Ga.Evolve.result;
+  p_degraded : string option;
+}
+
+(* Same fallback logic as {!best_or_default}: a penalized "best" would ship
+   a broken schedule, so fall back to the stock heuristic and plan. *)
+let plan_best_or_default gu (ga : Ga.Evolve.result) =
+  if Float.is_finite ga.Ga.Evolve.best_fitness
+     && ga.Ga.Evolve.best_fitness < gu.Ga.Evolve.penalty
+  then Params.split_plan_genome ga.Ga.Evolve.best
+  else (Heuristic.default, Plan.default)
+
+let tune_plan ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
+    ?checkpoint ?resume ?(max_retries = 1) ?domains id =
+  let spec = spec_of id in
+  let fitness =
+    Objective.plan_genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
+      ~goal:spec.goal
+  in
+  let grid =
+    Objective.plan_genome_grid ~suite ~scenario:spec.scenario ~platform:spec.platform
+      ~goal:spec.goal
+  in
+  let params =
+    {
+      Ga.Evolve.default_params with
+      Ga.Evolve.pop_size = budget.pop;
+      generations = budget.gens;
+      seed = budget.seed;
+      domains;
+    }
+  in
+  let gu = guard ~max_retries in
+  let ga =
+    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~grid
+      ~spec:Params.plan_genome_spec ~params ~fitness ()
+  in
+  let heuristic, plan = plan_best_or_default gu ga in
+  {
+    p_spec = spec;
+    p_heuristic = heuristic;
+    p_plan = plan;
+    p_fitness = ga.Ga.Evolve.best_fitness;
+    p_ga = ga;
+    p_degraded = ga.Ga.Evolve.stopped;
+  }
+
 (* Per-program tuning for running time (paper Fig. 10). *)
-let tune_per_program ?(budget = default_budget) ?(max_retries = 1) ?domains bm =
+let tune_per_program ?(budget = default_budget) ?(max_retries = 1) ?domains ?plan bm =
   let suite = [ bm ] in
   let fitness =
-    Objective.genome_fitness ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+    Objective.genome_fitness ?plan ~suite ~scenario:Machine.Opt ~platform:Platform.x86
       ~goal:Objective.Running
   in
   let grid =
-    Objective.genome_grid ~suite ~scenario:Machine.Opt ~platform:Platform.x86
-      ~goal:Objective.Running
+    Objective.genome_grid ?plan ~suite ~scenario:Machine.Opt ~platform:Platform.x86
+      ~goal:Objective.Running ()
   in
   let params =
     {

@@ -11,6 +11,9 @@ let spec ranges =
 
 let length s = Array.length s.ranges
 
+(* [a]'s genes followed by [b]'s — the composite heuristic+plan genome. *)
+let concat a b = { ranges = Array.append a.ranges b.ranges }
+
 let random s rng = Array.map (fun (lo, hi) -> Rng.range rng lo hi) s.ranges
 
 let clamp s g =

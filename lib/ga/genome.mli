@@ -7,6 +7,9 @@ val spec : (int * int) array -> spec
 
 val length : spec -> int
 
+(** [concat a b]: [a]'s genes followed by [b]'s (e.g. heuristic + plan). *)
+val concat : spec -> spec -> spec
+
 (** Uniform random individual within the ranges. *)
 val random : spec -> Inltune_support.Rng.t -> int array
 

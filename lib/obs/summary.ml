@@ -112,24 +112,34 @@ let compile_tiers recs =
     (select "vm.compile" recs);
   Hashtbl.fold (fun tier v l -> (tier, v) :: l) tbl [] |> List.sort compare
 
-(* pass -> (runs, transforms, total_us). *)
+(* pass -> (runs, transforms, total_us, size_delta).  [size_delta] sums
+   size_out - size_in over the pass's spans; spans from traces written
+   before those fields existed contribute 0. *)
 let pass_totals recs =
-  let tbl : (string, int * int * float) Hashtbl.t = Hashtbl.create 8 in
+  let tbl : (string, int * int * float * int) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun r ->
       let prefix = "opt.pass." in
       let pn = String.length prefix in
       if String.length r.ev > pn && String.sub r.ev 0 pn = prefix then begin
         let pass = String.sub r.ev pn (String.length r.ev - pn) in
-        let runs, tr, us = Option.value (Hashtbl.find_opt tbl pass) ~default:(0, 0, 0.0) in
+        let runs, tr, us, ds =
+          Option.value (Hashtbl.find_opt tbl pass) ~default:(0, 0, 0.0, 0)
+        in
+        let dsize =
+          match (int_f r "size_in", int_f r "size_out") with
+          | Some si, Some so -> so - si
+          | _ -> 0
+        in
         Hashtbl.replace tbl pass
           ( runs + 1,
             tr + Option.value (int_f r "transforms") ~default:0,
-            us +. Option.value (num r "dur_us") ~default:0.0 )
+            us +. Option.value (num r "dur_us") ~default:0.0,
+            ds + dsize )
       end)
     recs;
   Hashtbl.fold (fun pass v l -> (pass, v) :: l) tbl []
-  |> List.sort (fun (_, (_, _, a)) (_, (_, _, b)) -> compare b a)
+  |> List.sort (fun (_, (_, _, a, _)) (_, (_, _, b, _)) -> compare b a)
 
 (* prog -> (measures, mean total, mean running, mean compile cycles). *)
 let measure_by_prog recs =
@@ -234,16 +244,18 @@ let pass_table recs =
   else begin
     let t =
       Table.create ~title:"optimizer pass totals"
-        ~header:[| "pass"; "runs"; "transforms"; "total ms"; "us/run" |]
-        ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right |]
+        ~header:[| "pass"; "runs"; "transforms"; "size delta"; "total ms"; "us/run" |]
+        ~aligns:
+          [| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
     in
     List.iter
-      (fun (pass, (runs, tr, us)) ->
+      (fun (pass, (runs, tr, us, ds)) ->
         Table.add_row t
           [|
             pass;
             string_of_int runs;
             string_of_int tr;
+            Printf.sprintf "%+d" ds;
             Printf.sprintf "%.2f" (us /. 1000.0);
             Printf.sprintf "%.1f" (us /. Float.of_int (max 1 runs));
           |])

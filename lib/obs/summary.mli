@@ -20,8 +20,10 @@ val ga_generations : record list -> (int * float * float * int) list
 (** tier -> (compiles, recompiles, cycles, code bytes), sorted by tier. *)
 val compile_tiers : record list -> (string * (int * int * int * int)) list
 
-(** pass -> (runs, transforms, total us), sorted by total time. *)
-val pass_totals : record list -> (string * (int * int * float)) list
+(** pass -> (runs, transforms, total us, summed size_out - size_in), sorted
+    by total time.  Spans without size fields (older traces) contribute 0 to
+    the size delta. *)
+val pass_totals : record list -> (string * (int * int * float * int)) list
 
 (** counter name -> last reported value. *)
 val counter_values : record list -> (string * int) list

@@ -1,0 +1,189 @@
+open Inltune_jir
+
+(* First-class optimizer passes.  Each pass wraps one transformation from
+   this directory behind a uniform interface: a name (the span/Plan
+   vocabulary), declared integer knobs, and a [run] returning the rewritten
+   method plus a uniform [delta] stats record.
+
+   The [delta] fields mirror the counters [Pipeline.stats] aggregates; each
+   pass fills only its own fields, so summing the deltas of a pipeline run
+   field-by-field reproduces the pipeline totals exactly — the invariant the
+   plan interpreter is built on (and tests assert). *)
+
+type knob = {
+  k_name : string;
+  k_lo : int;
+  k_hi : int;  (* inclusive *)
+  k_default : int;
+}
+
+type delta = {
+  d_sites_seen : int;
+  d_sites_inlined : int;
+  d_hot_sites_seen : int;
+  d_hot_sites_inlined : int;
+  d_sites_guarded : int;
+  d_folded : int;
+  d_devirtualized : int;
+  d_branches_folded : int;
+  d_cse_replaced : int;
+  d_copies_propagated : int;
+  d_dce_removed : int;
+}
+
+let zero_delta =
+  {
+    d_sites_seen = 0;
+    d_sites_inlined = 0;
+    d_hot_sites_seen = 0;
+    d_hot_sites_inlined = 0;
+    d_sites_guarded = 0;
+    d_folded = 0;
+    d_devirtualized = 0;
+    d_branches_folded = 0;
+    d_cse_replaced = 0;
+    d_copies_propagated = 0;
+    d_dce_removed = 0;
+  }
+
+let add_delta a b =
+  {
+    d_sites_seen = a.d_sites_seen + b.d_sites_seen;
+    d_sites_inlined = a.d_sites_inlined + b.d_sites_inlined;
+    d_hot_sites_seen = a.d_hot_sites_seen + b.d_hot_sites_seen;
+    d_hot_sites_inlined = a.d_hot_sites_inlined + b.d_hot_sites_inlined;
+    d_sites_guarded = a.d_sites_guarded + b.d_sites_guarded;
+    d_folded = a.d_folded + b.d_folded;
+    d_devirtualized = a.d_devirtualized + b.d_devirtualized;
+    d_branches_folded = a.d_branches_folded + b.d_branches_folded;
+    d_cse_replaced = a.d_cse_replaced + b.d_cse_replaced;
+    d_copies_propagated = a.d_copies_propagated + b.d_copies_propagated;
+    d_dce_removed = a.d_dce_removed + b.d_dce_removed;
+  }
+
+(* Each pass touches a disjoint subset of the fields, so this total is that
+   pass's own transform count — the number the per-pass trace spans report. *)
+let transforms d =
+  d.d_sites_inlined + d.d_sites_guarded + d.d_folded + d.d_devirtualized
+  + d.d_branches_folded + d.d_cse_replaced + d.d_copies_propagated + d.d_dce_removed
+
+type ctx = {
+  decider : Decider.t;
+  hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+  devirt_oracle : Guarded_devirt.site_oracle option;
+}
+
+type t = {
+  name : string;
+  knobs : knob list;
+  applicable : ctx -> bool;
+      (* structurally skipped (no run, no span) when false — e.g. guarded
+         devirtualization without a profile oracle *)
+  run : Ir.program -> ctx -> Ir.methd -> Ir.methd * delta;
+}
+
+let always_applicable _ = true
+
+let guarded_devirt =
+  {
+    name = "guarded_devirt";
+    knobs = [];
+    applicable = (fun ctx -> ctx.devirt_oracle <> None);
+    run =
+      (fun program ctx m ->
+        match ctx.devirt_oracle with
+        | None -> (m, zero_delta)
+        | Some oracle ->
+          let m, s = Guarded_devirt.run ~program ~oracle m in
+          (m, { zero_delta with d_sites_guarded = s.Guarded_devirt.sites_guarded }));
+  }
+
+let iters_knob = { k_name = "iters"; k_lo = 1; k_hi = 3; k_default = 1 }
+
+let constprop =
+  {
+    name = "constprop";
+    knobs = [ iters_knob ];
+    applicable = always_applicable;
+    run =
+      (fun program _ m ->
+        let m, s = Constprop.run program m in
+        ( m,
+          {
+            zero_delta with
+            d_folded = s.Constprop.folded;
+            d_devirtualized = s.Constprop.devirtualized;
+            d_branches_folded = s.Constprop.branches_folded;
+          } ));
+  }
+
+let inline =
+  {
+    name = "inline";
+    knobs = [];
+    applicable = always_applicable;
+    run =
+      (fun program ctx m ->
+        let m, s =
+          match ctx.decider with
+          | Decider.Custom decide -> Inline.run_custom ~decide ~program m
+          | Decider.Policy policy ->
+            Inline.run_policy ?hot_site:ctx.hot_site ~program ~policy m
+          | Decider.Heuristic heuristic ->
+            Inline.run ?hot_site:ctx.hot_site ~program ~heuristic m
+        in
+        ( m,
+          {
+            zero_delta with
+            d_sites_seen = s.Inline.sites_seen;
+            d_sites_inlined = s.Inline.sites_inlined;
+            d_hot_sites_seen = s.Inline.hot_sites_seen;
+            d_hot_sites_inlined = s.Inline.hot_sites_inlined;
+          } ));
+  }
+
+let cse =
+  {
+    name = "cse";
+    knobs = [ iters_knob ];
+    applicable = always_applicable;
+    run =
+      (fun _ _ m ->
+        let m, n = Cse.run m in
+        (m, { zero_delta with d_cse_replaced = n }));
+  }
+
+let copyprop =
+  {
+    name = "copyprop";
+    knobs = [ iters_knob ];
+    applicable = always_applicable;
+    run =
+      (fun _ _ m ->
+        let m, n = Copyprop.run m in
+        (m, { zero_delta with d_copies_propagated = n }));
+  }
+
+let dce =
+  {
+    name = "dce";
+    knobs = [ iters_knob ];
+    applicable = always_applicable;
+    run =
+      (fun _ _ m ->
+        let m, n = Dce.run m in
+        (m, { zero_delta with d_dce_removed = n }));
+  }
+
+let cleanup =
+  {
+    name = "cleanup";
+    knobs = [];
+    applicable = always_applicable;
+    run = (fun _ _ m -> (Cleanup.run m, zero_delta));
+  }
+
+let all = [ guarded_devirt; constprop; inline; cse; copyprop; dce; cleanup ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+let find_knob p name = List.find_opt (fun k -> k.k_name = name) p.knobs

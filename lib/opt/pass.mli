@@ -1,0 +1,69 @@
+open Inltune_jir
+(** First-class optimizer passes: each transformation in this directory
+    wrapped behind a uniform interface (name, declared integer knobs, run).
+    {!Plan} schedules pass instances by name; {!Pipeline} interprets the
+    schedule. *)
+
+(** A declared integer knob with its inclusive range and default.  Knob
+    semantics belong to the interpreter — the only knob today, ["iters"],
+    reruns the pass that many times. *)
+type knob = {
+  k_name : string;
+  k_lo : int;
+  k_hi : int;
+  k_default : int;
+}
+
+(** Uniform per-pass stats.  Fields mirror the [Pipeline.stats] counters;
+    each pass fills only its own, so a field-wise sum of a run's deltas
+    equals the pipeline totals exactly. *)
+type delta = {
+  d_sites_seen : int;
+  d_sites_inlined : int;
+  d_hot_sites_seen : int;
+  d_hot_sites_inlined : int;
+  d_sites_guarded : int;
+  d_folded : int;
+  d_devirtualized : int;
+  d_branches_folded : int;
+  d_cse_replaced : int;
+  d_copies_propagated : int;
+  d_dce_removed : int;
+}
+
+val zero_delta : delta
+val add_delta : delta -> delta -> delta
+
+(** The pass's own transform count (every field summed; disjoint per pass). *)
+val transforms : delta -> int
+
+(** Everything a pass may consult besides the program and the method: the
+    inlining decider and the adaptive scenario's profile-derived inputs. *)
+type ctx = {
+  decider : Decider.t;
+  hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
+  devirt_oracle : Guarded_devirt.site_oracle option;
+}
+
+type t = {
+  name : string;
+  knobs : knob list;
+  applicable : ctx -> bool;
+      (** structurally skipped (no run, no span) when false — e.g. guarded
+          devirtualization without a profile oracle *)
+  run : Ir.program -> ctx -> Ir.methd -> Ir.methd * delta;
+}
+
+val guarded_devirt : t
+val constprop : t
+val inline : t
+val cse : t
+val copyprop : t
+val dce : t
+val cleanup : t
+
+(** Every registered pass, in canonical (default-schedule) order. *)
+val all : t list
+
+val find : string -> t option
+val find_knob : t -> string -> knob option

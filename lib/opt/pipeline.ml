@@ -1,71 +1,48 @@
 open Inltune_jir
-(* The optimizing compiler's middle end, in Jikes order: devirtualize what is
-   provable, inline under the heuristic, then let constant propagation /
-   copy propagation / DCE collect the payoff, and clean the CFG.
+(* The optimizing compiler's middle end, as a thin interpreter over a
+   {!Plan.t}: each enabled plan item looks up its {!Pass.t}, runs it (knob
+   "iters" times), and contributes a uniform {!Pass.delta}.  The default
+   plan reproduces the historical hard-coded order — devirtualize what is
+   provable, inline under the decider, then let constant propagation / CSE /
+   copy propagation / DCE collect the payoff, and clean the CFG — so
+   pre-plan experiments are bit-identical.
 
-   The returned [stats] carry the size trajectory the VM's compile-time model
-   charges for: [size_before] (input bytecode), [size_peak] (right after
-   inlining, the IR every downstream pass must chew through — this is where
-   over-aggressive inlining costs compile time), and [size_after] (emitted
-   code, which is what occupies the I-cache). *)
+   The returned [stats] carry the size trajectory the VM's compile-time
+   model charges for: [size_before] (input bytecode), [size_peak] (right
+   after the inline item, the IR every downstream pass must chew through —
+   this is where over-aggressive inlining costs compile time), and
+   [size_after] (emitted code, which is what occupies the I-cache).  The
+   aggregate counters are the field-wise sum of the per-item deltas — no ad
+   hoc per-pass arithmetic — so [run_detailed]'s deltas always sum exactly
+   to the totals. *)
 
-type site_decision =
-  site_owner:Ir.mid ->
-  callee:Ir.mid ->
-  callee_size:int ->
-  inline_depth:int ->
-  caller_size:int ->
-  bool
+type site_decision = Decider.site_decision
 
 type config = {
-  heuristic : Heuristic.t;
-  inline_enabled : bool;
-  optimize : bool;  (* run the dataflow passes; off only for ablations *)
+  decider : Decider.t;
+  plan : Plan.t;
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
-  policy : Policy.t option;
-      (* first-class policy replacing the heuristic (e.g. a learned tree) *)
-  custom_inliner : site_decision option;
-      (* bare decision closure; overrides both (e.g. the knapsack baseline) *)
+      (* adaptive scenario: which call sites are profile-hot *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (* adaptive scenario: guard-devirtualize monomorphic virtual sites *)
 }
 
-let opt_config ?hot_site heuristic =
-  { heuristic; inline_enabled = true; optimize = true; hot_site; policy = None;
-    custom_inliner = None; devirt_oracle = None }
+(* The one constructor every configuration goes through. *)
+let make ?(plan = Plan.default) ?hot_site ?devirt_oracle decider =
+  { decider; plan; hot_site; devirt_oracle }
 
-let no_inline_config =
-  {
-    heuristic = Heuristic.never;
-    inline_enabled = false;
-    optimize = true;
-    hot_site = None;
-    policy = None;
-    custom_inliner = None;
-    devirt_oracle = None;
-  }
+(* Standard optimizing configuration around a heuristic. *)
+let opt_config ?hot_site heuristic = make ?hot_site (Decider.Heuristic heuristic)
 
-let custom_config decide =
-  {
-    heuristic = Heuristic.never;
-    inline_enabled = true;
-    optimize = true;
-    hot_site = None;
-    policy = None;
-    custom_inliner = Some decide;
-    devirt_oracle = None;
-  }
+(* Optimizations on, inlining off (the paper's Fig. 1 baseline).  The
+   decider is never consulted — the plan's inline item is disabled. *)
+let no_inline_config = make ~plan:Plan.no_inline (Decider.Heuristic Heuristic.default)
 
-let policy_config ?hot_site policy =
-  {
-    heuristic = Heuristic.never;
-    inline_enabled = true;
-    optimize = true;
-    hot_site;
-    policy = Some policy;
-    custom_inliner = None;
-    devirt_oracle = None;
-  }
+(* Optimizations on, inlining decided per call site by [decide]. *)
+let custom_config decide = make (Decider.Custom decide)
+
+(* Optimizations on, inlining decided by a first-class {!Policy.t}. *)
+let policy_config ?hot_site policy = make ?hot_site (Decider.Policy policy)
 
 type stats = {
   size_before : int;
@@ -85,70 +62,103 @@ type stats = {
 
 module Trace = Inltune_obs.Trace
 module Event = Inltune_obs.Event
+module Metric = Inltune_obs.Metric
 
-(* Per-pass timing + transform-count events.  [Trace.span] runs the thunk
-   directly when tracing is off, so the disabled cost is one closure. *)
-let pass name count f =
-  Trace.span ("opt.pass." ^ name) ~post:(fun r -> [ ("transforms", Event.Int (count r)) ]) f
+(* Counters are re-resolved per use (not captured at module init) so they
+   stay attached to the registry across [Metric.reset_all]. *)
+let bump_pass name d =
+  Metric.incr (Metric.counter ("pass." ^ name ^ ".runs"));
+  let tr = Pass.transforms d in
+  if tr > 0 then Metric.add (Metric.counter ("pass." ^ name ^ ".transforms")) tr
 
-let count_cp (_, s) = s.Constprop.folded + s.Constprop.devirtualized + s.Constprop.branches_folded
-let count_snd (_, n) = n
+(* One invocation of one pass: a span with the pass's own transform count
+   and the size it produced ([Trace.span] runs the thunk directly when
+   tracing is off, so the disabled cost is one closure; the size fields are
+   only computed inside the enabled-only [post] callback). *)
+let exec_pass program ctx (p : Pass.t) size_in m =
+  let m, d =
+    Trace.span
+      ("opt.pass." ^ p.Pass.name)
+      ~post:(fun (m', d) ->
+        [
+          ("transforms", Event.Int (Pass.transforms d));
+          ("size_in", Event.Int (Lazy.force size_in));
+          ("size_out", Event.Int (Size.of_method m'));
+        ])
+      (fun () -> p.Pass.run program ctx m)
+  in
+  bump_pass p.Pass.name d;
+  (m, d)
 
-let run program config m =
+(* Interpret the plan.  Returns the per-item deltas alongside the method
+   and totals; [size_peak] is recorded right after the plan's inline item —
+   enabled or not, matching the historical trajectory for both the inlining
+   and the no-inlining configurations.  Plans without an inline item fall
+   back to the maximum size reached. *)
+let run_detailed program config m =
+  let ctx =
+    {
+      Pass.decider = config.decider;
+      hot_site = config.hot_site;
+      devirt_oracle = config.devirt_oracle;
+    }
+  in
   let size_before = Size.of_method m in
-  (* Round 0: profile-guided guarded devirtualization (adaptive recompiles
-     only) so monomorphic virtual sites become inlinable static calls. *)
-  let m, gstats =
-    match config.devirt_oracle with
-    | Some oracle ->
-      pass "guarded_devirt" (fun (_, s) -> s.Guarded_devirt.sites_guarded) (fun () ->
-          Guarded_devirt.run ~program ~oracle m)
-    | None -> (m, { Guarded_devirt.sites_guarded = 0 })
+  let track_max = not (Plan.has_item "inline" config.plan) in
+  let size_peak = ref (if track_max then size_before else -1) in
+  let deltas = ref [] in
+  let m =
+    Array.fold_left
+      (fun m (it : Plan.item) ->
+        let m =
+          if not it.Plan.enabled then m
+          else
+            match Pass.find it.Plan.pass with
+            | None -> m (* unreachable for validated plans *)
+            | Some p ->
+              if not (p.Pass.applicable ctx) then m
+              else begin
+                let iters =
+                  match Pass.find_knob p "iters" with
+                  | Some _ -> Plan.item_knob it "iters"
+                  | None -> 1
+                in
+                let m = ref m in
+                let acc = ref Pass.zero_delta in
+                for _ = 1 to iters do
+                  let before = !m in
+                  let size_in = lazy (Size.of_method before) in
+                  let m', d = exec_pass program ctx p size_in before in
+                  m := m';
+                  acc := Pass.add_delta !acc d
+                done;
+                deltas := (p.Pass.name, !acc) :: !deltas;
+                !m
+              end
+        in
+        if it.Plan.pass = "inline" && !size_peak < 0 then size_peak := Size.of_method m
+        else if track_max then size_peak := max !size_peak (Size.of_method m);
+        m)
+      m config.plan.Plan.items
   in
-  (* Round 1: make provable virtual dispatch static so the inliner sees it. *)
-  let m, cp1 =
-    if config.optimize then pass "constprop" count_cp (fun () -> Constprop.run program m)
-    else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
-  in
-  let m, istats =
-    if not config.inline_enabled then (m, Inline.fresh_stats ())
-    else
-      pass "inline" (fun (_, s) -> s.Inline.sites_inlined) (fun () ->
-          match (config.custom_inliner, config.policy) with
-          | Some decide, _ -> Inline.run_custom ~decide ~program m
-          | None, Some policy ->
-            Inline.run_policy ?hot_site:config.hot_site ~program ~policy m
-          | None, None ->
-            Inline.run ?hot_site:config.hot_site ~program ~heuristic:config.heuristic m)
-  in
-  let size_peak = Size.of_method m in
-  let m, cp2 =
-    if config.optimize then pass "constprop" count_cp (fun () -> Constprop.run program m)
-    else (m, { Constprop.folded = 0; devirtualized = 0; branches_folded = 0 })
-  in
-  let m, cse = if config.optimize then pass "cse" count_snd (fun () -> Cse.run m) else (m, 0) in
-  let m, copies =
-    if config.optimize then pass "copyprop" count_snd (fun () -> Copyprop.run m) else (m, 0)
-  in
-  let m, removed =
-    if config.optimize then pass "dce" count_snd (fun () -> Dce.run m) else (m, 0)
-  in
-  let m = pass "cleanup" (fun _ -> 0) (fun () -> Cleanup.run m) in
+  let size_after = Size.of_method m in
+  let size_peak = if !size_peak < 0 then size_after else !size_peak in
+  let total = List.fold_left (fun acc (_, d) -> Pass.add_delta acc d) Pass.zero_delta !deltas in
   let stats =
     {
       size_before;
       size_peak;
-      size_after = Size.of_method m;
-      sites_seen = istats.Inline.sites_seen;
-      sites_inlined = istats.Inline.sites_inlined;
-      hot_sites_seen = istats.Inline.hot_sites_seen;
-      hot_sites_inlined = istats.Inline.hot_sites_inlined;
-      sites_guarded = gstats.Guarded_devirt.sites_guarded;
-      folded = cp1.Constprop.folded + cp2.Constprop.folded;
-      devirtualized = cp1.Constprop.devirtualized + cp2.Constprop.devirtualized;
-      cse_replaced = cse;
-      copies_propagated = copies;
-      dce_removed = removed;
+      size_after;
+      sites_seen = total.Pass.d_sites_seen;
+      sites_inlined = total.Pass.d_sites_inlined;
+      hot_sites_seen = total.Pass.d_hot_sites_seen;
+      hot_sites_inlined = total.Pass.d_hot_sites_inlined;
+      sites_guarded = total.Pass.d_sites_guarded;
+      folded = total.Pass.d_folded;
+      devirtualized = total.Pass.d_devirtualized;
+      cse_replaced = total.Pass.d_cse_replaced;
+      copies_propagated = total.Pass.d_copies_propagated;
+      dce_removed = total.Pass.d_dce_removed;
     }
   in
   if Trace.enabled () then
@@ -164,4 +174,8 @@ let run program config m =
           ("folded", Event.Int stats.folded);
           ("dce_removed", Event.Int stats.dce_removed);
         ];
+  (m, stats, List.rev !deltas)
+
+let run program config m =
+  let m, stats, _ = run_detailed program config m in
   (m, stats)

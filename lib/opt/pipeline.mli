@@ -1,33 +1,34 @@
 open Inltune_jir
-(** The optimizing compiler's middle end: devirtualization, heuristic-driven
-    inlining, constant/copy propagation, DCE, CFG cleanup. *)
+(** The optimizing compiler's middle end: a thin interpreter over a
+    {!Plan.t} schedule of {!Pass.t} instances.  The default plan reproduces
+    the historical hard-coded order (devirtualization, decider-driven
+    inlining, constant/copy propagation, CSE, DCE, CFG cleanup)
+    bit-identically. *)
 
-type site_decision =
-  site_owner:Ir.mid ->
-  callee:Ir.mid ->
-  callee_size:int ->
-  inline_depth:int ->
-  caller_size:int ->
-  bool
+type site_decision = Decider.site_decision
 
 type config = {
-  heuristic : Heuristic.t;
-  inline_enabled : bool;
-  optimize : bool;
+  decider : Decider.t;   (** who decides each inline site *)
+  plan : Plan.t;         (** which passes run, in what order, how hard *)
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
       (** adaptive scenario: which call sites are profile-hot *)
-  policy : Policy.t option;
-      (** first-class policy replacing the heuristic (e.g. a learned tree) *)
-  custom_inliner : site_decision option;
-      (** bare decision closure; overrides both (e.g. the knapsack baseline) *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (** adaptive scenario: guard-devirtualize monomorphic virtual sites *)
 }
 
+(** The one constructor: [plan] defaults to {!Plan.default}. *)
+val make :
+  ?plan:Plan.t ->
+  ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
+  ?devirt_oracle:Guarded_devirt.site_oracle ->
+  Decider.t ->
+  config
+
 (** Standard optimizing configuration around a heuristic. *)
 val opt_config : ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) -> Heuristic.t -> config
 
-(** Optimizations on, inlining off (the paper's Fig. 1 baseline). *)
+(** Optimizations on, inlining off (the paper's Fig. 1 baseline): the
+    default plan with the inline item disabled. *)
 val no_inline_config : config
 
 (** Optimizations on, inlining decided per call site by [decide]. *)
@@ -39,7 +40,7 @@ val policy_config :
 
 type stats = {
   size_before : int;   (** size estimate of the input method *)
-  size_peak : int;     (** size right after inlining (compile-cost driver) *)
+  size_peak : int;     (** size right after the inline item (compile-cost driver) *)
   size_after : int;    (** size of the emitted code (I-cache driver) *)
   sites_seen : int;
   sites_inlined : int;
@@ -53,5 +54,12 @@ type stats = {
   dce_removed : int;
 }
 
-(** Optimize one method of [program].  Semantics-preserving. *)
+(** Optimize one method of [program] under the config's plan.
+    Semantics-preserving. *)
 val run : Ir.program -> config -> Ir.methd -> Ir.methd * stats
+
+(** Like {!run}, also returning one [(pass name, delta)] per executed plan
+    item, in execution order.  The field-wise sum of the deltas equals the
+    returned totals exactly (tests assert this). *)
+val run_detailed :
+  Ir.program -> config -> Ir.methd -> Ir.methd * stats * (string * Pass.delta) list

@@ -61,8 +61,7 @@ let baseline (plat : Platform.t) codespace m =
 (* The mid tier: dataflow optimizations without inlining — cheap linear
    compile time, decent code.  Used by the multi-level ladder scenario. *)
 let o1 (plat : Platform.t) codespace program m =
-  let config = { Pipeline.no_inline_config with Pipeline.heuristic = Heuristic.never } in
-  let code, _stats = Pipeline.run program config m in
+  let code, _stats = Pipeline.run program Pipeline.no_inline_config m in
   let size = Size.of_method m in
   let code_bytes = Size.code_bytes ~expansion:plat.Platform.o1_expansion code in
   let addr = Codespace.alloc codespace code_bytes in

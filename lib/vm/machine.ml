@@ -45,12 +45,13 @@ type config = {
       (* first-class inlining policy built against the VM's live profile at
          each (re)compile, so feature-driven policies (lib/policy) see
          current call-edge hotness; [custom_inliner] wins if both are set *)
+  plan : Plan.t;          (* optimizing-tier pass schedule *)
   fuel : int;             (* interpreter step budget per iteration *)
 }
 
 let config ?(inline_enabled = true) ?(optimize = true) ?(icache_enabled = true)
     ?(hot_path_enabled = true) ?(guarded_devirt_enabled = true) ?custom_inliner
-    ?policy_factory ?(fuel = 100_000_000) scenario heuristic =
+    ?policy_factory ?(plan = Plan.default) ?(fuel = 100_000_000) scenario heuristic =
   {
     scenario;
     heuristic;
@@ -61,6 +62,7 @@ let config ?(inline_enabled = true) ?(optimize = true) ?(icache_enabled = true)
     guarded_devirt_enabled;
     custom_inliner;
     policy_factory;
+    plan;
     fuel;
   }
 
@@ -138,15 +140,22 @@ let pipeline_config vm =
            ~edge_count:(fun ~site_owner ~callee ->
              Profile.edge_count vm.profile ~site_owner ~callee))
   in
-  {
-    Pipeline.heuristic = vm.cfg.heuristic;
-    inline_enabled = vm.cfg.inline_enabled;
-    optimize = vm.cfg.optimize;
-    hot_site;
-    policy = Option.map (fun f -> f vm.profile) vm.cfg.policy_factory;
-    custom_inliner = vm.cfg.custom_inliner;
-    devirt_oracle;
-  }
+  (* One decider per compile, same precedence the three legacy fields had:
+     custom closure over policy over heuristic.  A policy factory is applied
+     to the live profile here, so feature-driven policies see current
+     call-edge hotness at every (re)compile. *)
+  let decider =
+    match (vm.cfg.custom_inliner, vm.cfg.policy_factory) with
+    | Some decide, _ -> Decider.Custom decide
+    | None, Some f -> Decider.Policy (f vm.profile)
+    | None, None -> Decider.Heuristic vm.cfg.heuristic
+  in
+  (* The legacy ablation flags are plan edits: no inlining disables the
+     inline item, no optimization disables the dataflow items. *)
+  let plan = vm.cfg.plan in
+  let plan = if vm.cfg.inline_enabled then plan else Plan.disable "inline" plan in
+  let plan = if vm.cfg.optimize then plan else Plan.without_dataflow plan in
+  Pipeline.make ~plan ?hot_site ?devirt_oracle decider
 
 let trace_compile vm mid ~tier ~cycles ~recompile extra (c : Compile.compiled) =
   Trace.emit "vm.compile"

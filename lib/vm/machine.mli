@@ -32,6 +32,10 @@ type config = {
       (** first-class inlining policy, rebuilt against the VM's live profile
           at each (re)compile so feature-driven policies see current
           call-edge hotness; [custom_inliner] wins if both are set *)
+  plan : Plan.t;
+      (** optimizing-tier pass schedule (default {!Plan.default}); the
+          [inline_enabled] / [optimize] ablations apply on top as plan
+          edits at each compile *)
   fuel : int;                     (** interpreter step budget per iteration *)
 }
 
@@ -44,6 +48,7 @@ val config :
   ?guarded_devirt_enabled:bool ->
   ?custom_inliner:Pipeline.site_decision ->
   ?policy_factory:(Profile.t -> Policy.t) ->
+  ?plan:Plan.t ->
   ?fuel:int ->
   scenario ->
   Heuristic.t ->

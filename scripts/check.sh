@@ -98,6 +98,46 @@ grep -q '"identical_history":true' BENCH_tuner.json \
 sig_hits=$(sed -n 's/.*"sig_hits":\([0-9]*\).*/\1/p' BENCH_tuner.json)
 [ "${sig_hits:-0}" -gt 0 ] || { echo "expected sig_hits > 0, got ${sig_hits:-none}"; exit 1; }
 
+echo "== plan smoke =="
+# The pass-manager layer: the canonical plan text is a serialization
+# fixpoint, running under the explicit default plan prints exactly what the
+# implicit default prints, invalid plans die with a one-line error and exit
+# code 2, and the GA can evolve the plan itself.
+plan=$(mktemp -t inltune_plan.XXXXXX.txt)
+plan2=$(mktemp -t inltune_plan2.XXXXXX.txt)
+trap 'rm -f "$trace" "$faults" "$ckpt" "$ds" "$pol" "$pol2" "$plan" "$plan2"' EXIT
+dune exec --no-build bin/main.exe -- plan > "$plan"
+dune exec --no-build bin/main.exe -- plan "$plan" > "$plan2"
+cmp -s "$plan" "$plan2" || { echo "plan canonical form is not a serialization fixpoint"; exit 1; }
+implicit=$(dune exec --no-build bin/main.exe -- run compress -s opt)
+planned=$(dune exec --no-build bin/main.exe -- run compress -s opt --plan "$plan")
+[ "$implicit" = "$planned" ] || {
+  echo "run under the explicit default plan differs from the implicit default:"
+  echo "--- implicit ---"; echo "$implicit"
+  echo "--- planned ---"; echo "$planned"
+  exit 1
+}
+printf 'inltune-plan v1\npass warp_speed on\n' > "$plan"
+rc=0
+dune exec --no-build bin/main.exe -- run compress --plan "$plan" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "unknown-pass plan exited $rc, want 2"; exit 1; }
+printf 'inltune-plan v1\npass constprop on iters=99\n' > "$plan"
+rc=0
+dune exec --no-build bin/main.exe -- run compress --plan "$plan" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "out-of-range knob plan exited $rc, want 2"; exit 1; }
+dune exec --no-build bin/main.exe -- tune --tune-passes -s opt:tot --pop 4 -g 2 2> /dev/null \
+  | grep -q "best plan:" || { echo "tune --tune-passes printed no plan"; exit 1; }
+
+echo "== passes-bench smoke =="
+# bench passes asserts the default plan changes nothing (measurements and a
+# fixed-seed GA search are bit-identical) and runs a plan-genome GA; it exits
+# nonzero itself if any identity check fails.  Double-check the JSON.
+INLTUNE_POP=6 INLTUNE_GENS=2 dune exec --no-build bench/main.exe passes > /dev/null
+for flag in identical_measurements identical_best identical_history; do
+  grep -q "\"$flag\":true" BENCH_passes.json \
+    || { echo "BENCH_passes.json: $flag is not true"; exit 1; }
+done
+
 echo "== CLI error smoke =="
 # Bad flag values must die with a one-line error and exit code 2.
 rc=0

@@ -72,7 +72,7 @@ let test_fitcache_distinct_programs_distinct_keys () =
   let p1 = W.Suites.program bm_compress and p2 = W.Suites.program bm_db in
   let key p =
     Fitcache.key ~scenario:Machine.Opt ~platform:Platform.x86 ~heuristic:Heuristic.default
-      ~inline_enabled:true ~iterations:3 p
+      ~inline_enabled:true ~plan:Plan.default ~iterations:3 p
   in
   Alcotest.(check bool) "digests differ" true
     (Fitcache.program_digest p1 <> Fitcache.program_digest p2);
@@ -81,10 +81,14 @@ let test_fitcache_distinct_programs_distinct_keys () =
 let test_fitcache_signature_separates_decisions () =
   (* Heuristics with different decision vectors must not share a signature. *)
   let p = W.Suites.program bm_compress in
-  let s h = Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true p in
+  let s h =
+    Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true
+      ~plan:Plan.default p
+  in
   Alcotest.(check bool) "never <> default" true (s Heuristic.never <> s Heuristic.default);
   Alcotest.(check string) "inlining off merges everything" "off"
-    (Fitcache.signature ~scenario:Machine.Opt ~heuristic:Heuristic.never ~inline_enabled:false p)
+    (Fitcache.signature ~scenario:Machine.Opt ~heuristic:Heuristic.never ~inline_enabled:false
+       ~plan:Plan.default p)
 
 let test_fitcache_inert_param_merges_soundly () =
   (* Under Opt the hot-site path is never consulted, so HOT_CALLEE_MAX_SIZE
@@ -93,7 +97,10 @@ let test_fitcache_inert_param_merges_soundly () =
      bit-identically even with the cache off. *)
   let p = W.Suites.program bm_compress in
   let h2 = { Heuristic.default with Heuristic.hot_callee_max_size = 17 } in
-  let s h = Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true p in
+  let s h =
+    Fitcache.signature ~scenario:Machine.Opt ~heuristic:h ~inline_enabled:true
+      ~plan:Plan.default p
+  in
   Alcotest.(check string) "signatures merge" (s Heuristic.default) (s h2);
   with_clean_fitcache (fun () ->
       Fitcache.set_enabled false;
@@ -137,7 +144,8 @@ let test_fitcache_file_round_trip () =
           let p = W.Suites.program bm_db in
           Alcotest.(check bool) "entry reloaded from disk" true
             (Fitcache.mem ~scenario:Machine.Adapt ~platform:Platform.x86
-               ~heuristic:Heuristic.default ~inline_enabled:true ~iterations:3 p);
+               ~heuristic:Heuristic.default ~inline_enabled:true ~plan:Plan.default
+               ~iterations:3 p);
           let s0 = metric "measure.simulations" in
           let m2 =
             Measure.run ~scenario:Machine.Adapt ~platform:Platform.x86
@@ -170,7 +178,8 @@ let test_fitcache_corrupt_file_skipped () =
           let p = W.Suites.program bm_db in
           Alcotest.(check bool) "good entry survives corrupt neighbours" true
             (Fitcache.mem ~scenario:Machine.Opt ~platform:Platform.x86
-               ~heuristic:Heuristic.default ~inline_enabled:true ~iterations:3 p)))
+               ~heuristic:Heuristic.default ~inline_enabled:true ~plan:Plan.default
+               ~iterations:3 p)))
 
 let test_fitcache_ga_bit_transparent () =
   (* The tentpole invariant: the same fixed-seed GA, cache off vs on, must

@@ -5,6 +5,7 @@ let () =
       ("obs", Test_obs.suite);
       ("jir", Test_jir.suite);
       ("opt", Test_opt.suite);
+      ("plan", Test_plan.suite);
       ("vm", Test_vm.suite);
       ("workloads", Test_workloads.suite);
       ("shapes", Test_shapes.suite);
