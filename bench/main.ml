@@ -8,11 +8,13 @@
        dune exec bench/main.exe policy          # GA-vs-learned policy comparison
        dune exec bench/main.exe tuner           # fitness-cache off/on protocol
        dune exec bench/main.exe passes          # plan-interpreter identity + plan GA
+       dune exec bench/main.exe vm              # VM throughput trajectory -> BENCH_vm.json
        dune exec bench/main.exe micro           # just the micro-benchmarks
 
    Environment knobs (for bigger GA budgets):
        INLTUNE_POP (default 16), INLTUNE_GENS (default 12),
-       INLTUNE_SEED (default 42). *)
+       INLTUNE_SEED (default 42); for the vm bench,
+       INLTUNE_VM_REPEATS (default 3), INLTUNE_VM_ITERS (default 3). *)
 
 open Inltune_core
 open Inltune_vm
@@ -647,6 +649,129 @@ let passes_bench () =
     exit 1
   end
 
+(* ---- VM throughput trajectory bench -------------------------------------- *)
+
+(* ROADMAP item 5's trajectory: interpreter throughput (simulated cycles per
+   host second) and per-simulation latency percentiles on a fixed workload
+   (the generated SPECjvm98 suite is internally seeded, so every run
+   simulates exactly the same programs).  Direct [Machine] runs — no
+   Fitcache, no memo — so the numbers are pure simulator cost.  Results land
+   in BENCH_vm.json so every future hot-path speedup shows up as a
+   trajectory across runs rather than being claimed once.
+
+   Environment knobs: INLTUNE_VM_REPEATS (timed simulations per benchmark x
+   scenario, default 3), INLTUNE_VM_ITERS (VM iterations per simulation,
+   default 3). *)
+let vm_bench () =
+  print_endline "==== VM bench: interpreter throughput trajectory ====\n";
+  let repeats = max 1 (env_int "INLTUNE_VM_REPEATS" 3) in
+  let iterations = max 2 (env_int "INLTUNE_VM_ITERS" 3) in
+  let scenarios = [ ("opt", Machine.Opt); ("adapt", Machine.Adapt) ] in
+  let suite = W.Suites.spec in
+  let now = Inltune_support.Pool.now in
+  (* One simulation: fresh VM, [iterations] runs of main.  Returns
+     (wall seconds, simulated cycles, interpreter steps). *)
+  let simulate scen p =
+    let t0 = now () in
+    let vm = Machine.create (Machine.config scen Heuristic.default) Platform.x86 p in
+    for _ = 1 to iterations do
+      ignore (Machine.run_iteration vm : Machine.iteration)
+    done;
+    (now () -. t0, vm.Machine.exec_cycles + vm.Machine.compile_cycles, vm.Machine.steps)
+  in
+  let t =
+    Table.create ~title:"VM throughput (simulated cycles and steps per host second)"
+      ~header:
+        [| "scenario"; "sims"; "cycles/s"; "steps/s"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" |]
+      ~aligns:
+        [|
+          Table.Left;
+          Table.Right;
+          Table.Right;
+          Table.Right;
+          Table.Right;
+          Table.Right;
+          Table.Right;
+          Table.Right;
+        |]
+  in
+  let all_lat = ref [] in
+  let all_wall = ref 0.0 and all_cycles = ref 0 and all_steps = ref 0 in
+  let per_scenario =
+    List.map
+      (fun (sname, scen) ->
+        let lats = ref [] in
+        let wall = ref 0.0 and cycles = ref 0 and steps = ref 0 in
+        List.iter
+          (fun bm ->
+            let p = W.Suites.program bm in
+            (* Warmup untimed: first touch pays generation/validation costs
+               that are not interpreter throughput. *)
+            ignore (simulate scen p);
+            for _ = 1 to repeats do
+              let w, c, s = simulate scen p in
+              lats := w :: !lats;
+              wall := !wall +. w;
+              cycles := !cycles + c;
+              steps := !steps + s
+            done)
+          suite;
+        let lat = Array.of_list !lats in
+        let pct p = Stats.percentile lat p *. 1e3 in
+        let per_s v = Float.of_int v /. Float.max 1e-9 !wall in
+        Table.add_row t
+          [|
+            sname;
+            string_of_int (Array.length lat);
+            Printf.sprintf "%.3e" (per_s !cycles);
+            Printf.sprintf "%.3e" (per_s !steps);
+            Table.fmt_float (pct 50.0);
+            Table.fmt_float (pct 90.0);
+            Table.fmt_float (pct 99.0);
+            Table.fmt_float (Stats.max_of lat *. 1e3);
+          |];
+        all_lat := !lats @ !all_lat;
+        all_wall := !all_wall +. !wall;
+        all_cycles := !all_cycles + !cycles;
+        all_steps := !all_steps + !steps;
+        (sname, per_s !cycles, per_s !steps, pct 50.0, pct 90.0, pct 99.0))
+      scenarios
+  in
+  let lat = Array.of_list !all_lat in
+  let pct p = Stats.percentile lat p *. 1e3 in
+  let per_s v = Float.of_int v /. Float.max 1e-9 !all_wall in
+  Table.add_rule t;
+  Table.add_row t
+    [|
+      "overall";
+      string_of_int (Array.length lat);
+      Printf.sprintf "%.3e" (per_s !all_cycles);
+      Printf.sprintf "%.3e" (per_s !all_steps);
+      Table.fmt_float (pct 50.0);
+      Table.fmt_float (pct 90.0);
+      Table.fmt_float (pct 99.0);
+      Table.fmt_float (Stats.max_of lat *. 1e3);
+    |];
+  Table.print t;
+  print_newline ();
+  let oc = open_out "BENCH_vm.json" in
+  let scenario_json (sname, cps, sps, p50, p90, p99) =
+    Printf.sprintf
+      "\"%s\":{\"cycles_per_second\":%.1f,\"steps_per_second\":%.1f,\
+       \"sim_latency_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f}}"
+      sname cps sps p50 p90 p99
+  in
+  Printf.fprintf oc
+    "{\"benchmarks\":%d,\"repeats\":%d,\"iterations\":%d,\
+     \"overall\":{\"cycles_per_second\":%.1f,\"steps_per_second\":%.1f,\
+     \"sim_latency_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f}},\
+     \"scenarios\":{%s}}\n"
+    (List.length suite) repeats iterations (per_s !all_cycles) (per_s !all_steps) (pct 50.0)
+    (pct 90.0) (pct 99.0)
+    (String.concat "," (List.map scenario_json per_scenario));
+  close_out oc;
+  print_endline "wrote BENCH_vm.json\n"
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -758,11 +883,13 @@ let () =
     policy_comparison ();
     tuner_bench ();
     passes_bench ();
+    vm_bench ();
     micro ()
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
   | "policy" -> policy_comparison ()
   | "tuner" -> tuner_bench ()
   | "passes" -> passes_bench ()
+  | "vm" -> vm_bench ()
   | "micro" -> micro ()
   | id -> Experiments.run_one ctx id

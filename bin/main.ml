@@ -136,6 +136,21 @@ let setup_trace = function
       exit 1)
   | None -> Inltune_obs.Trace.init_from_env ()
 
+let profile_arg =
+  let doc =
+    "Enable the hierarchical wall-time profiler and print its table (self vs. cumulative \
+     time per span, exact p50/p90/p99) to stderr at exit.  Never perturbs measurements: \
+     simulated cycle counts and GA history are bit-identical with or without it.  \
+     Overrides $(b,INLTUNE_PROFILE)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let setup_profile = function
+  | true ->
+    Inltune_obs.Prof.enable ();
+    Inltune_obs.Prof.report_at_exit ()
+  | false -> Inltune_obs.Prof.init_from_env ()
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -184,8 +199,9 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run bench scenario platform hstring iterations planfile trace =
+  let run bench scenario platform hstring iterations planfile trace profile =
     setup_trace trace;
+    setup_profile profile;
     let bm = find_bench bench in
     let plat = platform_of_flag platform in
     let scen = scenario_of_flag scenario in
@@ -215,7 +231,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark and report times")
     Term.(
       const run $ bench_arg $ scenario_arg $ platform_arg $ heuristic_arg $ iters $ plan_arg
-      $ trace_arg)
+      $ trace_arg $ profile_arg)
 
 (* --- tune ---------------------------------------------------------------- *)
 
@@ -241,10 +257,43 @@ let max_retries_arg =
   in
   Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
 
+(* The --progress reporter: one stderr line per generation with the search
+   telemetry (diversity, cache hit rate, pool utilization) and an ETA
+   extrapolated from the per-generation wall times so far.  gens + 1 total
+   because generation 0 is evaluated too. *)
+let progress_reporter ~gens =
+  let t0 = Inltune_support.Pool.now () in
+  fun (s : Inltune_ga.Evolve.gen_stats) ->
+    let total = gens + 1 in
+    let finished = min total (s.Inltune_ga.Evolve.g_gen + 1) in
+    let elapsed = Inltune_support.Pool.now () -. t0 in
+    let eta =
+      if finished >= total then 0.0
+      else elapsed /. Float.of_int finished *. Float.of_int (total - finished)
+    in
+    let hit_pct =
+      let denom = s.Inltune_ga.Evolve.g_cache_hits + s.Inltune_ga.Evolve.g_evals in
+      if denom = 0 then 0.0
+      else 100.0 *. Float.of_int s.Inltune_ga.Evolve.g_cache_hits /. Float.of_int denom
+    in
+    let util =
+      let busy = Float.of_int s.Inltune_ga.Evolve.g_busy_ns in
+      let idle = Float.of_int s.Inltune_ga.Evolve.g_idle_ns in
+      if busy +. idle <= 0.0 then "  - " else Printf.sprintf "%3.0f%%" (100.0 *. busy /. (busy +. idle))
+    in
+    Printf.eprintf
+      "[inltune] gen %2d/%d  best %.4f  mean %.4f  div %.2f  fresh %3d  hit %5.1f%%  quar %2d  \
+       stolen %4d  util %s  %5.2fs/gen  eta %.0fs\n%!"
+      s.Inltune_ga.Evolve.g_gen gens s.Inltune_ga.Evolve.g_best s.Inltune_ga.Evolve.g_mean
+      s.Inltune_ga.Evolve.g_diversity s.Inltune_ga.Evolve.g_fresh hit_pct
+      s.Inltune_ga.Evolve.g_quarantined s.Inltune_ga.Evolve.g_stolen util
+      s.Inltune_ga.Evolve.g_wall_s eta
+
 let tune_cmd =
   let run scenario pop gens seed max_retries domains fcache checkpoint resume planfile
-      tune_passes trace =
+      tune_passes trace profile progress =
     setup_trace trace;
+    setup_profile profile;
     let domains = domains_of_flag domains in
     setup_fitness_cache fcache;
     let id = tuner_scenario_of_flag scenario in
@@ -257,6 +306,10 @@ let tune_cmd =
         p.Inltune_ga.Evolve.generation p.Inltune_ga.Evolve.best_fitness
         p.Inltune_ga.Evolve.mean_fitness p.Inltune_ga.Evolve.evaluations
     in
+    (* --progress upgrades the basic per-generation line to the telemetry
+       reporter; exactly one of the two prints. *)
+    let on_generation = if progress then None else Some on_generation in
+    let on_stats = if progress then Some (progress_reporter ~gens) else None in
     let report_ga (ga : Inltune_ga.Evolve.result) =
       Printf.printf "distinct evaluations: %d (cache hits: %d)\n"
         ga.Inltune_ga.Evolve.evaluations ga.Inltune_ga.Evolve.cache_hits;
@@ -267,7 +320,8 @@ let tune_cmd =
     in
     if tune_passes then begin
       let o =
-        Tuner.tune_plan ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains id
+        Tuner.tune_plan ~budget ?on_generation ?on_stats ?checkpoint ?resume ~max_retries
+          ?domains id
       in
       Printf.printf "scenario: %s\n" o.Tuner.p_spec.Tuner.label;
       (match o.Tuner.p_degraded with
@@ -280,7 +334,8 @@ let tune_cmd =
     end
     else begin
       let o =
-        Tuner.tune ~budget ~on_generation ?checkpoint ?resume ~max_retries ?domains ?plan id
+        Tuner.tune ~budget ?on_generation ?on_stats ?checkpoint ?resume ~max_retries ?domains
+          ?plan id
       in
       Printf.printf "scenario: %s\n" o.Tuner.spec.Tuner.label;
       (match o.Tuner.degraded with
@@ -309,10 +364,20 @@ let tune_cmd =
             "Co-evolve the optimization plan (pass toggles, strengths, payoff-pass order) \
              together with the five heuristic parameters, over the composite plan genome.")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Live search telemetry on stderr: one line per generation with best/mean fitness, \
+             population diversity, fresh evaluations, cache hit rate, quarantine size, pool \
+             steal counts and utilization, per-generation wall time, and an ETA.")
+  in
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
     Term.(
       const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ domains_arg
-      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ plan_arg $ tune_passes $ trace_arg)
+      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ plan_arg $ tune_passes $ trace_arg
+      $ profile_arg $ progress)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
@@ -453,32 +518,50 @@ let search_cmd =
 (* --- trace-summary --------------------------------------------------------- *)
 
 let trace_summary_cmd =
-  let run path =
-    let records, malformed = Inltune_obs.Summary.load_file path in
+  let run path folded =
+    (* A string positional, not [Arg.file]: a missing trace must follow the
+       CLI error convention (one stderr line, exit 2), not cmdliner's parse
+       error and exit 124. *)
+    let records, malformed =
+      try Inltune_obs.Summary.load_file path
+      with Sys_error msg -> die "cannot read trace file: %s" msg
+    in
     if malformed > 0 then
       Printf.eprintf "warning: skipped %d malformed line(s) in %s\n%!" malformed path;
-    (* Counter-only traces (every sink flushes metric snapshots on close) must
-       say so explicitly, not render a counters table that looks like a run. *)
-    if not (Inltune_obs.Summary.has_events records) then
-      Printf.printf "no trace events in %s%s\n" path
-        (if records = [] then "" else " (counters only)");
-    match Inltune_obs.Summary.tables records with
-    | [] -> ()
-    | tables ->
-      if not (Inltune_obs.Summary.has_events records) then print_newline ();
-      List.iteri
-        (fun i t ->
-          if i > 0 then print_newline ();
-          Inltune_support.Table.print t)
-        tables
+    if folded then
+      List.iter print_endline (Inltune_obs.Summary.folded records)
+    else begin
+      (* Counter-only traces (every sink flushes metric snapshots on close) must
+         say so explicitly, not render a counters table that looks like a run. *)
+      if not (Inltune_obs.Summary.has_events records) then
+        Printf.printf "no trace events in %s%s\n" path
+          (if records = [] then "" else " (counters only)");
+      match Inltune_obs.Summary.tables records with
+      | [] -> ()
+      | tables ->
+        if not (Inltune_obs.Summary.has_events records) then print_newline ();
+        List.iteri
+          (fun i t ->
+            if i > 0 then print_newline ();
+            Inltune_support.Table.print t)
+          tables
+    end
   in
   let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+  in
+  let folded =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:
+            "Emit folded-stack lines ('path;to;span <self-µs>') from the trace's profile \
+             nodes instead of tables; pipe into flamegraph.pl or inferno-flamegraph.")
   in
   Cmd.v
     (Cmd.info "trace-summary"
        ~doc:"Aggregate a JSONL trace (from --trace or INLTUNE_TRACE) into report tables")
-    Term.(const run $ path)
+    Term.(const run $ path $ folded)
 
 (* --- learned policies ------------------------------------------------------ *)
 

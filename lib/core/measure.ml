@@ -37,9 +37,44 @@ let run ?(iterations = 3) ?(inline_enabled = true) ?(plan = Plan.default) ~scena
     let cfg = Machine.config ~inline_enabled ~plan scenario heuristic in
     Runner.measure ~iterations cfg platform prog
   in
-  of_measurement
-    (Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations
-       ~program:prog simulate)
+  if not (Inltune_obs.Prof.enabled ()) then
+    of_measurement
+      (Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations
+         ~program:prog simulate)
+  else begin
+    (* Profiled path: same calls, plus a "fitness.eval" span whose self time
+       is exactly the Fitcache lookup overhead (simulation time lands in the
+       nested "vm.execute"), and a per-evaluation breakdown event splitting
+       wall time into simulate vs. cache bookkeeping. *)
+    let module Trace = Inltune_obs.Trace in
+    let module Event = Inltune_obs.Event in
+    let sim_wall = ref 0.0 in
+    let simulate () =
+      let t0 = Trace.now () in
+      let m = simulate () in
+      sim_wall := Trace.now () -. t0;
+      m
+    in
+    let wall = ref 0.0 in
+    let m =
+      Inltune_obs.Prof.span "fitness.eval" ~on_time:(fun dt -> wall := dt) (fun () ->
+          Fitcache.lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan
+            ~iterations ~program:prog simulate)
+    in
+    Inltune_obs.Metric.observe (Inltune_obs.Metric.histogram "fitness.eval_us") (!wall *. 1e6);
+    if Trace.enabled () then
+      Trace.emit "fitness.breakdown"
+        ~fields:
+          [
+            ("prog", Event.Str bm.Workloads.Suites.bname);
+            ("scenario", Event.Str (Machine.scenario_name scenario));
+            ("simulated", Event.Bool (!sim_wall > 0.0));
+            ("wall_us", Event.Float (!wall *. 1e6));
+            ("sim_us", Event.Float (!sim_wall *. 1e6));
+            ("cache_us", Event.Float (Float.max 0.0 (!wall -. !sim_wall) *. 1e6));
+          ];
+    of_measurement m
+  end
 
 (* Measurements with the default (Jikes) heuristic are requested constantly —
    every normalized bar divides by one — so memoize the [times] value itself

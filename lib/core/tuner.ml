@@ -82,7 +82,7 @@ let best_or_default gu (ga : Ga.Evolve.result) =
    goes through the flat genome × benchmark grid ([Evolve.run ?grid]) so
    fresh simulations saturate the domain pool; the scalar [fitness] is still
    supplied for interface compatibility and produces bit-identical values. *)
-let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
+let tune ?(budget = default_budget) ?on_generation ?on_stats ?(suite = Workloads.Suites.spec)
     ?checkpoint ?resume ?(max_retries = 1) ?domains ?plan id =
   let spec = spec_of id in
   let fitness =
@@ -104,8 +104,8 @@ let tune ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.sp
   in
   let gu = guard ~max_retries in
   let ga =
-    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~grid ~spec:Params.genome_spec
-      ~params ~fitness ()
+    Ga.Evolve.run ?on_generation ?on_stats ?checkpoint ?resume ~guard:gu ~grid
+      ~spec:Params.genome_spec ~params ~fitness ()
   in
   {
     spec;
@@ -137,8 +137,8 @@ let plan_best_or_default gu (ga : Ga.Evolve.result) =
   then Params.split_plan_genome ga.Ga.Evolve.best
   else (Heuristic.default, Plan.default)
 
-let tune_plan ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suites.spec)
-    ?checkpoint ?resume ?(max_retries = 1) ?domains id =
+let tune_plan ?(budget = default_budget) ?on_generation ?on_stats
+    ?(suite = Workloads.Suites.spec) ?checkpoint ?resume ?(max_retries = 1) ?domains id =
   let spec = spec_of id in
   let fitness =
     Objective.plan_genome_fitness ~suite ~scenario:spec.scenario ~platform:spec.platform
@@ -159,7 +159,7 @@ let tune_plan ?(budget = default_budget) ?on_generation ?(suite = Workloads.Suit
   in
   let gu = guard ~max_retries in
   let ga =
-    Ga.Evolve.run ?on_generation ?checkpoint ?resume ~guard:gu ~grid
+    Ga.Evolve.run ?on_generation ?on_stats ?checkpoint ?resume ~guard:gu ~grid
       ~spec:Params.plan_genome_spec ~params ~fitness ()
   in
   let heuristic, plan = plan_best_or_default gu ga in

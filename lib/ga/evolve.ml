@@ -94,6 +94,26 @@ type progress = {
   evaluations : int;  (* cumulative distinct evaluations so far *)
 }
 
+(* Search telemetry, one record per generation.  Deliberately separate from
+   [progress]: progress maps 1:1 onto checkpoint entries and is part of the
+   bit-identity contract (resume must reproduce it exactly), whereas these
+   numbers include wall-clock and pool readings that legitimately vary
+   between runs. *)
+type gen_stats = {
+  g_gen : int;
+  g_best : float;
+  g_mean : float;
+  g_evals : int;        (* cumulative distinct evaluations *)
+  g_fresh : int;        (* distinct genomes evaluated this generation *)
+  g_cache_hits : int;   (* cumulative memo-cache hits *)
+  g_diversity : float;  (* distinct genotypes / pop_size, in (0, 1] *)
+  g_quarantined : int;  (* quarantine size so far *)
+  g_stolen : int;       (* pool chunks stolen by workers this generation *)
+  g_idle_ns : int;      (* pool worker idle time this generation *)
+  g_busy_ns : int;      (* pool worker busy time this generation *)
+  g_wall_s : float;     (* wall time of this generation *)
+}
+
 type result = {
   best : int array;
   best_fitness : float;
@@ -140,7 +160,7 @@ let entry_progress (e : Checkpoint.entry) =
     evaluations = e.Checkpoint.e_evals;
   }
 
-let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness () =
+let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness () =
   if params.pop_size < 2 then invalid_arg "Evolve.run: population too small";
   if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
   if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
@@ -157,6 +177,14 @@ let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness (
   (* Failure rate of the most recent evaluate_all, for the degradation check. *)
   let last_failed = ref 0 in
   let last_attempted = ref 0 in
+  (* Fresh-genome count of the most recent evaluate_all, for telemetry. *)
+  let last_fresh = ref 0 in
+  (* Pool-counter high-water marks so telemetry reports per-generation
+     deltas; reads only, so profiling/telemetry cannot perturb the search. *)
+  let prev_stolen = ref (Metric.value (Metric.counter "pool.tasks_stolen")) in
+  let prev_idle = ref (Metric.value (Metric.counter "pool.idle_ns")) in
+  let prev_busy = ref (Metric.value (Metric.counter "pool.busy_ns")) in
+  let last_t = ref t_start in
   let evaluate_all pop =
     (* Partition into cached and new genotypes; evaluate the new ones in
        parallel, then read everything from the cache. *)
@@ -173,6 +201,7 @@ let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness (
     let todo = Hashtbl.fold (fun _ g acc -> g :: acc) fresh [] |> Array.of_list in
     (* Sort for a deterministic evaluation order independent of hashing. *)
     Array.sort compare todo;
+    last_fresh := Array.length todo;
     (* Grid mode flattens fresh genomes × benchmarks into independent pool
        cells; [flat] builds that cell array in genome-major, axis order. *)
     let flat gr =
@@ -361,7 +390,42 @@ let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness (
       }
     in
     history := p :: !history;
-    if Trace.enabled () then
+    (* Telemetry is computed only when someone is listening; it reads
+       counters and clocks but never writes search state. *)
+    let stats =
+      if Option.is_none on_stats && not (Trace.enabled ()) then None
+      else begin
+        let now = Trace.now () in
+        let stolen = Metric.value (Metric.counter "pool.tasks_stolen") in
+        let idle = Metric.value (Metric.counter "pool.idle_ns") in
+        let busy = Metric.value (Metric.counter "pool.busy_ns") in
+        let distinct = Hashtbl.create 16 in
+        Array.iter (fun g -> Hashtbl.replace distinct (Genome.key g) ()) !pop;
+        let s =
+          {
+            g_gen = gen;
+            g_best = !best_fit;
+            g_mean = p.mean_fitness;
+            g_evals = !evaluations;
+            g_fresh = !last_fresh;
+            g_cache_hits = !cache_hits;
+            g_diversity = Float.of_int (Hashtbl.length distinct) /. Float.of_int params.pop_size;
+            g_quarantined = Hashtbl.length quarantine;
+            g_stolen = stolen - !prev_stolen;
+            g_idle_ns = idle - !prev_idle;
+            g_busy_ns = busy - !prev_busy;
+            g_wall_s = now -. !last_t;
+          }
+        in
+        prev_stolen := stolen;
+        prev_idle := idle;
+        prev_busy := busy;
+        last_t := now;
+        Some s
+      end
+    in
+    if Trace.enabled () then begin
+      let s = Option.get stats in
       Trace.emit "ga.generation"
         ~fields:
           [
@@ -371,7 +435,16 @@ let run ?on_generation ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness (
             ("evals", Event.Int p.evaluations);
             ("cache_hits", Event.Int !cache_hits);
             ("wall_s", Event.Float (Trace.now () -. t_start));
-          ];
+            ("fresh", Event.Int s.g_fresh);
+            ("diversity", Event.Float s.g_diversity);
+            ("quarantined", Event.Int s.g_quarantined);
+            ("stolen", Event.Int s.g_stolen);
+            ("idle_ns", Event.Int s.g_idle_ns);
+            ("busy_ns", Event.Int s.g_busy_ns);
+            ("gen_wall_s", Event.Float s.g_wall_s);
+          ]
+    end;
+    (match on_stats, stats with Some f, Some s -> f s | _ -> ());
     match on_generation with Some f -> f p | None -> ()
   in
   let write_ckpt gen =

@@ -23,6 +23,10 @@ type histogram = {
   (* log2 buckets: bucket 0 holds values < 1, bucket i (i >= 1) holds
      values in [2^(i-1), 2^i); the last bucket is a catch-all. *)
   buckets : int array;
+  (* Every observation, kept so snapshots can report exact percentiles.
+     Histograms record per-compile / per-simulation values — thousands per
+     run, not millions — so unbounded retention is cheap and honest. *)
+  samples : float Inltune_support.Vec.t;
 }
 
 let registry_mu = Mutex.create ()
@@ -57,6 +61,7 @@ let histogram name =
             min_v = infinity;
             max_v = neg_infinity;
             buckets = Array.make hist_buckets 0;
+            samples = Inltune_support.Vec.create ();
           }
         in
         Hashtbl.add histograms name h;
@@ -74,7 +79,8 @@ let observe h v =
       if v < h.min_v then h.min_v <- v;
       if v > h.max_v then h.max_v <- v;
       let b = bucket_of v in
-      h.buckets.(b) <- h.buckets.(b) + 1)
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      Inltune_support.Vec.push h.samples v)
 
 type hist_snapshot = {
   hs_name : string;
@@ -83,10 +89,21 @@ type hist_snapshot = {
   hs_min : float;
   hs_max : float;
   hs_buckets : int array;
+  (* Exact nearest-rank percentiles over every observation; [nan] when the
+     histogram is empty. *)
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
 }
 
 let snapshot h =
   Mutex.protect h.mu (fun () ->
+      let pct =
+        if h.count = 0 then fun _ -> Float.nan
+        else
+          let xs = Inltune_support.Vec.to_array h.samples in
+          Inltune_support.Stats.percentile xs
+      in
       {
         hs_name = h.hname;
         hs_count = h.count;
@@ -94,6 +111,9 @@ let snapshot h =
         hs_min = h.min_v;
         hs_max = h.max_v;
         hs_buckets = Array.copy h.buckets;
+        hs_p50 = pct 50.0;
+        hs_p90 = pct 90.0;
+        hs_p99 = pct 99.0;
       })
 
 let counters_snapshot () =

@@ -28,6 +28,11 @@ type hist_snapshot = {
   hs_min : float;
   hs_max : float;
   hs_buckets : int array;
+  (** Exact nearest-rank percentiles over every observation so far;
+      [nan] when the histogram is empty. *)
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
 }
 
 val snapshot : histogram -> hist_snapshot

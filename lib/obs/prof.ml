@@ -1,0 +1,200 @@
+(* Hierarchical wall-time profiler.  See prof.mli for the contract.
+
+   Per-domain state is one DLS string ref holding the current span path;
+   nodes live in a global path-keyed table guarded by a single mutex that is
+   taken once per span *exit* (not per clock read), so contention is bounded
+   by span rate, which is per-compile / per-simulation. *)
+
+module Vec = Inltune_support.Vec
+module Stats = Inltune_support.Stats
+module Table = Inltune_support.Table
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* Current span path of the calling domain; "" at top level.  A worker
+   domain starts fresh, so spans recorded inside pool tasks root at the
+   task's outermost span regardless of which domain ran it — that is what
+   keeps the merged tree shape independent of the domain count. *)
+let path_key = Domain.DLS.new_key (fun () -> ref "")
+
+type node = {
+  path : string;
+  label : string;
+  mutable calls : int;
+  mutable total_s : float;
+  samples : float Vec.t;
+}
+
+let mu = Mutex.create ()
+let nodes : (string, node) Hashtbl.t = Hashtbl.create 32
+
+let record path label dt =
+  Mutex.protect mu (fun () ->
+      let n =
+        match Hashtbl.find_opt nodes path with
+        | Some n -> n
+        | None ->
+          let n = { path; label; calls = 0; total_s = 0.0; samples = Vec.create () } in
+          Hashtbl.add nodes path n;
+          n
+      in
+      n.calls <- n.calls + 1;
+      n.total_s <- n.total_s +. dt;
+      Vec.push n.samples dt)
+
+let span ?on_time label f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let cur = Domain.DLS.get path_key in
+    let parent = !cur in
+    let path = if parent = "" then label else parent ^ ";" ^ label in
+    cur := path;
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | r ->
+      let dt = Unix.gettimeofday () -. t0 in
+      cur := parent;
+      record path label dt;
+      (match on_time with None -> () | Some g -> g dt);
+      r
+    | exception e ->
+      cur := parent;
+      raise e
+  end
+
+type node_snapshot = {
+  n_path : string;
+  n_label : string;
+  n_depth : int;
+  n_calls : int;
+  n_total_s : float;
+  n_self_s : float;
+  n_p50_s : float;
+  n_p90_s : float;
+  n_p99_s : float;
+  n_max_s : float;
+}
+
+let depth_of path =
+  String.fold_left (fun d c -> if c = ';' then d + 1 else d) 0 path
+
+let parent_of path =
+  match String.rindex_opt path ';' with
+  | None -> None
+  | Some i -> Some (String.sub path 0 i)
+
+let snapshot () =
+  (* Copy under the mutex so concurrent span exits can't tear a node. *)
+  let raw =
+    Mutex.protect mu (fun () ->
+        Hashtbl.fold
+          (fun _ n acc -> (n.path, n.label, n.calls, n.total_s, Vec.to_array n.samples) :: acc)
+          nodes [])
+    |> List.sort compare
+  in
+  (* Sum of direct-children cumulative time per parent path, for self time. *)
+  let child_total : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (path, _, _, total, _) ->
+      match parent_of path with
+      | None -> ()
+      | Some p ->
+        let cur = Option.value (Hashtbl.find_opt child_total p) ~default:0.0 in
+        Hashtbl.replace child_total p (cur +. total))
+    raw;
+  List.map
+    (fun (path, label, calls, total, samples) ->
+      let kids = Option.value (Hashtbl.find_opt child_total path) ~default:0.0 in
+      let pct = Stats.percentile samples in
+      {
+        n_path = path;
+        n_label = label;
+        n_depth = depth_of path;
+        n_calls = calls;
+        n_total_s = total;
+        n_self_s = Float.max 0.0 (total -. kids);
+        n_p50_s = pct 50.0;
+        n_p90_s = pct 90.0;
+        n_p99_s = pct 99.0;
+        n_max_s = Stats.max_of samples;
+      })
+    raw
+
+let folded () =
+  List.filter_map
+    (fun n ->
+      let us = Float.to_int (Float.round (n.n_self_s *. 1e6)) in
+      if us <= 0 then None else Some (Printf.sprintf "%s %d" n.n_path us))
+    (snapshot ())
+
+let table () =
+  let t =
+    Table.create ~title:"Profile (wall time, self vs. cumulative)"
+      ~header:[| "span"; "calls"; "total ms"; "self ms"; "p50 us"; "p90 us"; "p99 us"; "max us" |]
+      ~aligns:Table.[| Left; Right; Right; Right; Right; Right; Right; Right |]
+  in
+  let us v = Table.fmt_float ~digits:1 (v *. 1e6) in
+  List.iter
+    (fun n ->
+      Table.add_row t
+        [|
+          String.make (2 * n.n_depth) ' ' ^ n.n_label;
+          string_of_int n.n_calls;
+          Table.fmt_float (n.n_total_s *. 1e3);
+          Table.fmt_float (n.n_self_s *. 1e3);
+          us n.n_p50_s;
+          us n.n_p90_s;
+          us n.n_p99_s;
+          us n.n_max_s;
+        |])
+    (snapshot ());
+  t
+
+let report oc =
+  if snapshot () = [] then output_string oc "[prof] no spans recorded\n"
+  else begin
+    output_string oc (Table.render (table ()));
+    flush oc
+  end
+
+let exit_hook = ref false
+
+let report_at_exit () =
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit (fun () -> report stderr)
+  end
+
+let reset () = Mutex.protect mu (fun () -> Hashtbl.reset nodes)
+
+let init_from_env () =
+  match Sys.getenv_opt "INLTUNE_PROFILE" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ ->
+    enable ();
+    report_at_exit ()
+
+(* Flush nodes into a closing trace as "prof.node" events so trace-summary
+   can rebuild the profile table and folded stacks offline. *)
+let () =
+  Trace.add_flush_hook (fun () ->
+      List.iter
+        (fun n ->
+          Trace.emit "prof.node"
+            ~fields:
+              [
+                ("path", Event.Str n.n_path);
+                ("label", Event.Str n.n_label);
+                ("depth", Event.Int n.n_depth);
+                ("calls", Event.Int n.n_calls);
+                ("total_us", Event.Float (n.n_total_s *. 1e6));
+                ("self_us", Event.Float (n.n_self_s *. 1e6));
+                ("p50_us", Event.Float (n.n_p50_s *. 1e6));
+                ("p90_us", Event.Float (n.n_p90_s *. 1e6));
+                ("p99_us", Event.Float (n.n_p99_s *. 1e6));
+                ("max_us", Event.Float (n.n_max_s *. 1e6));
+              ])
+        (snapshot ()))

@@ -171,12 +171,63 @@ let counter_values recs =
     (select "counter" recs);
   Hashtbl.fold (fun name v l -> (name, v) :: l) tbl [] |> List.sort compare
 
+(* name -> (count, sum, min, max, mean, p50, p90, p99); last snapshot wins,
+   like counters.  Percentile fields are absent in pre-percentile traces and
+   reported as nan. *)
+let histogram_values recs =
+  let tbl : (string, int * float * float * float * float * float * float * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun r ->
+      match (str r "name", int_f r "count") with
+      | Some name, Some count ->
+        let f k = Option.value (num r k) ~default:Float.nan in
+        Hashtbl.replace tbl name
+          (count, f "sum", f "min", f "max", f "mean", f "p50", f "p90", f "p99")
+      | _ -> ())
+    (select "histogram" recs);
+  Hashtbl.fold (fun name v l -> (name, v) :: l) tbl [] |> List.sort compare
+
+(* path -> (label, depth, calls, total_us, self_us, p50_us, p90_us, p99_us,
+   max_us), in path (= tree) order. *)
+let prof_nodes recs =
+  List.filter_map
+    (fun r ->
+      match (str r "path", str r "label", int_f r "depth", int_f r "calls") with
+      | Some path, Some label, Some depth, Some calls ->
+        let f k = Option.value (num r k) ~default:Float.nan in
+        Some
+          ( path,
+            ( label,
+              depth,
+              calls,
+              f "total_us",
+              f "self_us",
+              f "p50_us",
+              f "p90_us",
+              f "p99_us",
+              f "max_us" ) )
+      | _ -> None)
+    (select "prof.node" recs)
+  |> List.sort compare
+
+(* Folded-stack lines for flamegraph.pl / inferno, from the flushed profile
+   nodes: "path;to;span <self-us>", nodes rounding to 0 omitted. *)
+let folded recs =
+  List.filter_map
+    (fun (path, (_, _, _, _, self_us, _, _, _, _)) ->
+      if Float.is_finite self_us && Float.round self_us > 0.0 then
+        Some (Printf.sprintf "%s %d" path (Float.to_int (Float.round self_us)))
+      else None)
+    (prof_nodes recs)
+
 (* Whether the trace holds any real events, as opposed to only the
-   counter/histogram snapshots every sink flushes on close.  trace-summary
-   uses this to say "no events" instead of printing a counters-only report
-   that looks like a run happened. *)
+   counter/histogram/profile snapshots every sink flushes on close.
+   trace-summary uses this to say "no events" instead of printing a
+   counters-only report that looks like a run happened. *)
 let has_events recs =
-  List.exists (fun r -> r.ev <> "counter" && r.ev <> "histogram") recs
+  List.exists (fun r -> r.ev <> "counter" && r.ev <> "histogram" && r.ev <> "prof.node") recs
 
 (* --- tables ------------------------------------------------------------- *)
 
@@ -304,6 +355,75 @@ let measure_table recs =
     Some t
   end
 
+let fmt_or_dash v fmt = if Float.is_finite v then Printf.sprintf fmt v else "-"
+
+let histogram_table recs =
+  let rows = histogram_values recs in
+  if rows = [] then None
+  else begin
+    let t =
+      Table.create ~title:"histograms"
+        ~header:[| "histogram"; "count"; "sum"; "min"; "p50"; "p90"; "p99"; "max"; "mean" |]
+        ~aligns:
+          [|
+            Table.Left;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+          |]
+    in
+    List.iter
+      (fun (name, (count, sum, min_v, max_v, mean, p50, p90, p99)) ->
+        let f v = fmt_or_dash v "%.2f" in
+        Table.add_row t
+          [| name; string_of_int count; f sum; f min_v; f p50; f p90; f p99; f max_v; f mean |])
+      rows;
+    Some t
+  end
+
+let profile_table recs =
+  let rows = prof_nodes recs in
+  if rows = [] then None
+  else begin
+    let t =
+      Table.create ~title:"profile (wall time, self vs. cumulative)"
+        ~header:[| "span"; "calls"; "total ms"; "self ms"; "p50 us"; "p90 us"; "p99 us"; "max us" |]
+        ~aligns:
+          [|
+            Table.Left;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+            Table.Right;
+          |]
+    in
+    List.iter
+      (fun (_, (label, depth, calls, total_us, self_us, p50, p90, p99, max_us)) ->
+        let ms v = fmt_or_dash (v /. 1e3) "%.3f" in
+        let us v = fmt_or_dash v "%.1f" in
+        Table.add_row t
+          [|
+            String.make (2 * depth) ' ' ^ label;
+            string_of_int calls;
+            ms total_us;
+            ms self_us;
+            us p50;
+            us p90;
+            us p99;
+            us max_us;
+          |])
+      rows;
+    Some t
+  end
+
 let counter_table recs =
   let rows = counter_values recs in
   if rows = [] then None
@@ -321,4 +441,13 @@ let counter_table recs =
 let tables recs =
   List.filter_map
     (fun f -> f recs)
-    [ inline_table; pass_table; compile_table; measure_table; ga_table; counter_table ]
+    [
+      inline_table;
+      pass_table;
+      compile_table;
+      measure_table;
+      ga_table;
+      profile_table;
+      histogram_table;
+      counter_table;
+    ]

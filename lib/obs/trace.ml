@@ -23,6 +23,12 @@ let emit_at ts name fields =
 
 let emit ?(fields = []) name = emit_at (now () -. !t0) name fields
 
+(* Modules above this one in the library (e.g. Prof) register hooks that
+   emit their own snapshot events whenever metrics are flushed.  Hooks run
+   in registration order, which module initialization makes topological. *)
+let flush_hooks : (unit -> unit) list ref = ref []
+let add_flush_hook f = flush_hooks := !flush_hooks @ [ f ]
+
 (* Flush accumulated counters/histograms into the trace so a summary sees
    them even though they are process-global rather than per-event. *)
 let flush_metrics () =
@@ -43,8 +49,12 @@ let flush_metrics () =
                 ("min", Event.Float s.Metric.hs_min);
                 ("max", Event.Float s.Metric.hs_max);
                 ("mean", Event.Float (s.Metric.hs_sum /. Float.of_int s.Metric.hs_count));
+                ("p50", Event.Float s.Metric.hs_p50);
+                ("p90", Event.Float s.Metric.hs_p90);
+                ("p99", Event.Float s.Metric.hs_p99);
               ])
-      (Metric.histograms_snapshot ())
+      (Metric.histograms_snapshot ());
+    List.iter (fun f -> f ()) !flush_hooks
   end
 
 let shutdown () =

@@ -35,6 +35,11 @@ val emit : ?fields:(string * Event.value) list -> string -> unit
     (also done automatically when the sink closes). *)
 val flush_metrics : unit -> unit
 
+(** Register a hook run at every {!flush_metrics} (with the trace still
+    enabled), letting higher modules emit their own snapshot events — e.g.
+    {!Prof}'s ["prof.node"] records.  Hooks run in registration order. *)
+val add_flush_hook : (unit -> unit) -> unit
+
 val flush : unit -> unit
 
 (** [span name f] times [f] and emits one event stamped at the span's start,

@@ -77,6 +77,8 @@ let bump_pass name d =
    only computed inside the enabled-only [post] callback). *)
 let exec_pass program ctx (p : Pass.t) size_in m =
   let m, d =
+    (* Nested inside the trace span so the profiler attributes pass time
+       under whatever compiled it ("...;vm.compile;opt.pass.<name>"). *)
     Trace.span
       ("opt.pass." ^ p.Pass.name)
       ~post:(fun (m', d) ->
@@ -85,7 +87,8 @@ let exec_pass program ctx (p : Pass.t) size_in m =
           ("size_in", Event.Int (Lazy.force size_in));
           ("size_out", Event.Int (Size.of_method m'));
         ])
-      (fun () -> p.Pass.run program ctx m)
+      (fun () ->
+        Inltune_obs.Prof.span ("opt.pass." ^ p.Pass.name) (fun () -> p.Pass.run program ctx m))
   in
   bump_pass p.Pass.name d;
   (m, d)

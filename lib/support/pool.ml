@@ -110,9 +110,15 @@ let exec_batch pool b ~stolen =
     else begin
       let hi = min b.b_total (lo + b.b_chunk) in
       if stolen then !counter_hook "pool.tasks_stolen" (hi - lo);
+      (* Raw gettimeofday, not [now]: that clock takes a process-wide mutex
+         and this runs once per chunk on every worker. *)
+      let t0 = if stolen then Unix.gettimeofday () else 0.0 in
       for i = lo to hi - 1 do
         b.b_run i
       done;
+      if stolen then
+        !counter_hook "pool.busy_ns"
+          (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9));
       let finished = hi - lo in
       if Atomic.fetch_and_add b.b_done finished + finished = b.b_total then begin
         Mutex.lock pool.lock;
@@ -141,7 +147,15 @@ let worker_main pool =
       end
     | None ->
       (* Drain before exiting: stop only once no batch has claimable work. *)
-      if pool.stopping then continue := false else Condition.wait pool.work_cv pool.lock
+      if pool.stopping then continue := false
+      else begin
+        (* Starvation accounting: time spent parked waiting for work.
+           pool.idle_ns / (pool.idle_ns + pool.busy_ns) is the pool's
+           starvation fraction over the run. *)
+        let t0 = Unix.gettimeofday () in
+        Condition.wait pool.work_cv pool.lock;
+        !counter_hook "pool.idle_ns" (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9))
+      end
   done;
   Mutex.unlock pool.lock
 

@@ -80,11 +80,13 @@ val shutdown : t -> unit
     (shut down automatically at exit). *)
 val get_default : unit -> t
 
-(** [set_counter_hook f] routes the pool's observability counters (e.g.
-    ["pool.tasks_stolen"], incremented with the number of grid indices
-    executed by a non-submitting worker) through [f name delta].
-    [lib/support] cannot depend on the metrics registry, so [Inltune_obs]
-    installs the bridge at load time. *)
+(** [set_counter_hook f] routes the pool's observability counters through
+    [f name delta]: ["pool.tasks_stolen"] (grid indices executed by a
+    non-submitting worker), ["pool.busy_ns"] (wall time workers spent
+    running stolen chunks) and ["pool.idle_ns"] (wall time workers spent
+    parked waiting for work — the starvation signal).  [lib/support] cannot
+    depend on the metrics registry, so [Inltune_obs] installs the bridge at
+    load time. *)
 val set_counter_hook : (string -> int -> unit) -> unit
 
 (** {1 Array map wrappers} *)

@@ -25,6 +25,22 @@ let stddev xs =
   let var = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. n in
   Float.sqrt var
 
+(* Exact nearest-rank percentile: the smallest element covering p percent of
+   the sorted mass.  Nearest-rank (no interpolation) keeps the result an
+   actual observed sample, which is what latency reporting wants. *)
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if p = 0.0 then sorted.(0)
+  else begin
+    let rank = Float.to_int (Float.ceil (p /. 100.0 *. Float.of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
 (* Percentage reduction relative to a baseline: 0.83 -> 17.%. *)
 let reduction_pct ratio = (1.0 -. ratio) *. 100.0
 

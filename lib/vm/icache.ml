@@ -52,3 +52,25 @@ let reset_counters t =
 
 let accesses t = t.accesses
 let misses t = t.misses
+
+(* Calibrated host cost of one [access] call, for the profiler's breakdown
+   of where simulation wall time goes.  Lazily measured on a scratch cache;
+   a racing double calibration is harmless (both writes are close enough).
+   Profiler bookkeeping only — this never feeds back into simulated cycles. *)
+let calibrated_ns = Atomic.make Float.nan
+
+let ns_per_access () =
+  let v = Atomic.get calibrated_ns in
+  if Float.is_finite v then v
+  else begin
+    let scratch = create ~bytes:16384 ~line_bytes:64 in
+    let reps = 200_000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to reps - 1 do
+      ignore (access scratch (i * 48) : bool)
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. Float.of_int reps in
+    let ns = Float.max 0.0 ns in
+    Atomic.set calibrated_ns ns;
+    ns
+  end

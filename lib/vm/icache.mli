@@ -13,3 +13,9 @@ val miss_rate : t -> float
 val reset_counters : t -> unit
 val accesses : t -> int
 val misses : t -> int
+
+(** Calibrated host wall-clock cost of one {!access} call in nanoseconds
+    (lazily measured once on a scratch cache).  Used by the profiler to
+    estimate the icache model's share of simulation time; never feeds back
+    into simulated cycle counts. *)
+val ns_per_access : unit -> float

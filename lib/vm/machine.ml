@@ -2,6 +2,7 @@ open Inltune_jir
 open Inltune_opt
 module Trace = Inltune_obs.Trace
 module Event = Inltune_obs.Event
+module Prof = Inltune_obs.Prof
 
 (* The virtual machine: a cycle-counting interpreter over compiled JIR plus
    the adaptive optimization system.
@@ -87,6 +88,9 @@ type t = {
   mutable o1_compiles : int;
   mutable baseline_compiles : int;
   mutable call_depth : int;
+  (* Wall-clock seconds spent inside the compilers, accumulated only while
+     Prof is enabled.  Profiler bookkeeping, never part of cycle accounting. *)
+  mutable compile_wall_s : float;
 }
 
 let max_call_depth = 8_000
@@ -114,6 +118,7 @@ let create cfg (plat : Platform.t) prog =
     o1_compiles = 0;
     baseline_compiles = 0;
     call_depth = 0;
+    compile_wall_s = 0.0;
   }
 
 (* --- compilation ------------------------------------------------------- *)
@@ -171,10 +176,15 @@ let trace_compile vm mid ~tier ~cycles ~recompile extra (c : Compile.compiled) =
        ]
       @ extra)
 
+let note_compile_wall vm dt = vm.compile_wall_s <- vm.compile_wall_s +. dt
+
 let compile_opt vm mid =
   let m = vm.prog.Ir.methods.(mid) in
   let recompile = vm.compiled.(mid) <> None in
-  let c, cycles, stats = Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m in
+  let c, cycles, stats =
+    Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
+        Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m)
+  in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.opt_compiles <- vm.opt_compiles + 1;
   vm.compiled.(mid) <- Some c;
@@ -191,7 +201,10 @@ let compile_opt vm mid =
 
 let compile_o1 vm mid =
   let recompile = vm.compiled.(mid) <> None in
-  let c, cycles = Compile.o1 vm.plat vm.codespace vm.prog vm.prog.Ir.methods.(mid) in
+  let c, cycles =
+    Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
+        Compile.o1 vm.plat vm.codespace vm.prog vm.prog.Ir.methods.(mid))
+  in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.o1_compiles <- vm.o1_compiles + 1;
   vm.compiled.(mid) <- Some c;
@@ -200,7 +213,10 @@ let compile_o1 vm mid =
 
 let compile_baseline vm mid =
   let recompile = vm.compiled.(mid) <> None in
-  let c, cycles = Compile.baseline vm.plat vm.codespace vm.prog.Ir.methods.(mid) in
+  let c, cycles =
+    Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
+        Compile.baseline vm.plat vm.codespace vm.prog.Ir.methods.(mid))
+  in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.baseline_compiles <- vm.baseline_compiles + 1;
   vm.compiled.(mid) <- Some c;

@@ -75,6 +75,10 @@ type t = {
   mutable o1_compiles : int;
   mutable baseline_compiles : int;
   mutable call_depth : int;
+  mutable compile_wall_s : float;
+      (** wall seconds inside the compilers, accumulated only while
+          {!Inltune_obs.Prof} is enabled; profiler bookkeeping, never part
+          of cycle accounting *)
 }
 
 (** Simulated call-stack depth limit (exceeding it is a {!Trap}). *)

@@ -20,13 +20,19 @@ type measurement = {
 
 let measure ?(iterations = 2) cfg plat prog =
   if iterations < 2 then invalid_arg "Runner.measure: need at least 2 iterations";
+  let module Prof = Inltune_obs.Prof in
+  let sim_start = if Prof.enabled () then Inltune_obs.Trace.now () else 0.0 in
   let vm = Machine.create cfg plat prog in
-  let first = Machine.run_iteration vm in
+  (* Each iteration under a "vm.execute" span; lazy compiles inside it show
+     up as nested "vm.compile" spans, so execute self-time is interpretation
+     proper. *)
+  let run_one () = Prof.span "vm.execute" (fun () -> Machine.run_iteration vm) in
+  let first = run_one () in
   let best = ref max_int in
   let last_ret = ref first.Machine.ret in
   let last_hash = ref first.Machine.it_out_hash in
   for _ = 2 to iterations do
-    let it = Machine.run_iteration vm in
+    let it = run_one () in
     if it.Machine.it_exec_cycles < !best then best := it.Machine.it_exec_cycles;
     last_ret := it.Machine.ret;
     last_hash := it.Machine.it_out_hash
@@ -64,6 +70,29 @@ let measure ?(iterations = 2) cfg plat prog =
           ("icache_misses", Event.Int m.icache_misses);
           ("icache_accesses", Event.Int m.icache_accesses);
         ];
+  (* Per-simulation host-cost breakdown: where this simulation's wall time
+     went.  compile comes from the VM's Prof-fed accumulator; the icache
+     model's share is estimated from access count x calibrated per-access
+     cost.  All of it is observability-side — the measurement record above
+     is bit-identical with profiling on or off. *)
+  if Inltune_obs.Prof.enabled () then begin
+    let wall = Trace.now () -. sim_start in
+    let compile = vm.Machine.compile_wall_s in
+    let execute = Float.max 0.0 (wall -. compile) in
+    let icache_model = Float.of_int m.icache_accesses *. Icache.ns_per_access () /. 1e9 in
+    Inltune_obs.Metric.observe (Inltune_obs.Metric.histogram "vm.sim_wall_us") (wall *. 1e6);
+    if Trace.enabled () then
+      Trace.emit "vm.breakdown"
+        ~fields:
+          [
+            ("prog", Event.Str prog.Inltune_jir.Ir.pname);
+            ("scenario", Event.Str (Machine.scenario_name cfg.Machine.scenario));
+            ("wall_us", Event.Float (wall *. 1e6));
+            ("compile_us", Event.Float (compile *. 1e6));
+            ("execute_us", Event.Float (execute *. 1e6));
+            ("icache_model_us", Event.Float (icache_model *. 1e6));
+          ]
+  end;
   m
 
 (* Pure semantic run: interpret the program once with everything that could

@@ -138,6 +138,36 @@ for flag in identical_measurements identical_best identical_history; do
     || { echo "BENCH_passes.json: $flag is not true"; exit 1; }
 done
 
+echo "== observability smoke =="
+# A profiled, progress-reported tune: per-generation progress lines land on
+# stderr, the exit profile table names the span hierarchy, and the same
+# trace aggregates into profile/histogram tables and flamegraph-ready
+# folded stacks via trace-summary.
+obs=$(mktemp -t inltune_obs.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$faults" "$ckpt" "$ds" "$pol" "$pol2" "$plan" "$plan2" "$obs"' EXIT
+rm -f "$obs"
+obs_err=$(dune exec --no-build bin/main.exe -- tune -s adapt --pop 6 -g 2 --domains 1 \
+  --profile --progress --trace "$obs" 2>&1 > /dev/null)
+echo "$obs_err" | grep -q '^\[inltune\] gen ' || { echo "missing --progress lines"; exit 1; }
+echo "$obs_err" | grep -q 'eta' || { echo "missing ETA in --progress lines"; exit 1; }
+echo "$obs_err" | grep -q 'fitness.eval' || { echo "missing fitness.eval in exit profile"; exit 1; }
+obs_summary=$(dune exec --no-build bin/main.exe -- trace-summary "$obs")
+echo "$obs_summary" | grep -q "profile (wall time" \
+  || { echo "missing profile table in trace-summary"; exit 1; }
+echo "$obs_summary" | grep -q "histograms" \
+  || { echo "missing histogram table in trace-summary"; exit 1; }
+dune exec --no-build bin/main.exe -- trace-summary --folded "$obs" \
+  | grep -q '^fitness\.eval.* [0-9][0-9]*$' \
+  || { echo "missing folded stacks in trace-summary --folded"; exit 1; }
+
+echo "== vm-bench smoke =="
+# The VM throughput trajectory bench must leave a parseable BENCH_vm.json
+# with throughput and latency percentiles.
+INLTUNE_VM_REPEATS=1 INLTUNE_VM_ITERS=2 dune exec --no-build bench/main.exe vm > /dev/null
+for field in cycles_per_second steps_per_second '"p50"' '"p99"'; do
+  grep -q "$field" BENCH_vm.json || { echo "BENCH_vm.json: missing $field"; exit 1; }
+done
+
 echo "== CLI error smoke =="
 # Bad flag values must die with a one-line error and exit code 2.
 rc=0
@@ -149,5 +179,8 @@ dune exec --no-build bin/main.exe -- tune --domains 0 > /dev/null 2>&1 || rc=$?
 rc=0
 INLTUNE_FAULTS="garbage" dune exec --no-build bin/main.exe -- list > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "bad INLTUNE_FAULTS exited $rc, want 2"; exit 1; }
+rc=0
+dune exec --no-build bin/main.exe -- trace-summary /no/such/trace.jsonl > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "missing trace file exited $rc, want 2"; exit 1; }
 
 echo "OK"

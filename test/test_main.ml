@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("jir", Test_jir.suite);
       ("opt", Test_opt.suite);
       ("plan", Test_plan.suite);

@@ -152,7 +152,19 @@ let test_histogram_aggregation () =
   Alcotest.(check (float 1e-9)) "max" 1000.0 s.Metric.hs_max;
   Alcotest.(check int) "buckets hold every observation" 5
     (Array.fold_left ( + ) 0 s.Metric.hs_buckets);
-  Alcotest.(check int) "sub-1 bucket" 1 s.Metric.hs_buckets.(0)
+  Alcotest.(check int) "sub-1 bucket" 1 s.Metric.hs_buckets.(0);
+  (* Exact nearest-rank percentiles over the retained samples — log2
+     buckets alone could only bound these. *)
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.Metric.hs_p50;
+  Alcotest.(check (float 1e-9)) "p90" 1000.0 s.Metric.hs_p90;
+  Alcotest.(check (float 1e-9)) "p99" 1000.0 s.Metric.hs_p99
+
+let test_histogram_empty_percentiles () =
+  Metric.reset_all ();
+  let s = Metric.snapshot (Metric.histogram "test.empty") in
+  Alcotest.(check int) "count" 0 s.Metric.hs_count;
+  Alcotest.(check bool) "percentiles are nan" true
+    (Float.is_nan s.Metric.hs_p50 && Float.is_nan s.Metric.hs_p90 && Float.is_nan s.Metric.hs_p99)
 
 let test_metrics_flush_into_trace () =
   Metric.reset_all ();
@@ -223,6 +235,50 @@ let test_parameter_of_reason () =
   Alcotest.(check string) "hot cap" "HOT_CALLEE_MAX_SIZE"
     (Summary.parameter_of_reason "hot_callee_too_big")
 
+(* --- histogram and profiler aggregation from flushed snapshots --- *)
+
+let prof_lines =
+  [
+    {|{"ts":0.9,"ev":"histogram","name":"h1","count":5,"sum":1006.25,"min":0.25,"max":1000.0,"mean":201.25,"p50":2.0,"p90":1000.0,"p99":1000.0}|};
+    {|{"ts":1.0,"ev":"prof.node","path":"fitness.eval","label":"fitness.eval","depth":0,"calls":4,"total_us":100.0,"self_us":40.0,"p50_us":25.0,"p90_us":30.0,"p99_us":30.0,"max_us":30.0}|};
+    {|{"ts":1.1,"ev":"prof.node","path":"fitness.eval;vm.execute","label":"vm.execute","depth":1,"calls":8,"total_us":60.0,"self_us":60.0,"p50_us":7.0,"p90_us":9.0,"p99_us":9.0,"max_us":9.0}|};
+    {|{"ts":1.2,"ev":"prof.node","path":"zero.self","label":"zero.self","depth":0,"calls":1,"total_us":0.2,"self_us":0.2,"p50_us":0.2,"p90_us":0.2,"p99_us":0.2,"max_us":0.2}|};
+  ]
+
+let test_summary_histogram_values () =
+  let records, _ = Summary.of_lines prof_lines in
+  match Summary.histogram_values records with
+  | [ ("h1", (count, sum, mn, mx, mean, p50, p90, p99)) ] ->
+    Alcotest.(check int) "count" 5 count;
+    Alcotest.(check (float 1e-9)) "sum" 1006.25 sum;
+    Alcotest.(check (float 1e-9)) "min" 0.25 mn;
+    Alcotest.(check (float 1e-9)) "max" 1000.0 mx;
+    Alcotest.(check (float 1e-9)) "mean" 201.25 mean;
+    Alcotest.(check (float 1e-9)) "p50" 2.0 p50;
+    Alcotest.(check (float 1e-9)) "p90" 1000.0 p90;
+    Alcotest.(check (float 1e-9)) "p99" 1000.0 p99
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs)
+
+let test_summary_prof_nodes () =
+  let records, _ = Summary.of_lines prof_lines in
+  let nodes = Summary.prof_nodes records in
+  Alcotest.(check (list string)) "paths in tree order"
+    [ "fitness.eval"; "fitness.eval;vm.execute"; "zero.self" ]
+    (List.map fst nodes);
+  let _, (label, depth, calls, total_us, self_us, _, _, _, _) = List.nth nodes 1 in
+  Alcotest.(check string) "label" "vm.execute" label;
+  Alcotest.(check int) "depth" 1 depth;
+  Alcotest.(check int) "calls" 8 calls;
+  Alcotest.(check (float 1e-9)) "total us" 60.0 total_us;
+  Alcotest.(check (float 1e-9)) "self us" 60.0 self_us
+
+let test_summary_folded () =
+  let records, _ = Summary.of_lines prof_lines in
+  (* zero.self rounds to 0 µs and is dropped; the rest keep integer self µs. *)
+  Alcotest.(check (list string)) "folded lines"
+    [ "fitness.eval 40"; "fitness.eval;vm.execute 60" ]
+    (Summary.folded records)
+
 let test_has_events () =
   let parse lines = fst (Summary.of_lines lines) in
   Alcotest.(check bool) "empty trace" false (Summary.has_events []);
@@ -253,6 +309,7 @@ let suite =
     Alcotest.test_case "jsonl sink appends across installs" `Quick test_jsonl_sink_appends;
     Alcotest.test_case "counters are atomic across domains" `Quick test_counter_across_domains;
     Alcotest.test_case "histogram aggregation" `Quick test_histogram_aggregation;
+    Alcotest.test_case "empty histogram percentiles" `Quick test_histogram_empty_percentiles;
     Alcotest.test_case "metrics flush into trace on close" `Quick test_metrics_flush_into_trace;
     Alcotest.test_case "summary skips malformed lines" `Quick test_summary_of_lines;
     Alcotest.test_case "summary inline reasons" `Quick test_summary_inline_reasons;
@@ -261,5 +318,8 @@ let suite =
     Alcotest.test_case "summary counter values" `Quick test_summary_counter_values;
     Alcotest.test_case "summary tables render" `Quick test_summary_tables_nonempty;
     Alcotest.test_case "reason to Table 1 parameter" `Quick test_parameter_of_reason;
+    Alcotest.test_case "summary histogram snapshots" `Quick test_summary_histogram_values;
+    Alcotest.test_case "summary profile nodes" `Quick test_summary_prof_nodes;
+    Alcotest.test_case "summary folded stacks" `Quick test_summary_folded;
     Alcotest.test_case "has_events ignores counter snapshots" `Quick test_has_events;
   ]

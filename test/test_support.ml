@@ -111,6 +111,27 @@ let test_ratio () =
     (Invalid_argument "Stats.ratio: non-positive baseline") (fun () ->
       ignore (Stats.ratio ~baseline:0.0 1.0))
 
+let test_percentile () =
+  let xs = [| 30.0; 10.0; 50.0; 20.0; 40.0 |] in
+  (* Nearest-rank: always an actual sample, never an interpolation. *)
+  check_float "p0 = min" 10.0 (Stats.percentile xs 0.0);
+  check_float "p50 = median" 30.0 (Stats.percentile xs 50.0);
+  check_float "p90" 50.0 (Stats.percentile xs 90.0);
+  check_float "p100 = max" 50.0 (Stats.percentile xs 100.0);
+  check_float "singleton" 7.0 (Stats.percentile [| 7.0 |] 99.0);
+  (* Input order must not matter, and the input must not be mutated. *)
+  check_float "unsorted input" 20.0 (Stats.percentile xs 40.0);
+  Alcotest.(check bool) "input untouched" true (xs = [| 30.0; 10.0; 50.0; 20.0; 40.0 |])
+
+let test_percentile_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 101.0));
+  Alcotest.check_raises "nan p" (Invalid_argument "Stats.percentile: p outside [0, 100]")
+    (fun () -> ignore (Stats.percentile [| 1.0 |] nan))
+
 (* --- Vec --- *)
 
 let test_vec_push_get () =
@@ -332,6 +353,8 @@ let suite =
     ("stats stddev", `Quick, test_stddev);
     ("stats reduction pct", `Quick, test_reduction_pct);
     ("stats ratio", `Quick, test_ratio);
+    ("stats percentile", `Quick, test_percentile);
+    ("stats percentile rejects bad input", `Quick, test_percentile_rejects_bad_input);
     ("vec push/get", `Quick, test_vec_push_get);
     ("vec pop", `Quick, test_vec_pop);
     ("vec bounds checked", `Quick, test_vec_bounds);
