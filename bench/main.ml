@@ -9,6 +9,7 @@
        dune exec bench/main.exe tuner           # fitness-cache off/on protocol
        dune exec bench/main.exe passes          # plan-interpreter identity + plan GA
        dune exec bench/main.exe vm              # VM throughput trajectory -> BENCH_vm.json
+       dune exec bench/main.exe serve           # daemon under load -> BENCH_serve.json
        dune exec bench/main.exe micro           # just the micro-benchmarks
 
    Environment knobs (for bigger GA budgets):
@@ -772,6 +773,230 @@ let vm_bench () =
   close_out oc;
   print_endline "wrote BENCH_vm.json\n"
 
+(* ---- Serve bench: concurrent clients vs a saturated daemon -------------- *)
+
+(* The robustness protocol for the tuning daemon: N concurrent clients hammer
+   an in-process server whose pool admission is deliberately tiny, with one
+   injected fault armed mid-load.  Every request must get an explicit reply
+   (ok / degraded / overloaded / quota / failed — never a hang), overload
+   must produce real backpressure, tenants must hit each other's cache
+   entries, and a fixed-seed tune through the daemon must return the exact
+   genome the offline [Tuner.tune] path computes.  Numbers land in
+   BENCH_serve.json; any violated invariant exits 1. *)
+let serve_bench () =
+  let module Server = Inltune_serve.Server in
+  let module Sproto = Inltune_serve.Proto in
+  let module Sclient = Inltune_serve.Client in
+  let module Json = Inltune_obs.Json in
+  let module Metric = Inltune_obs.Metric in
+  let module Faultinject = Inltune_resilience.Faultinject in
+  print_endline "==== Serve: concurrent clients vs a saturated daemon ====\n";
+  let clients = env_int "INLTUNE_SERVE_CLIENTS" 8 in
+  let measures_per_client = env_int "INLTUNE_SERVE_MEASURES" 10 in
+  (* Offline reference first, before the daemon exists (and before its
+     tenant hook is installed), with a fixed small budget. *)
+  let suite = [ W.Suites.find "compress" ] in
+  let ibudget = { Tuner.pop = 6; gens = 2; seed = 123 } in
+  let offline = Tuner.tune ~budget:ibudget ~suite Tuner.Opt_tot_x86 in
+  let sock = Filename.temp_file "inltune_serve" ".sock" in
+  Sys.remove sock;
+  let endpoint = Sproto.Unix_path sock in
+  let config =
+    {
+      Server.default_config with
+      Server.permits = 2;
+      queue_cap = 2;
+      quota_rate = 50.0;
+      quota_burst = 10.0;
+      max_retries = 1;
+      degrade_after = 4;
+      degrade_window_s = 10.0;
+      cooldown_s = 1.0;
+      quiet = true;
+    }
+  in
+  let cross0 = Metric.value (Metric.counter "fitness.cross_tenant_hits") in
+  let srv = Server.start ~config endpoint in
+  (* One faulted request mid-load (both its attempts), so the failure path
+     runs under concurrency. *)
+  Faultinject.install
+    [
+      { Faultinject.site = "serve"; action = Faultinject.Raise; at = 5 };
+      { Faultinject.site = "serve"; action = Faultinject.Raise; at = 6 };
+    ];
+  let benches = [| "compress"; "db"; "jess"; "raytrace" |] in
+  let results = Array.make clients [] in
+  let missing = Atomic.make 0 in
+  let t_start = Unix.gettimeofday () in
+  let client_thread i =
+    let outcomes = ref [] in
+    let record line ms =
+      let status =
+        match Json.parse line with
+        | Ok j -> (
+          match Json.member "status" j with Some (Json.Str s) -> s | _ -> "?")
+        | Error _ -> "?"
+      in
+      outcomes := (status, ms) :: !outcomes
+    in
+    let rpc line =
+      let t0 = Unix.gettimeofday () in
+      match Sclient.rpc ~timeout_s:180.0 endpoint line with
+      | Ok reply -> record reply ((Unix.gettimeofday () -. t0) *. 1e3)
+      | Error _ -> Atomic.incr missing
+    in
+    let tenant = Printf.sprintf "t%d" (i mod 4) in
+    (* Phase 1: every client starts a small tune at once — 8 concurrent
+       tunes against permits=2/queue=2 forces sheds. *)
+    rpc
+      (Printf.sprintf
+         "{\"op\":\"tune\",\"tenant\":%S,\"scenario\":\"opt:bal\",\"pop\":4,\"gens\":1,\
+          \"seed\":%d,\"suite\":[\"compress\"]}"
+         tenant (100 + i));
+    (* Phase 2: measure queries shared across tenants, so later clients hit
+       cache entries earlier tenants paid for. *)
+    for k = 0 to measures_per_client - 1 do
+      rpc
+        (Printf.sprintf
+           "{\"op\":\"measure\",\"tenant\":%S,\"bench\":%S,\"deadline_ms\":60000}" tenant
+           benches.((i + k) mod Array.length benches))
+    done;
+    results.(i) <- !outcomes
+  in
+  let threads = Array.init clients (fun i -> Thread.create client_thread i) in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  Faultinject.clear ();
+  (* Let the daemon cool down out of degraded mode before the identity
+     check; it must heal on its own. *)
+  let rec wait_normal tries =
+    if Server.degraded_mode srv && tries > 0 then begin
+      Thread.delay 0.1;
+      wait_normal (tries - 1)
+    end
+  in
+  wait_normal 300;
+  let healed = not (Server.degraded_mode srv) in
+  (* Identity: same budget and suite as the offline reference, through the
+     daemon, must reproduce the genome and fitness bit-for-bit. *)
+  let identity_reply =
+    Sclient.rpc ~timeout_s:300.0 endpoint
+      (Printf.sprintf
+         "{\"op\":\"tune\",\"tenant\":\"identity\",\"scenario\":\"opt:tot\",\"pop\":%d,\
+          \"gens\":%d,\"seed\":%d,\"suite\":[\"compress\"]}"
+         ibudget.Tuner.pop ibudget.Tuner.gens ibudget.Tuner.seed)
+  in
+  let identical_tune, served_fitness =
+    match identity_reply with
+    | Error _ -> (false, Float.nan)
+    | Ok reply -> (
+      match Json.parse reply with
+      | Error _ -> (false, Float.nan)
+      | Ok j ->
+        let genome =
+          match Json.member "genome" j with
+          | Some (Json.List gs) ->
+            Some
+              (Array.of_list
+                 (List.filter_map
+                    (fun g -> Option.map int_of_float (Json.to_float g))
+                    gs))
+          | _ -> None
+        in
+        let fitness =
+          Option.bind (Json.member "fitness" j) Json.to_float
+          |> Option.value ~default:Float.nan
+        in
+        let status =
+          match Json.member "status" j with Some (Json.Str s) -> s | _ -> "?"
+        in
+        ( status = "ok"
+          && genome = Some (Heuristic.to_array offline.Tuner.heuristic)
+          && fitness = offline.Tuner.fitness,
+          fitness ))
+  in
+  let crashed =
+    match Sclient.rpc ~timeout_s:10.0 endpoint "{\"op\":\"ping\"}" with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  Server.stop srv;
+  (* Tally. *)
+  let statuses = Hashtbl.create 8 in
+  let lats = ref [] in
+  Array.iter
+    (fun rs ->
+      List.iter
+        (fun (s, ms) ->
+          Hashtbl.replace statuses s (1 + Option.value ~default:0 (Hashtbl.find_opt statuses s));
+          lats := ms :: !lats)
+        rs)
+    results;
+  let count s = Option.value ~default:0 (Hashtbl.find_opt statuses s) in
+  let lat = Array.of_list !lats in
+  let replies = Array.length lat in
+  let expected = clients * (1 + measures_per_client) in
+  let pct p = if replies = 0 then 0.0 else Stats.percentile lat p in
+  let cross = Metric.value (Metric.counter "fitness.cross_tenant_hits") - cross0 in
+  let backpressure = count "overloaded" + count "quota" + count "degraded" in
+  let t =
+    Table.create ~title:"Serve load bench"
+      ~header:[| "metric"; "value" |]
+      ~aligns:[| Table.Left; Table.Right |]
+  in
+  Table.add_row t [| "clients"; string_of_int clients |];
+  Table.add_row t [| "requests sent"; string_of_int expected |];
+  Table.add_row t [| "replies received"; string_of_int replies |];
+  Table.add_row t [| "no reply (hang/conn)"; string_of_int (Atomic.get missing) |];
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) statuses []
+  |> List.sort compare
+  |> List.iter (fun (s, n) -> Table.add_row t [| "status " ^ s; string_of_int n |]);
+  Table.add_row t [| "cross-tenant cache hits"; string_of_int cross |];
+  Table.add_row t [| "wall"; Printf.sprintf "%.2fs" wall_s |];
+  Table.add_row t [| "throughput"; Printf.sprintf "%.1f req/s" (Float.of_int replies /. Float.max 1e-9 wall_s) |];
+  Table.add_row t [| "latency p50/p90/p99"; Printf.sprintf "%.0f/%.0f/%.0f ms" (pct 50.0) (pct 90.0) (pct 99.0) |];
+  Table.add_row t [| "healed from degraded"; string_of_bool healed |];
+  Table.add_row t [| "identical tune"; string_of_bool identical_tune |];
+  Table.add_row t [| "server crashes"; string_of_int (if crashed then 1 else 0) |];
+  Table.print t;
+  print_newline ();
+  let statuses_json =
+    Hashtbl.fold (fun s n acc -> (s, n) :: acc) statuses []
+    |> List.sort compare
+    |> List.map (fun (s, n) -> Printf.sprintf "\"%s\":%d" s n)
+    |> String.concat ","
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\"clients\":%d,\"requests\":%d,\"replies\":%d,\"no_reply\":%d,\"wall_s\":%.3f,\
+     \"throughput_rps\":%.2f,\
+     \"latency_ms\":{\"p50\":%.2f,\"p90\":%.2f,\"p99\":%.2f,\"max\":%.2f},\
+     \"statuses\":{%s},\"backpressure_replies\":%d,\"cross_tenant_hits\":%d,\
+     \"healed\":%b,\"identical_tune\":%b,\"served_fitness\":%.17g,\
+     \"offline_fitness\":%.17g,\"server_crashes\":%d}\n"
+    clients expected replies (Atomic.get missing) wall_s
+    (Float.of_int replies /. Float.max 1e-9 wall_s)
+    (pct 50.0) (pct 90.0) (pct 99.0)
+    (if replies = 0 then 0.0 else Stats.max_of lat)
+    statuses_json backpressure cross healed identical_tune served_fitness
+    offline.Tuner.fitness
+    (if crashed then 1 else 0);
+  close_out oc;
+  print_endline "wrote BENCH_serve.json\n";
+  let failures = ref [] in
+  let check cond what = if not cond then failures := what :: !failures in
+  check (replies = expected) "some requests got no reply";
+  check (Atomic.get missing = 0) "connection-level failures";
+  check (backpressure > 0) "saturation produced no explicit backpressure";
+  check (cross > 0) "no cross-tenant cache hits";
+  check healed "daemon did not recover from degraded mode";
+  check identical_tune "served tune differs from offline tune";
+  check (not crashed) "daemon died under load";
+  if !failures <> [] then begin
+    List.iter (Printf.eprintf "serve bench FAILED: %s\n%!") !failures;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -884,6 +1109,7 @@ let () =
     tuner_bench ();
     passes_bench ();
     vm_bench ();
+    serve_bench ();
     micro ()
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
@@ -891,5 +1117,6 @@ let () =
   | "tuner" -> tuner_bench ()
   | "passes" -> passes_bench ()
   | "vm" -> vm_bench ()
+  | "serve" -> serve_bench ()
   | "micro" -> micro ()
   | id -> Experiments.run_one ctx id

@@ -13,6 +13,8 @@
      dataset <file>            build a flip-oracle labeled dataset (resumable)
      train-policy              induce a decision-tree (or threshold) policy
      eval-policy <file>        run a stored policy on a suite vs default/GA
+     serve                     run the tuning daemon (line-JSON over a socket)
+     client <op>               talk to a running daemon (ping/stats/measure/tune)
 *)
 
 open Cmdliner
@@ -836,13 +838,224 @@ let experiment_cmd =
       const run $ id $ pop $ gens $ seed $ quiet $ max_retries_arg $ domains_arg
       $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ trace_arg)
 
+(* --- serve / client ------------------------------------------------------- *)
+
+module Server = Inltune_serve.Server
+module Sproto = Inltune_serve.Proto
+module Sclient = Inltune_serve.Client
+module J = Inltune_obs.Json
+
+let socket_arg =
+  let doc = "Unix socket path to listen/connect on." in
+  Arg.(value & opt string "inltune.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen/connect on 127.0.0.1:$(docv) instead of a Unix socket." in
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let endpoint_of_flags socket port =
+  if port > 0 then Sproto.Tcp port
+  else if socket <> "" then Sproto.Unix_path socket
+  else die "need --socket PATH or --port N"
+
+let serve_cmd =
+  let d = Server.default_config in
+  let permits =
+    Arg.(value & opt int d.Server.permits
+         & info [ "permits" ] ~docv:"N" ~doc:"Concurrently executing requests.")
+  in
+  let queue =
+    Arg.(value & opt int d.Server.queue_cap
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue bound; requests beyond it are shed with an \
+                   $(b,overloaded) reply.")
+  in
+  let quota_rate =
+    Arg.(value & opt float d.Server.quota_rate
+         & info [ "quota-rate" ] ~docv:"R"
+             ~doc:"Per-tenant request rate (requests/second); <= 0 disables quotas.")
+  in
+  let quota_burst =
+    Arg.(value & opt float d.Server.quota_burst
+         & info [ "quota-burst" ] ~docv:"B" ~doc:"Per-tenant burst size.")
+  in
+  let deadline_ms =
+    Arg.(value & opt int d.Server.default_deadline_ms
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline applied when a request carries none; 0 \
+                   means none.")
+  in
+  let degrade_after =
+    Arg.(value & opt int d.Server.degrade_after
+         & info [ "degrade-after" ] ~docv:"N"
+             ~doc:"Pressure events (sheds + failures) within the window that switch the \
+                   daemon to degraded, cache-only mode.")
+  in
+  let cooldown =
+    Arg.(value & opt float d.Server.cooldown_s
+         & info [ "cooldown" ] ~docv:"S"
+             ~doc:"Seconds without pressure before leaving degraded mode.")
+  in
+  let drain =
+    Arg.(value & opt float d.Server.drain_timeout_s
+         & info [ "drain-timeout" ] ~docv:"S"
+             ~doc:"Bound on draining in-flight work at SIGTERM.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle notes on stderr.")
+  in
+  let run socket port permits queue quota_rate quota_burst deadline_ms max_retries
+      degrade_after cooldown drain quiet domains fitness_cache trace =
+    ignore (domains_of_flag domains);
+    setup_trace trace;
+    setup_fitness_cache fitness_cache;
+    let config =
+      {
+        Server.default_config with
+        Server.permits;
+        queue_cap = queue;
+        quota_rate;
+        quota_burst;
+        default_deadline_ms = deadline_ms;
+        max_retries;
+        degrade_after;
+        cooldown_s = cooldown;
+        drain_timeout_s = drain;
+        quiet;
+      }
+    in
+    Server.run ~config (endpoint_of_flags socket port)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning daemon: accept measure/tune requests from concurrent clients \
+          over a line-delimited JSON protocol, multiplexed onto one shared evaluation \
+          pool and fitness cache")
+    Term.(
+      const run $ socket_arg $ port_arg $ permits $ queue $ quota_rate $ quota_burst
+      $ deadline_ms $ max_retries_arg $ degrade_after $ cooldown $ drain $ quiet
+      $ domains_arg $ fitness_cache_arg $ trace_arg)
+
+let tenant_arg =
+  let doc = "Tenant name for quotas and cache attribution." in
+  Arg.(value & opt string "anon" & info [ "tenant" ] ~docv:"NAME" ~doc)
+
+let reqid_arg =
+  let doc = "Idempotency id: retrying the same id replays the original reply." in
+  Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+
+let req_deadline_arg =
+  let doc = "Per-request deadline in milliseconds (0 = none)." in
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let client_timeout_arg =
+  let doc = "Client-side seconds to wait for the reply." in
+  Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"S" ~doc)
+
+let base_request_fields ~tenant ~id ~deadline_ms op =
+  [ ("op", J.Str op); ("tenant", J.Str tenant) ]
+  @ (match id with Some i -> [ ("id", J.Str i) ] | None -> [])
+  @
+  if deadline_ms > 0 then [ ("deadline_ms", J.Num (float_of_int deadline_ms)) ] else []
+
+(* The client prints the raw reply line and exits 0 for any reply — the
+   reply's "status" field is the protocol-level outcome.  Exit 1 means no
+   reply (connection refused, timeout, server gone). *)
+let client_rpc endpoint timeout fields =
+  match Sclient.rpc ~timeout_s:timeout endpoint (J.encode (J.Obj fields)) with
+  | Ok reply -> print_endline reply
+  | Error e ->
+    Printf.eprintf "inltune client: %s\n%!" e;
+    exit 1
+
+let client_ping_cmd =
+  let run socket port timeout =
+    client_rpc (endpoint_of_flags socket port) timeout [ ("op", J.Str "ping") ]
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Liveness check")
+    Term.(const run $ socket_arg $ port_arg $ client_timeout_arg)
+
+let client_stats_cmd =
+  let run socket port timeout =
+    client_rpc (endpoint_of_flags socket port) timeout [ ("op", J.Str "stats") ]
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Daemon counters and mode snapshot")
+    Term.(const run $ socket_arg $ port_arg $ client_timeout_arg)
+
+let client_measure_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc:"Benchmark name")
+  in
+  let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations") in
+  let run socket port timeout tenant id deadline_ms bench scenario platform hstring iters =
+    client_rpc (endpoint_of_flags socket port) timeout
+      (base_request_fields ~tenant ~id ~deadline_ms "measure"
+      @ [
+          ("bench", J.Str bench);
+          ("scenario", J.Str scenario);
+          ("platform", J.Str platform);
+          ("heuristic", J.Str hstring);
+          ("iterations", J.Num (float_of_int iters));
+        ])
+  in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Measure one benchmark under a heuristic via the daemon")
+    Term.(
+      const run $ socket_arg $ port_arg $ client_timeout_arg $ tenant_arg $ reqid_arg
+      $ req_deadline_arg $ bench $ scenario_arg $ platform_arg $ heuristic_arg $ iters)
+
+let client_tune_cmd =
+  let scenario =
+    let doc =
+      Printf.sprintf "Tuning scenario: %s." (String.concat ", " Tuner.scenario_names)
+    in
+    Arg.(value & opt string "opt:tot" & info [ "scenario"; "s" ] ~docv:"SCENARIO" ~doc)
+  in
+  let pop = Arg.(value & opt int 8 & info [ "pop" ] ~doc:"GA population size") in
+  let gens = Arg.(value & opt int 3 & info [ "generations"; "g" ] ~doc:"GA generations") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"GA random seed") in
+  let suite =
+    Arg.(value & opt string ""
+         & info [ "bench" ] ~docv:"NAMES"
+             ~doc:"Comma-separated training benchmarks (default: the full SPEC suite).")
+  in
+  let run socket port timeout tenant id deadline_ms scenario pop gens seed suite =
+    let suite_field =
+      match String.split_on_char ',' suite |> List.filter (fun s -> String.trim s <> "") with
+      | [] -> []
+      | names -> [ ("suite", J.List (List.map (fun n -> J.Str (String.trim n)) names)) ]
+    in
+    client_rpc (endpoint_of_flags socket port) timeout
+      (base_request_fields ~tenant ~id ~deadline_ms "tune"
+      @ [
+          ("scenario", J.Str scenario);
+          ("pop", J.Num (float_of_int pop));
+          ("gens", J.Num (float_of_int gens));
+          ("seed", J.Num (float_of_int seed));
+        ]
+      @ suite_field)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"GA-tune a scenario via the daemon")
+    Term.(
+      const run $ socket_arg $ port_arg $ client_timeout_arg $ tenant_arg $ reqid_arg
+      $ req_deadline_arg $ scenario $ pop $ gens $ seed $ suite)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running inltune serve daemon")
+    [ client_ping_cmd; client_stats_cmd; client_measure_cmd; client_tune_cmd ]
+
 let main_cmd =
   let doc = "GA-tuned inlining heuristics for a dynamic compiler (SC'05 reproduction)" in
   Cmd.group (Cmd.info "inltune" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; run_cmd; tune_cmd; plan_cmd; experiment_cmd; export_cmd;
       run_file_cmd; knapsack_cmd; search_cmd; trace_summary_cmd; features_cmd; dataset_cmd;
-      train_policy_cmd; eval_policy_cmd;
+      train_policy_cmd; eval_policy_cmd; serve_cmd; client_cmd;
     ]
 
 let () =

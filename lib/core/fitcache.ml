@@ -158,13 +158,29 @@ let table : (string, Runner.measurement) Hashtbl.t = Hashtbl.create 256
 let file : string option ref = ref None
 let on = ref true
 
+(* Multi-tenant attribution (the serve daemon).  The hook names the tenant
+   on whose behalf the *current thread* is working; [owners] remembers which
+   tenant first paid for each key's simulation, so a hit by a different
+   tenant can be counted as cross-tenant amortization.  Entirely inert —
+   zero lookups, zero counters — until a hook is installed. *)
+let tenant_hook : (unit -> string option) ref = ref (fun () -> None)
+let set_tenant_hook f = tenant_hook := f
+let owners : (string, string) Hashtbl.t = Hashtbl.create 64
+
 let enabled () = !on
 let set_enabled v = on := v
 
 let clear () =
   Mutex.lock mu;
   Hashtbl.reset table;
+  Hashtbl.reset owners;
   Mutex.unlock mu
+
+let size () =
+  Mutex.lock mu;
+  let n = Hashtbl.length table in
+  Mutex.unlock mu;
+  n
 
 (* --- JSONL persistence -------------------------------------------------- *)
 
@@ -241,7 +257,13 @@ let set_file path =
   (match path with
   | Some p when Sys.file_exists p ->
     let ic = open_in p in
+    (* Warn once per file, not once per line: a big cache truncated by a
+       crashed writer could otherwise spray thousands of identical lines on
+       stderr.  The first bad line's position and cause are kept for the
+       summary; the count also lands in the "fitness.cache_corrupt"
+       counter so the serve daemon's stats expose it without scraping. *)
     let lineno = ref 0 and skipped = ref 0 in
+    let first_bad : (int * string) option ref = ref None in
     (try
        while true do
          let line = input_line ic in
@@ -251,14 +273,19 @@ let set_file path =
            | Ok (k, m) -> if not (Hashtbl.mem table k) then Hashtbl.add table k m
            | Error e ->
              incr skipped;
-             Printf.eprintf "warning: fitness cache %s:%d: skipping bad entry (%s)\n%!"
-               p !lineno e
+             if !first_bad = None then first_bad := Some (!lineno, e)
        done
      with End_of_file -> ());
     close_in ic;
-    if !skipped > 0 then
-      Printf.eprintf "warning: fitness cache %s: %d corrupt line%s ignored\n%!" p !skipped
+    if !skipped > 0 then begin
+      Metric.add (Metric.counter "fitness.cache_corrupt") !skipped;
+      let where, why = match !first_bad with Some (l, e) -> (l, e) | None -> (0, "") in
+      Printf.eprintf
+        "warning: fitness cache %s: %d corrupt line%s ignored (first at line %d: %s)\n%!"
+        p !skipped
         (if !skipped = 1 then "" else "s")
+        where why
+    end
   | _ -> ());
   Mutex.unlock mu
 
@@ -274,10 +301,26 @@ let store_measurement k m =
   Mutex.lock mu;
   if not (Hashtbl.mem table k) then begin
     Hashtbl.add table k m;
+    (match !tenant_hook () with
+    | Some t when not (Hashtbl.mem owners k) -> Hashtbl.add owners k t
+    | _ -> ());
     bump "fitness.unique_plans";
     match !file with Some p -> append_entry p k m | None -> ()
   end;
   Mutex.unlock mu
+
+(* A hit where the key's simulation was paid for by a *different* tenant:
+   the cross-tenant amortization the serve daemon exists to create. *)
+let count_tenant_hit k =
+  match !tenant_hook () with
+  | None -> ()
+  | Some t ->
+    Mutex.lock mu;
+    let cross =
+      match Hashtbl.find_opt owners k with Some owner -> owner <> t | None -> false
+    in
+    Mutex.unlock mu;
+    if cross then bump "fitness.cross_tenant_hits"
 
 let mem ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations prog =
   !on
@@ -299,6 +342,7 @@ let lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iter
     match find_measurement k with
     | Some m ->
       bump "fitness.sig_hits";
+      count_tenant_hit k;
       m
     | None ->
       bump "fitness.sig_misses";

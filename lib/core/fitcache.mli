@@ -25,7 +25,9 @@ open Inltune_vm
     whose entries are content-keyed — program digest × scenario × platform ×
     iterations × signature — so they survive restarts and compose with GA
     checkpoint/resume.  Counters: ["fitness.sig_hits"],
-    ["fitness.sig_misses"], ["fitness.unique_plans"]. *)
+    ["fitness.sig_misses"], ["fitness.unique_plans"],
+    ["fitness.cache_corrupt"] (skipped JSONL lines on load) and — with a
+    tenant hook installed — ["fitness.cross_tenant_hits"]. *)
 
 (** Hex digest of the program's canonical text form; memoized per program
     value.  Part of every cache key, so signatures can never collide across
@@ -66,14 +68,28 @@ val enabled : unit -> bool
     simulates and the table is neither consulted nor extended. *)
 val set_enabled : bool -> unit
 
-(** Forget every in-memory measurement (per-program signature data and the
-    attached file are kept).  Tests and the off/on benchmark use this. *)
+(** Forget every in-memory measurement and tenant-ownership record
+    (per-program signature data and the attached file are kept).  Tests and
+    the off/on benchmark use this. *)
 val clear : unit -> unit
 
+(** Number of measurements currently in the in-memory table. *)
+val size : unit -> int
+
+(** [set_tenant_hook f] attributes cache traffic to tenants: [f ()] names
+    the tenant the calling thread is currently working for (or [None] for
+    anonymous work — e.g. pool worker domains).  Each key remembers the
+    tenant that first paid for its simulation; a later hit by a *different*
+    tenant bumps ["fitness.cross_tenant_hits"].  The default hook returns
+    [None], keeping the whole mechanism inert outside the serve daemon. *)
+val set_tenant_hook : (unit -> string option) -> unit
+
 (** [set_file (Some path)] attaches the on-disk tier: existing entries are
-    loaded (corrupt or truncated lines are skipped with a warning on stderr,
-    never an abort), and every fresh measurement is appended as one JSONL
-    line.  [set_file None] detaches. *)
+    loaded, and every fresh measurement is appended as one JSONL line.
+    Corrupt or truncated lines are skipped — never an abort — counted in
+    ["fitness.cache_corrupt"], with a single summary warning per file on
+    stderr carrying the first bad line's position and cause.  [set_file
+    None] detaches. *)
 val set_file : string option -> unit
 
 (** Is the query's measurement already cached?  (No counters are bumped;

@@ -20,3 +20,10 @@ val to_int : t -> int option
 
 val to_string : t -> string option
 val to_bool : t -> bool option
+
+(** Compact one-line JSON encoding.  Integral numbers print without a
+    fraction part, strings are fully escaped, and non-finite numbers (which
+    JSON cannot represent) encode as [null].  [parse (encode v)] succeeds
+    for every finite [v]; the serve protocol's wire format is built on
+    this. *)
+val encode : t -> string

@@ -40,8 +40,17 @@ let failure_to_string f =
 let backoff_units ~attempt = 1 lsl min 20 (max 0 (attempt - 1))
 
 let default_classify _ = true
+let no_corrupt _ = None
 
-let protect ?(max_retries = 1) ?(classify = default_classify) ~site f =
+(* The generic engine: retries any computation, not just float-valued
+   fitness evaluations.  [corrupt] inspects a successful result and may
+   reject it as garbage (retried like an exception); [classify] decides
+   which exceptions are sandboxable — anything it rejects propagates to the
+   caller untouched (e.g. a cooperative-cancellation exception must escape,
+   not be retried).  The serve daemon wraps whole requests in this. *)
+type 'a outcome = { result : 'a; o_attempts : int }
+
+let run ?(max_retries = 1) ?(classify = default_classify) ?(corrupt = no_corrupt) ~site f =
   let c_retries = Metric.counter (site ^ ".retries") in
   let c_failures = Metric.counter (site ^ ".failures") in
   let c_backoff = Metric.counter (site ^ ".backoff_units") in
@@ -49,12 +58,11 @@ let protect ?(max_retries = 1) ?(classify = default_classify) ~site f =
   let rec attempt n backoff =
     let outcome =
       match f () with
-      | v when Float.is_finite v -> Ok v
-      | v -> Error (Printf.sprintf "corrupt output %h" v)
+      | v -> ( match corrupt v with None -> Ok v | Some reason -> Error reason)
       | exception e when classify e -> Error (Printexc.to_string e)
     in
     match outcome with
-    | Ok value -> Ok { value; attempts = n }
+    | Ok result -> Ok { result; o_attempts = n }
     | Error _ when n < max_attempts ->
       let units = backoff_units ~attempt:n in
       Metric.incr c_retries;
@@ -74,3 +82,13 @@ let protect ?(max_retries = 1) ?(classify = default_classify) ~site f =
       Error fl
   in
   attempt 1 0
+
+(* Float-valued fitness evaluation: exactly the historical behavior —
+   non-finite results are corrupt output. *)
+let protect ?max_retries ?classify ~site f =
+  let corrupt v =
+    if Float.is_finite v then None else Some (Printf.sprintf "corrupt output %h" v)
+  in
+  match run ?max_retries ?classify ~corrupt ~site f with
+  | Ok o -> Ok { value = o.result; attempts = o.o_attempts }
+  | Error f -> Error f

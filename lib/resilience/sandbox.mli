@@ -24,6 +24,27 @@ val failure_to_string : failure -> string
     work units after the given (1-based) failed attempt, capped. *)
 val backoff_units : attempt:int -> int
 
+(** A successful generic evaluation: the result and how many attempts it
+    took (1 = first try). *)
+type 'a outcome = { result : 'a; o_attempts : int }
+
+(** [run ~site f] is the generic sandbox {!protect} is built on: it retries
+    any computation, not just float-valued fitness.  [corrupt] may reject a
+    successful result as garbage (retried like an exception; default: never).
+    Exceptions for which [classify] holds (default: all) are transient and
+    retried up to [max_retries] times; exceptions [classify] rejects
+    propagate untouched — cancellation and shutdown signals must escape the
+    sandbox, not be retried.  Emits the same ["<site>.retries"] /
+    ["<site>.failures"] / ["<site>.backoff_units"] counters and
+    ["<site>.failure"] trace event as {!protect}. *)
+val run :
+  ?max_retries:int ->
+  ?classify:(exn -> bool) ->
+  ?corrupt:('a -> string option) ->
+  site:string ->
+  (unit -> 'a) ->
+  ('a outcome, failure) result
+
 (** [protect ~site f] runs [f ()]; a non-finite result is treated as corrupt
     output and an exception for which [classify] holds (default: every
     exception) as a transient failure — both are retried up to [max_retries]

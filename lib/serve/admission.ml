@@ -1,0 +1,104 @@
+(* Bounded admission with explicit backpressure.
+
+   [permits] requests execute concurrently; up to [queue_cap] more may wait.
+   Anything beyond that is shed *immediately* with [Overloaded] — the whole
+   point of the bound is that an overloaded daemon answers "try later" in
+   microseconds instead of accepting work it cannot finish, so clients can
+   back off instead of timing out blind.
+
+   Waiting is deadline-aware but OCaml's [Condition] has no timed wait, so
+   deadlines are cooperative: the daemon's housekeeping thread calls {!kick}
+   periodically, waking every waiter to re-check its deadline.  Deadline
+   resolution is therefore the kick interval (~100ms), which is far below
+   any useful request deadline. *)
+
+module Pool = Inltune_support.Pool
+
+type outcome = Admitted | Overloaded | Timed_out | Stopping
+
+type t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  permits : int;
+  queue_cap : int;
+  mutable available : int;
+  mutable waiting : int;
+  mutable stopping : bool;
+}
+
+let create ~permits ~queue_cap =
+  let permits = max 1 permits in
+  {
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    permits;
+    queue_cap = max 0 queue_cap;
+    available = permits;
+    waiting = 0;
+    stopping = false;
+  }
+
+let acquire ?deadline t =
+  let now () = Pool.now () in
+  let past_deadline () =
+    match deadline with None -> false | Some d -> now () > d
+  in
+  Mutex.lock t.mu;
+  let r =
+    if t.stopping then Stopping
+    else if t.available > 0 then begin
+      t.available <- t.available - 1;
+      Admitted
+    end
+    else if t.waiting >= t.queue_cap then Overloaded
+    else if past_deadline () then Timed_out
+    else begin
+      t.waiting <- t.waiting + 1;
+      let rec wait () =
+        if t.stopping then Stopping
+        else if t.available > 0 then begin
+          t.available <- t.available - 1;
+          Admitted
+        end
+        else if past_deadline () then Timed_out
+        else begin
+          Condition.wait t.cv t.mu;
+          wait ()
+        end
+      in
+      let r = wait () in
+      t.waiting <- t.waiting - 1;
+      r
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let release t =
+  Mutex.lock t.mu;
+  if t.available < t.permits then t.available <- t.available + 1;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let kick t =
+  Mutex.lock t.mu;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let stop t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let in_flight t =
+  Mutex.lock t.mu;
+  let n = t.permits - t.available in
+  Mutex.unlock t.mu;
+  n
+
+let waiting t =
+  Mutex.lock t.mu;
+  let n = t.waiting in
+  Mutex.unlock t.mu;
+  n

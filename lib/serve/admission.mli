@@ -1,0 +1,35 @@
+(** Bounded admission with explicit backpressure.
+
+    [permits] requests execute concurrently; up to [queue_cap] more wait;
+    anything beyond is shed immediately with [Overloaded] so an overloaded
+    daemon answers "try later" in microseconds instead of accepting work it
+    cannot finish. *)
+
+type outcome =
+  | Admitted    (** holder must {!release} *)
+  | Overloaded  (** queue full — shed, retry later *)
+  | Timed_out   (** deadline passed while queued *)
+  | Stopping    (** daemon is draining *)
+
+type t
+
+(** [permits] is clamped to [>= 1]; [queue_cap] to [>= 0]
+    ([queue_cap = 0] sheds the instant all permits are busy). *)
+val create : permits:int -> queue_cap:int -> t
+
+(** Deadline checks while queued are cooperative: waiters re-check when
+    {!release}d or {!kick}ed, so resolution is the daemon's housekeeping
+    interval. *)
+val acquire : ?deadline:float -> t -> outcome
+
+val release : t -> unit
+
+(** Wake every queued waiter to re-check its deadline (housekeeping tick). *)
+val kick : t -> unit
+
+(** Fail all queued waiters with [Stopping] and make every future
+    {!acquire} return [Stopping].  Irreversible. *)
+val stop : t -> unit
+
+val in_flight : t -> int
+val waiting : t -> int

@@ -1,0 +1,58 @@
+(* Per-tenant token buckets.
+
+   Classic leaky-bucket quota: each tenant accumulates [rate] tokens per
+   second up to [burst]; a request costs one token.  A denied take reports
+   how long until enough tokens will have accumulated, which becomes the
+   reply's retry_after_ms — clients get an honest schedule instead of a bare
+   rejection.  Time is passed in by the caller (the pool's monotonic clock in
+   production, a hand-cranked clock in tests), so refill is deterministic
+   under test. *)
+
+type tenant_state = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;   (* tokens per second; <= 0 means unlimited *)
+  burst : float;  (* bucket capacity, >= 1 *)
+  mu : Mutex.t;
+  tenants : (string, tenant_state) Hashtbl.t;
+}
+
+let create ~rate ~burst =
+  { rate; burst = Float.max 1.0 burst; mu = Mutex.create (); tenants = Hashtbl.create 16 }
+
+let unlimited = create ~rate:0.0 ~burst:1.0
+
+let take t ~now ?(cost = 1.0) tenant =
+  if t.rate <= 0.0 then Ok ()
+  else begin
+    Mutex.lock t.mu;
+    let st =
+      match Hashtbl.find_opt t.tenants tenant with
+      | Some st -> st
+      | None ->
+        (* New tenants start full: a first-ever request is never throttled. *)
+        let st = { tokens = t.burst; last = now } in
+        Hashtbl.add t.tenants tenant st;
+        st
+    in
+    (* Refill monotonically; a caller-supplied clock that steps backwards
+       (tests reusing a bucket) must not mint negative tokens. *)
+    let dt = Float.max 0.0 (now -. st.last) in
+    st.tokens <- Float.min t.burst (st.tokens +. (dt *. t.rate));
+    st.last <- now;
+    let r =
+      if st.tokens >= cost then begin
+        st.tokens <- st.tokens -. cost;
+        Ok ()
+      end
+      else Error ((cost -. st.tokens) /. t.rate)
+    in
+    Mutex.unlock t.mu;
+    r
+  end
+
+let tenant_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tenants in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,23 @@
+(** Per-tenant token-bucket quotas.
+
+    Each tenant accumulates [rate] tokens per second up to [burst]; a
+    request costs one token (by default).  Time is supplied by the caller —
+    the pool's monotonic clock in the daemon, a hand-cranked clock in tests
+    — so refill is deterministic under test. *)
+
+type t
+
+(** [rate <= 0] disables quotas entirely ({!take} always succeeds);
+    [burst] is clamped to [>= 1].  New tenants start with a full bucket. *)
+val create : rate:float -> burst:float -> t
+
+(** A shared no-op bucket ([rate = 0]). *)
+val unlimited : t
+
+(** [take t ~now tenant] spends [cost] (default 1) tokens, or reports the
+    seconds until the tenant will have accumulated enough — the caller turns
+    that into a retry_after hint. *)
+val take : t -> now:float -> ?cost:float -> string -> (unit, float) result
+
+(** Number of tenants ever seen (stats). *)
+val tenant_count : t -> int

@@ -1,0 +1,71 @@
+(* Minimal blocking client for the daemon's line protocol: connect, send one
+   JSON line, read one JSON line back.  Used by the CLI's [client]
+   subcommands, the load-generator bench, and the tests — production clients
+   in other languages just need a socket and a JSON library. *)
+
+type conn = { fd : Unix.file_descr; mutable residue : string }
+
+let connect endpoint =
+  let fd, addr =
+    match endpoint with
+    | Proto.Unix_path path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Proto.Tcp port ->
+      ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+        Unix.ADDR_INET (Unix.inet_addr_loopback, port) )
+  in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; residue = "" }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with 0 -> raise End_of_file | n -> go (off + n)
+  in
+  go 0
+
+(* Read up to the next newline, honoring [timeout_s] across partial reads. *)
+let read_line_within c ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt c.residue '\n' with
+    | Some i ->
+      let line = String.sub c.residue 0 i in
+      c.residue <- String.sub c.residue (i + 1) (String.length c.residue - i - 1);
+      Ok line
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then Error "timed out waiting for reply"
+      else (
+        match Unix.select [ c.fd ] [] [] (Float.min left 0.5) with
+        | [], _, _ -> go ()
+        | _ -> (
+          match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "server closed the connection"
+          | n ->
+            c.residue <- c.residue ^ Bytes.sub_string chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)))
+  in
+  go ()
+
+let request ?(timeout_s = 60.0) c line =
+  match send_all c.fd (line ^ "\n") with
+  | () -> read_line_within c ~timeout_s
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let rpc ?timeout_s endpoint line =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect %s: %s" (Proto.endpoint_to_string endpoint)
+             (Unix.error_message e))
+  | c -> Fun.protect ~finally:(fun () -> close c) (fun () -> request ?timeout_s c line)

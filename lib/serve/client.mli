@@ -1,0 +1,16 @@
+(** Minimal blocking client for the daemon's line protocol. *)
+
+type conn
+
+(** Raises [Unix.Unix_error] if the endpoint does not accept. *)
+val connect : Proto.endpoint -> conn
+
+val close : conn -> unit
+
+(** [request c line] sends one request line and waits up to [timeout_s]
+    (default 60) for the reply line.  Errors are connection-level; protocol
+    errors come back as normal replies with ["status":"error"]. *)
+val request : ?timeout_s:float -> conn -> string -> (string, string) result
+
+(** One-shot: connect, {!request}, close. *)
+val rpc : ?timeout_s:float -> Proto.endpoint -> string -> (string, string) result

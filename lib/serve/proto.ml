@@ -1,0 +1,135 @@
+module Json = Inltune_obs.Json
+
+(* Line-delimited JSON wire protocol for the tuning daemon.
+
+   One request per line, one reply per line, strict request/reply pairing on
+   a connection.  Requests carry an optional client-chosen [id] (for
+   idempotent retry: the daemon replays the original reply for a repeated
+   [tenant:id]), the tenant name quotas and cache attribution are keyed by,
+   an optional per-request deadline, and the operation.  Replies are flat
+   JSON objects whose ["status"] field is the machine-readable outcome; this
+   module only parses requests and renders replies — all policy lives in
+   [Server]. *)
+
+type endpoint = Unix_path of string | Tcp of int
+
+let endpoint_to_string = function
+  | Unix_path p -> p
+  | Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+type op =
+  | Ping
+  | Stats
+  | Measure of {
+      m_bench : string;
+      m_scenario : string;   (* opt | adapt | ladder *)
+      m_platform : string;   (* x86 | ppc *)
+      m_heuristic : string;  (* parameter overrides, "" = Jikes default *)
+      m_iterations : int;
+    }
+  | Tune of {
+      t_scenario : string;   (* Tuner scenario name, e.g. "opt:tot" *)
+      t_pop : int;
+      t_gens : int;
+      t_seed : int;
+      t_suite : string list; (* benchmark names; [] = full training suite *)
+    }
+
+type request = {
+  id : string option;
+  tenant : string;
+  deadline_ms : int option;
+  op : op;
+}
+
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Measure _ -> "measure"
+  | Tune _ -> "tune"
+
+(* Accessors with defaults; a present-but-mistyped field is an error, a
+   missing optional field takes its default. *)
+let str_field ?default j name =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_string v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let int_field ~default j name =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let str_list_field j name =
+  match Json.member name j with
+  | None -> Ok []
+  | Some (Json.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str s :: rest -> go (s :: acc) rest
+      | _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+    in
+    go [] items
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+
+let ( let* ) = Result.bind
+
+let parse_op j =
+  let* op = str_field j "op" ?default:None in
+  match op with
+  | None -> Error "missing \"op\""
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "measure" ->
+    let* bench = str_field j "bench" ?default:None in
+    let* m_scenario = str_field j "scenario" ~default:"opt" in
+    let* m_platform = str_field j "platform" ~default:"x86" in
+    let* m_heuristic = str_field j "heuristic" ~default:"" in
+    let* m_iterations = int_field j "iterations" ~default:3 in
+    (match bench with
+    | None -> Error "measure: missing \"bench\""
+    | Some m_bench ->
+      Ok
+        (Measure
+           {
+             m_bench;
+             m_scenario = Option.get m_scenario;
+             m_platform = Option.get m_platform;
+             m_heuristic = Option.get m_heuristic;
+             m_iterations;
+           }))
+  | Some "tune" ->
+    let* scen = str_field j "scenario" ~default:"opt:tot" in
+    let* t_pop = int_field j "pop" ~default:8 in
+    let* t_gens = int_field j "gens" ~default:3 in
+    let* t_seed = int_field j "seed" ~default:42 in
+    let* t_suite = str_list_field j "suite" in
+    Ok (Tune { t_scenario = Option.get scen; t_pop; t_gens; t_seed; t_suite })
+  | Some other -> Error (Printf.sprintf "unknown op %S" other)
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error ("bad JSON: " ^ e)
+  | Ok j ->
+    let* id = str_field j "id" ?default:None in
+    let* tenant = str_field j "tenant" ~default:"anon" in
+    let* deadline_ms =
+      match Json.member "deadline_ms" j with
+      | None -> Ok None
+      | Some v -> (
+        match Json.to_int v with
+        | Some i when i > 0 -> Ok (Some i)
+        | _ -> Error "field \"deadline_ms\" must be a positive integer")
+    in
+    let* op = parse_op j in
+    Ok { id; tenant = Option.get tenant; deadline_ms; op }
+
+(* Replies are rendered from field lists so the reply cache can re-render a
+   cached reply with extra fields (e.g. "duplicate":true) appended. *)
+let render_reply fields = Json.encode (Json.Obj fields)

@@ -1,0 +1,46 @@
+module Json = Inltune_obs.Json
+
+(** Line-delimited JSON wire protocol for the tuning daemon: one request per
+    line, one reply per line, strict pairing on a connection.  This module
+    parses requests and renders replies; all policy (quotas, admission,
+    degradation) lives in {!Server}. *)
+
+(** Where the daemon listens / the client connects.  TCP binds loopback
+    only — the daemon has no authentication story beyond tenant names. *)
+type endpoint = Unix_path of string | Tcp of int
+
+val endpoint_to_string : endpoint -> string
+
+type op =
+  | Ping   (** liveness; never queued, never quota'd *)
+  | Stats  (** counters + mode snapshot; never queued *)
+  | Measure of {
+      m_bench : string;      (** benchmark name ({!Inltune_workloads.Suites.find}) *)
+      m_scenario : string;   (** opt | adapt | ladder (default opt) *)
+      m_platform : string;   (** x86 | ppc (default x86) *)
+      m_heuristic : string;  (** parameter overrides, [""] = Jikes default *)
+      m_iterations : int;    (** default 3 *)
+    }
+  | Tune of {
+      t_scenario : string;   (** Tuner scenario name, e.g. "opt:tot" *)
+      t_pop : int;           (** GA population (default 8) *)
+      t_gens : int;          (** GA generations (default 3) *)
+      t_seed : int;          (** GA seed (default 42) *)
+      t_suite : string list; (** benchmark names; [[]] = full training suite *)
+    }
+
+type request = {
+  id : string option;        (** idempotency key, deduplicated per tenant *)
+  tenant : string;           (** quota / cache-attribution key (default "anon") *)
+  deadline_ms : int option;  (** per-request deadline *)
+  op : op;
+}
+
+val op_name : op -> string
+
+(** Parse one request line.  A present-but-mistyped field is an error; a
+    missing optional field takes its default. *)
+val parse_request : string -> (request, string) result
+
+(** Render a reply object as one compact JSON line (no trailing newline). *)
+val render_reply : (string * Json.t) list -> string

@@ -1,0 +1,49 @@
+module Json = Inltune_obs.Json
+
+(* Idempotency: a bounded FIFO of (tenant:id → reply fields).
+
+   A client that times out and retries with the same id must get the
+   original answer back, not a second execution — a tune request re-run with
+   the same seed is merely wasteful, but a retried request that was actually
+   admitted the first time would double-charge the tenant's quota and
+   double-occupy the pool.  Only terminal replies are cached (the server
+   decides which); the cache is a FIFO, not an LRU, because ids are
+   typically retried promptly or never. *)
+
+type t = {
+  cap : int;
+  mu : Mutex.t;
+  order : string Queue.t;
+  entries : (string, (string * Json.t) list) Hashtbl.t;
+}
+
+let create ~cap =
+  {
+    cap = max 1 cap;
+    mu = Mutex.create ();
+    order = Queue.create ();
+    entries = Hashtbl.create 64;
+  }
+
+let find t key =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.entries key in
+  Mutex.unlock t.mu;
+  r
+
+let store t key fields =
+  Mutex.lock t.mu;
+  if not (Hashtbl.mem t.entries key) then begin
+    while Queue.length t.order >= t.cap do
+      Hashtbl.remove t.entries (Queue.pop t.order)
+    done;
+    Queue.push key t.order;
+    Hashtbl.add t.entries key fields
+  end;
+  Mutex.unlock t.mu
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.entries in
+  Mutex.unlock t.mu;
+  n

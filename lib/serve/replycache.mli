@@ -1,0 +1,18 @@
+module Json = Inltune_obs.Json
+
+(** Idempotency: a bounded FIFO of (tenant:id → reply fields), so a client
+    retrying a request id gets the original reply replayed instead of a
+    second execution.  The server stores only terminal replies; eviction is
+    strictly FIFO. *)
+
+type t
+
+(** [cap] is clamped to [>= 1]. *)
+val create : cap:int -> t
+
+val find : t -> string -> (string * Json.t) list option
+
+(** First store per key wins; at capacity the oldest entry is evicted. *)
+val store : t -> string -> (string * Json.t) list -> unit
+
+val size : t -> int

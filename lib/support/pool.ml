@@ -36,6 +36,8 @@ exception Worker_failure of int * exn
 
 exception Deadline_exceeded of float
 
+exception Cancelled
+
 (* Observability bridge.  [lib/support] sits below [lib/obs], so the pool
    cannot name Metric counters directly; Inltune_obs installs a hook at
    module-initialization time and stolen-chunk accounting flows through it.
@@ -84,15 +86,26 @@ type batch = {
   b_done : int Atomic.t;       (* items fully evaluated *)
   b_slots : int Atomic.t;      (* pool workers still allowed to join *)
   b_run : int -> unit;         (* evaluate item [i] into the results buffer *)
+  b_kill : int -> unit;        (* record item [i] as cancelled, without running *)
+  b_cancelled : bool Atomic.t; (* imperative cancel flag ([cancel]) *)
+  b_cancel_hook : unit -> bool; (* cooperative cancel (deadline, shutdown, ...) *)
   mutable b_finished : bool;   (* set under the pool lock; await sleeps on it *)
 }
+
+(* Cancellation is cooperative at chunk granularity: a running item is never
+   interrupted (domains cannot be), but once the flag or hook trips, every
+   chunk claimed from then on is recorded as [Error Cancelled] without
+   executing.  The drain accounting (b_done) is unchanged, so [await] still
+   unblocks exactly once all indices are accounted for. *)
+let batch_cancelled b = Atomic.get b.b_cancelled || b.b_cancel_hook ()
 
 type t = {
   lock : Mutex.t;
   work_cv : Condition.t;       (* new batch published / shutdown *)
-  done_cv : Condition.t;       (* some batch finished *)
+  done_cv : Condition.t;       (* some batch finished / workers joined *)
   mutable queue : batch list;  (* batches that may still have unclaimed work *)
   mutable stopping : bool;
+  mutable joined : bool;       (* shutdown finished joining the workers *)
   mutable workers : unit Domain.t list;
   size : int;                  (* worker-domain count *)
 }
@@ -109,13 +122,21 @@ let exec_batch pool b ~stolen =
     if lo >= b.b_total then continue := false
     else begin
       let hi = min b.b_total (lo + b.b_chunk) in
-      if stolen then !counter_hook "pool.tasks_stolen" (hi - lo);
+      let cancelled = batch_cancelled b in
+      if stolen && not cancelled then !counter_hook "pool.tasks_stolen" (hi - lo);
       (* Raw gettimeofday, not [now]: that clock takes a process-wide mutex
          and this runs once per chunk on every worker. *)
       let t0 = if stolen then Unix.gettimeofday () else 0.0 in
-      for i = lo to hi - 1 do
-        b.b_run i
-      done;
+      if cancelled then begin
+        !counter_hook "pool.tasks_cancelled" (hi - lo);
+        for i = lo to hi - 1 do
+          b.b_kill i
+        done
+      end
+      else
+        for i = lo to hi - 1 do
+          b.b_run i
+        done;
       if stolen then
         !counter_hook "pool.busy_ns"
           (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9));
@@ -168,6 +189,7 @@ let create ?domains () =
       done_cv = Condition.create ();
       queue = [];
       stopping = false;
+      joined = false;
       workers = [];
       size;
     }
@@ -175,19 +197,34 @@ let create ?domains () =
   pool.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_main pool));
   pool
 
+(* Idempotent and safe from any number of domains: exactly one caller joins
+   the workers; every other concurrent or later caller blocks until that
+   join has completed, so "shutdown returned" always means "no worker domain
+   is still running".  (Calling it from a pool worker itself would deadlock —
+   workers never shut their own pool down.) *)
 let shutdown pool =
   Mutex.lock pool.lock;
-  if pool.stopping then Mutex.unlock pool.lock
+  if pool.stopping then begin
+    while not pool.joined do
+      Condition.wait pool.done_cv pool.lock
+    done;
+    Mutex.unlock pool.lock
+  end
   else begin
     pool.stopping <- true;
     Condition.broadcast pool.work_cv;
     let ws = pool.workers in
     pool.workers <- [];
     Mutex.unlock pool.lock;
-    List.iter Domain.join ws
+    List.iter Domain.join ws;
+    Mutex.lock pool.lock;
+    pool.joined <- true;
+    Condition.broadcast pool.done_cv;
+    Mutex.unlock pool.lock
   end
 
-let submit pool ?chunk ?max_workers ?deadline_s f input =
+let submit pool ?chunk ?max_workers ?deadline_s ?(priority = false)
+    ?(cancelled = fun () -> false) f input =
   let n = Array.length input in
   let results = Array.make n (Error Not_found) in
   let chunk =
@@ -206,18 +243,25 @@ let submit pool ?chunk ?max_workers ?deadline_s f input =
       b_done = Atomic.make 0;
       b_slots = Atomic.make slots;
       b_run = (fun i -> results.(i) <- run_item f input.(i) deadline_s);
+      b_kill = (fun i -> results.(i) <- Error Cancelled);
+      b_cancelled = Atomic.make false;
+      b_cancel_hook = cancelled;
       b_finished = (n = 0);
     }
   in
   if n > 0 && slots > 0 then begin
     Mutex.lock pool.lock;
     if not pool.stopping then begin
-      pool.queue <- pool.queue @ [ b ];
+      (* Priority batches go to the head of the queue so idle workers pick
+         them up before older bulk work; nothing running is preempted. *)
+      pool.queue <- (if priority then b :: pool.queue else pool.queue @ [ b ]);
       Condition.broadcast pool.work_cv
     end;
     Mutex.unlock pool.lock
   end;
   { t_pool = pool; t_batch = b; t_results = results }
+
+let cancel task = Atomic.set task.t_batch.b_cancelled true
 
 let await task =
   let pool = task.t_pool and b = task.t_batch in

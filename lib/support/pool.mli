@@ -20,6 +20,12 @@ exception Worker_failure of int * exn
     runs to completion and its late result is discarded. *)
 exception Deadline_exceeded of float
 
+(** Recorded (never raised) for items of a batch that was cancelled — via
+    {!cancel} or the batch's [cancelled] hook — before they started.
+    Cancellation is cooperative at chunk granularity: items already running
+    finish normally; items not yet claimed are skipped without executing. *)
+exception Cancelled
+
 (** Number of worker domains used by default (bounded, >= 1). *)
 val default_domains : unit -> int
 
@@ -54,16 +60,29 @@ val create : ?domains:int -> unit -> t
     (default: adaptive, 1 for small batches).  [max_workers], when given,
     caps total participants — the submitting caller plus at most
     [max_workers - 1] pool workers ([max_workers = 1] means the batch runs
-    entirely on the caller inside {!await}).  Each item's outcome is
+    entirely on the caller inside {!await}).  [priority] batches are claimed
+    ahead of older bulk work (the serve daemon marks interactive requests so
+    a long tuning batch cannot starve them).  [cancelled] is polled at every
+    chunk claim; once it returns [true], remaining unstarted items complete
+    immediately as [Error Cancelled] — the cooperative-cancellation hook
+    deadlines and shutdown drain are built on.  Each item's outcome is
     isolated exactly as in {!map_result}. *)
 val submit :
   t ->
   ?chunk:int ->
   ?max_workers:int ->
   ?deadline_s:float ->
+  ?priority:bool ->
+  ?cancelled:(unit -> bool) ->
   ('a -> 'b) ->
   'a array ->
   ('b, exn) result task
+
+(** Cancel a batch's unstarted items: every index not yet claimed resolves
+    to [Error Cancelled] without running.  Items already executing finish
+    normally (domains cannot be interrupted).  {!await} must still be called
+    to collect the results.  Idempotent. *)
+val cancel : 'a task -> unit
 
 (** [await task] participates in the batch until no work is left, blocks for
     stragglers, and returns the results in input order.  Must be called
@@ -71,9 +90,13 @@ val submit :
     {!shutdown} (the caller then evaluates every remaining item itself). *)
 val await : 'a task -> 'a array
 
-(** Stop and join the pool's workers.  Pending batches are drained first;
-    idempotent.  Submitting to a stopped pool is allowed — its batches are
-    simply evaluated by the caller inside {!await}. *)
+(** Stop and join the pool's workers.  Pending batches are drained first.
+    Idempotent and safe to call concurrently from several domains: exactly
+    one caller performs the join, every other caller blocks until it has
+    completed, so returning always means no worker domain is still running.
+    Must not be called from one of the pool's own workers.  Submitting to a
+    stopped pool is allowed — its batches are simply evaluated by the caller
+    inside {!await}. *)
 val shutdown : t -> unit
 
 (** The lazily created process-wide pool used by {!map}/{!map_result}
@@ -83,8 +106,10 @@ val get_default : unit -> t
 (** [set_counter_hook f] routes the pool's observability counters through
     [f name delta]: ["pool.tasks_stolen"] (grid indices executed by a
     non-submitting worker), ["pool.busy_ns"] (wall time workers spent
-    running stolen chunks) and ["pool.idle_ns"] (wall time workers spent
-    parked waiting for work — the starvation signal).  [lib/support] cannot
+    running stolen chunks), ["pool.idle_ns"] (wall time workers spent
+    parked waiting for work — the starvation signal) and
+    ["pool.tasks_cancelled"] (indices resolved as {!Cancelled} without
+    running).  [lib/support] cannot
     depend on the metrics registry, so [Inltune_obs] installs the bridge at
     load time. *)
 val set_counter_hook : (string -> int -> unit) -> unit

@@ -168,6 +168,77 @@ for field in cycles_per_second steps_per_second '"p50"' '"p99"'; do
   grep -q "$field" BENCH_vm.json || { echo "BENCH_vm.json: missing $field"; exit 1; }
 done
 
+echo "== serve smoke =="
+# The tuning daemon end to end: an injected fault fails one request and
+# quarantines its genome (the server stays up), the failure trips degraded
+# cache-only mode (--degrade-after 1), duplicate ids replay the original
+# reply, and SIGTERM drains to a clean exit with the socket removed.
+sock=$(mktemp -t inltune_serve.XXXXXX.sock)
+rm -f "$sock"
+trap 'rm -f "$trace" "$faults" "$ckpt" "$ds" "$pol" "$pol2" "$plan" "$plan2" "$obs" "$sock";
+      [ -n "${serve_pid:-}" ] && kill -9 "$serve_pid" 2> /dev/null || true' EXIT
+INLTUNE_FAULTS="serve:raise@1,serve:raise@2" \
+  ./_build/default/bin/main.exe serve --socket "$sock" --permits 2 \
+  --max-retries 1 --degrade-after 1 --cooldown 60 --quiet &
+serve_pid=$!
+
+client() { ./_build/default/bin/main.exe client "$@" --socket "$sock"; }
+
+i=0
+until client ping 2> /dev/null | grep -q '"status":"ok"'; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "daemon never came up"; exit 1; }
+  sleep 0.1
+done
+
+# Both armed faults land on the first simulation request: one retry, then an
+# explicit failed reply that quarantines the genome -- never the server.
+out=$(client measure compress --tenant alice --id f1)
+echo "$out" | grep -q '"status":"failed"' || { echo "faulted request not failed: $out"; exit 1; }
+echo "$out" | grep -q '"quarantined":true' || { echo "failure did not quarantine: $out"; exit 1; }
+
+# Replaying the same id returns the original reply, not a second execution.
+out=$(client measure compress --tenant alice --id f1)
+echo "$out" | grep -q '"duplicate":true' || { echo "id replay missing duplicate flag: $out"; exit 1; }
+echo "$out" | grep -q '"status":"failed"' || { echo "id replay changed the reply: $out"; exit 1; }
+
+# The same genome under a fresh id is refused outright as quarantined.
+out=$(client measure compress --tenant alice)
+echo "$out" | grep -q '"status":"quarantined"' || { echo "quarantined genome re-ran: $out"; exit 1; }
+
+# The failure was a pressure event and --degrade-after 1: the daemon now
+# answers from caches and the stock Jikes defaults instead of simulating.
+out=$(client measure db --tenant bob)
+echo "$out" | grep -q '"status":"degraded"' || { echo "expected degraded measure: $out"; exit 1; }
+echo "$out" | grep -q '"mode":"degraded"' || { echo "missing degraded mode flag: $out"; exit 1; }
+out=$(client tune -s opt:tot --pop 4 -g 1 --tenant bob)
+echo "$out" | grep -q '"status":"degraded"' || { echo "expected degraded tune: $out"; exit 1; }
+echo "$out" | grep -q '"fallback":"default-heuristic"' \
+  || { echo "degraded tune did not fall back to the default heuristic: $out"; exit 1; }
+
+# The daemon is still healthy throughout.
+client ping | grep -q '"status":"ok"' || { echo "daemon unhealthy after faults"; exit 1; }
+
+# SIGTERM: drain and exit 0, removing the socket.
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "daemon exited $rc on SIGTERM, want 0"; exit 1; }
+[ ! -e "$sock" ] || { echo "daemon left its socket behind"; exit 1; }
+serve_pid=""
+
+echo "== serve-bench smoke =="
+# bench serve floods an in-process daemon with concurrent tenants under
+# fault injection and itself exits nonzero unless every client got an
+# explicit reply, backpressure was exercised, tenants shared cache entries,
+# and a fixed-seed tune through the daemon matched the offline tuner.
+dune exec --no-build bench/main.exe serve > /dev/null
+for field in '"server_crashes":0' '"identical_tune":true' '"healed":true'; do
+  grep -q "$field" BENCH_serve.json || { echo "BENCH_serve.json: missing $field"; exit 1; }
+done
+cross=$(sed -n 's/.*"cross_tenant_hits":\([0-9]*\).*/\1/p' BENCH_serve.json)
+[ "${cross:-0}" -gt 0 ] || { echo "expected cross_tenant_hits > 0, got ${cross:-none}"; exit 1; }
+
 echo "== CLI error smoke =="
 # Bad flag values must die with a one-line error and exit code 2.
 rc=0

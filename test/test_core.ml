@@ -181,6 +181,56 @@ let test_fitcache_corrupt_file_skipped () =
                ~heuristic:Heuristic.default ~inline_enabled:true ~plan:Plan.default
                ~iterations:3 p)))
 
+let test_fitcache_corrupt_lines_counted () =
+  (* Every skipped line at attach time lands in the "fitness.cache_corrupt"
+     counter (one summary warning per file, but each line counted), so a
+     rotting cache file is visible in stats long after the stderr note
+     scrolled away. *)
+  let path = Filename.temp_file "fitcache" ".jsonl" in
+  with_clean_fitcache (fun () ->
+      Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+          let oc = open_out path in
+          output_string oc "not json at all\n";
+          output_string oc "{\"key\":\"orphan\"}\n";
+          output_string oc "{\"key\":\"k/1\",\"total_cycles\":12,\"running_cy";
+          close_out oc;
+          let c0 = metric "fitness.cache_corrupt" in
+          Fitcache.set_file (Some path);
+          Alcotest.(check int) "three corrupt lines counted" (c0 + 3)
+            (metric "fitness.cache_corrupt");
+          Alcotest.(check int) "nothing loaded" 0 (Fitcache.size ());
+          (* Re-attaching recounts: the counter tracks attach events, so a
+             persistent daemon re-reading a bad file keeps reporting it. *)
+          Fitcache.set_file None;
+          Fitcache.set_file (Some path);
+          Alcotest.(check int) "recounted on re-attach" (c0 + 6)
+            (metric "fitness.cache_corrupt")))
+
+let test_fitcache_cross_tenant_hits () =
+  (* Tenant attribution: the first tenant to store a signature owns it; a
+     different tenant hitting it bumps "fitness.cross_tenant_hits" — the
+     daemon's evidence that tenants amortize each other's simulations. *)
+  with_clean_fitcache (fun () ->
+      let cur = ref (Some "alice") in
+      Fitcache.set_tenant_hook (fun () -> !cur);
+      Fun.protect
+        ~finally:(fun () -> Fitcache.set_tenant_hook (fun () -> None))
+        (fun () ->
+          let x0 = metric "fitness.cross_tenant_hits" in
+          let go () =
+            Measure.run ~scenario:Machine.Opt ~platform:Platform.x86
+              ~heuristic:Heuristic.default bm_db
+          in
+          ignore (go ());
+          (* Alice hitting her own entry is not a cross-tenant hit. *)
+          ignore (go ());
+          Alcotest.(check int) "self hit not counted" x0
+            (metric "fitness.cross_tenant_hits");
+          cur := Some "bob";
+          ignore (go ());
+          Alcotest.(check int) "bob hits alice's entry" (x0 + 1)
+            (metric "fitness.cross_tenant_hits")))
+
 let test_fitcache_ga_bit_transparent () =
   (* The tentpole invariant: the same fixed-seed GA, cache off vs on, must
      produce the same best genome and the same per-generation history. *)
@@ -396,6 +446,8 @@ let suite =
     ("fitcache hit avoids simulation", `Quick, test_fitcache_hit_avoids_simulation);
     ("fitcache file round trip", `Quick, test_fitcache_file_round_trip);
     ("fitcache corrupt file skipped", `Quick, test_fitcache_corrupt_file_skipped);
+    ("fitcache corrupt lines counted", `Quick, test_fitcache_corrupt_lines_counted);
+    ("fitcache cross-tenant hits", `Quick, test_fitcache_cross_tenant_hits);
     ("fitcache GA bit transparent", `Slow, test_fitcache_ga_bit_transparent);
     ("objective perf formulas", `Quick, test_perf_running_and_total);
     ("objective default is unity", `Quick, test_perf_default_is_unity);

@@ -104,6 +104,63 @@ let test_sandbox_classify_rejects () =
   Alcotest.check_raises "unclassified exception propagates" Exit (fun () ->
       ignore (Sandbox.protect ~classify:(fun e -> e <> Exit) ~site:"t" f))
 
+let test_sandbox_run_generic_corrupt () =
+  (* The generic engine retries arbitrary result types; [corrupt] rejects a
+     bad success exactly like an exception. *)
+  let calls = ref 0 in
+  let f () = incr calls; if !calls = 1 then "garbage" else "fine" in
+  let corrupt s = if s = "garbage" then Some "garbage result" else None in
+  match Sandbox.run ~max_retries:1 ~corrupt ~site:"t" f with
+  | Ok o ->
+    Alcotest.(check string) "second result kept" "fine" o.Sandbox.result;
+    Alcotest.(check int) "attempts" 2 o.Sandbox.o_attempts
+  | Error fl -> Alcotest.failf "unexpected failure: %s" (Sandbox.failure_to_string fl)
+
+(* The env-armed hang path: INLTUNE_FAULTS="SITE:hang@K" makes the K-th gate
+   check of SITE burn its whole fuel budget (Out_of_fuel), which the sandbox
+   treats as one more transient failure — retried with the deterministic
+   exponential backoff schedule. *)
+
+let arm_from_env spec =
+  Unix.putenv "INLTUNE_FAULTS" spec;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "INLTUNE_FAULTS" "")
+    (fun () ->
+      match Faultinject.init_from_env () with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "init_from_env: %s" m)
+
+let hang_gate site () =
+  match Faultinject.check site with
+  | Some Faultinject.Hang -> raise Inltune_vm.Machine.Out_of_fuel
+  | Some Faultinject.Raise -> raise (Faultinject.Injected site)
+  | Some Faultinject.Corrupt -> Float.nan
+  | None -> 0.5
+
+let test_sandbox_hang_retries_then_succeeds () =
+  arm_from_env "sbx:hang@1";
+  Fun.protect ~finally:Faultinject.clear (fun () ->
+      match Sandbox.protect ~max_retries:2 ~site:"sbx" (hang_gate "sbx") with
+      | Ok ok ->
+        Alcotest.(check (float 0.0)) "recovered value" 0.5 ok.Sandbox.value;
+        Alcotest.(check int) "hang, then success" 2 ok.Sandbox.attempts
+      | Error fl -> Alcotest.failf "unexpected failure: %s" (Sandbox.failure_to_string fl))
+
+let test_sandbox_hang_exhaustion_deterministic_backoff () =
+  (* Every attempt hangs: the failure record carries exactly the backoff the
+     schedule prescribes (1 after attempt 1, 2 after attempt 2), every run. *)
+  arm_from_env "sbx2:hang@1,sbx2:hang@2,sbx2:hang@3";
+  Fun.protect ~finally:Faultinject.clear (fun () ->
+      match Sandbox.protect ~max_retries:2 ~site:"sbx2" (hang_gate "sbx2") with
+      | Ok _ -> Alcotest.fail "three hangs must exhaust two retries"
+      | Error fl ->
+        Alcotest.(check int) "attempts" 3 fl.Sandbox.f_attempts;
+        Alcotest.(check int) "backoff 1 + 2"
+          (Sandbox.backoff_units ~attempt:1 + Sandbox.backoff_units ~attempt:2)
+          fl.Sandbox.f_backoff_units;
+        Alcotest.(check int) "gate consumed all three faults" 3
+          (Faultinject.calls "sbx2"))
+
 let test_backoff_schedule () =
   Alcotest.(check (list int)) "exponential" [ 1; 2; 4; 8 ]
     (List.map (fun a -> Sandbox.backoff_units ~attempt:a) [ 1; 2; 3; 4 ]);
@@ -330,6 +387,9 @@ let suite =
     ("sandbox corrupt output", `Quick, test_sandbox_corrupt_output);
     ("sandbox classify rejects", `Quick, test_sandbox_classify_rejects);
     ("sandbox backoff schedule", `Quick, test_backoff_schedule);
+    ("sandbox generic run corrupt", `Quick, test_sandbox_run_generic_corrupt);
+    ("sandbox hang retries then succeeds", `Quick, test_sandbox_hang_retries_then_succeeds);
+    ("sandbox hang exhaustion backoff", `Quick, test_sandbox_hang_exhaustion_deterministic_backoff);
     ("checkpoint roundtrip", `Quick, test_checkpoint_roundtrip);
     ("checkpoint float fidelity", `Quick, test_checkpoint_float_fidelity);
     ("checkpoint load last valid", `Quick, test_checkpoint_load_last_valid);

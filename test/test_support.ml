@@ -332,6 +332,94 @@ let test_pool_max_workers_one () =
     out;
   Pool.shutdown pool
 
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  ignore (Pool.await (Pool.submit pool (fun x -> x + 1) [| 1; 2 |]));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Still usable after repeated shutdowns: the caller evaluates. *)
+  let out = Pool.await (Pool.submit pool (fun x -> x * 2) [| 3 |]) in
+  Alcotest.(check bool) "caller evaluates" true (out.(0) = Ok 6)
+
+let test_pool_shutdown_concurrent_domains () =
+  (* Several domains race to shut the same pool down: exactly one performs
+     the join, the rest block until it finishes, and every caller returns
+     only once no worker domain is running.  (A second join of the same
+     domain would crash — this is the regression test for that.) *)
+  let pool = Pool.create ~domains:2 () in
+  ignore (Pool.await (Pool.submit pool (fun x -> x) (Array.init 32 Fun.id)));
+  let racers = Array.init 4 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool)) in
+  Array.iter Domain.join racers;
+  Pool.shutdown pool;
+  let out = Pool.await (Pool.submit pool (fun x -> x + 1) [| 41 |]) in
+  Alcotest.(check bool) "drained pool still answers" true (out.(0) = Ok 42)
+
+let test_pool_cancel_skips_unstarted () =
+  (* max_workers:1 keeps every item unclaimed until await, so cancelling
+     first deterministically skips the whole batch without running it. *)
+  let pool = Pool.create ~domains:2 () in
+  let ran = Atomic.make 0 in
+  let task =
+    Pool.submit pool ~max_workers:1
+      (fun x -> Atomic.incr ran; x)
+      (Array.init 10 Fun.id)
+  in
+  Pool.cancel task;
+  Pool.cancel task;
+  (* idempotent *)
+  let out = Pool.await task in
+  Array.iter
+    (function
+      | Error Pool.Cancelled -> ()
+      | Ok _ -> Alcotest.fail "cancelled item executed"
+      | Error e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))
+    out;
+  Alcotest.(check int) "nothing executed" 0 (Atomic.get ran);
+  Pool.shutdown pool
+
+let test_pool_cancelled_hook () =
+  (* The cooperative hook the serve daemon's deadlines are built on: once it
+     reports true, unclaimed items resolve as Cancelled without running. *)
+  let pool = Pool.create ~domains:2 () in
+  let task =
+    Pool.submit pool ~max_workers:1
+      ~cancelled:(fun () -> true)
+      (fun x -> x) (Array.init 8 Fun.id)
+  in
+  let out = Pool.await task in
+  Array.iter
+    (function
+      | Error Pool.Cancelled -> ()
+      | r ->
+        Alcotest.failf "expected Cancelled, got %s"
+          (match r with Ok _ -> "Ok" | Error e -> Printexc.to_string e))
+    out;
+  Pool.shutdown pool
+
+let test_pool_priority_batch_completes () =
+  (* A priority batch submitted behind a bulk batch still completes with
+     correct per-item results (ordering itself is a scheduling property; this
+     pins down that the priority path never corrupts or drops outcomes). *)
+  let pool = Pool.create ~domains:2 () in
+  let bulk = Pool.submit pool (fun x -> x * x) (Array.init 200 Fun.id) in
+  let pri = Pool.submit pool ~priority:true (fun x -> -x) (Array.init 20 Fun.id) in
+  let pout = Pool.await pri in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok y -> Alcotest.(check int) "priority result" (-i) y
+      | Error e -> Alcotest.failf "priority item %d: %s" i (Printexc.to_string e))
+    pout;
+  let bout = Pool.await bulk in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok y -> Alcotest.(check int) "bulk result" (i * i) y
+      | Error e -> Alcotest.failf "bulk item %d: %s" i (Printexc.to_string e))
+    bout;
+  Pool.shutdown pool
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -378,4 +466,9 @@ let suite =
     ("pool drains after worker failure", `Quick, test_pool_drains_after_failure);
     ("pool submit after shutdown", `Quick, test_pool_submit_after_shutdown);
     ("pool max_workers one", `Quick, test_pool_max_workers_one);
+    ("pool shutdown idempotent", `Quick, test_pool_shutdown_idempotent);
+    ("pool shutdown concurrent domains", `Quick, test_pool_shutdown_concurrent_domains);
+    ("pool cancel skips unstarted", `Quick, test_pool_cancel_skips_unstarted);
+    ("pool cancelled hook", `Quick, test_pool_cancelled_hook);
+    ("pool priority batch completes", `Quick, test_pool_priority_batch_completes);
   ]
