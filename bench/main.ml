@@ -6,6 +6,7 @@
        dune exec bench/main.exe fig5            # one experiment
        dune exec bench/main.exe ablations       # just the ablations
        dune exec bench/main.exe policy          # GA-vs-learned policy comparison
+       dune exec bench/main.exe gp              # GP structure search -> BENCH_gp.json
        dune exec bench/main.exe tuner           # fitness-cache off/on protocol
        dune exec bench/main.exe passes          # plan-interpreter identity + plan GA
        dune exec bench/main.exe vm              # VM throughput trajectory -> BENCH_vm.json
@@ -419,53 +420,121 @@ let extensions () =
 (* ---- Learned-policy comparison ------------------------------------------ *)
 
 module P = Inltune_policy
+module Gp = Inltune_gp
 
 (* The GA-vs-learned protocol: tune and train on SPECjvm98, then measure
    default vs GA-tuned vs learned CART policy on both suites.  Besides the
    printed tables, the per-suite geomean time ratios land in
    BENCH_policy.json so CI and tooling can diff runs without scraping
    tables. *)
-let policy_comparison () =
-  print_endline "==== Learned-policy comparison (default vs GA-tuned vs CART) ====\n";
-  let o = Tuner.tune ~budget:(budget ()) Tuner.Opt_tot_x86 in
+(* The shared protocol of the policy and gp benches: GA-tune on SPECjvm98,
+   label a flip-oracle dataset there, train CART on it, and evolve a GP
+   policy with the dataset as the agreement pre-filter. *)
+let train_all_policies () =
+  let b = budget () in
+  let o = Tuner.tune ~budget:b Tuner.Opt_tot_x86 in
   let cfg = { P.Dataset.default_config with P.Dataset.max_sites = 12 } in
   let examples = P.Dataset.generate cfg W.Suites.spec in
-  let tree = P.Cart.train (P.Dataset.to_training examples) in
+  let training = P.Dataset.to_training examples in
+  let tree = P.Cart.train training in
+  let gp_params =
+    {
+      Gp.Evolve.default_params with
+      Gp.Evolve.pop_size = b.Tuner.pop;
+      generations = b.Tuner.gens;
+      seed = b.Tuner.seed;
+    }
+  in
+  let gpr =
+    Gp.Evolve.run ~dataset:training ~suite:W.Suites.spec ~scenario:Machine.Opt
+      ~platform:Platform.x86 ~goal:Objective.Total ~params:gp_params ()
+  in
   Printf.printf "tuned heuristic: %s\n" (Heuristic.to_string o.Tuner.heuristic);
-  Printf.printf "dataset: %d examples; tree: %d nodes, depth %d\n\n"
+  Printf.printf "dataset: %d examples; CART tree: %d nodes, depth %d\n"
     (List.length examples) (P.Dtree.size tree) (P.Dtree.depth tree);
-  let store = P.Store.Tree tree in
+  Printf.printf "GP best (%d evals, %d cache hits, size %d): %s\n"
+    gpr.Gp.Evolve.evaluations gpr.Gp.Evolve.cache_hits (Gp.Tree.size gpr.Gp.Evolve.best)
+    (Gp.Tree.to_text gpr.Gp.Evolve.best);
+  (o.Tuner.heuristic, tree, gpr)
+
+let policy_systems tuned tree gp_tree =
+  let scenario = Machine.Opt and platform = Platform.x86 in
+  [
+    ("ga", fun bm -> Measure.run ~scenario ~platform ~heuristic:tuned bm);
+    ("cart", fun bm -> P.Evaluate.measure ~scenario ~platform (P.Store.Tree tree) bm);
+    ("gp", fun bm -> Gp.Fitness.measure ~scenario ~platform gp_tree bm);
+  ]
+
+let policy_comparison () =
+  print_endline "==== Learned-policy comparison (default vs GA-tuned vs CART vs GP) ====\n";
+  let tuned, tree, gpr = train_all_policies () in
+  print_newline ();
+  let systems = policy_systems tuned tree gpr.Gp.Evolve.best in
   let reports =
     List.map
       (fun (tag, suite) ->
         let r =
-          P.Evaluate.compare ~tuned:o.Tuner.heuristic ~scenario:Machine.Opt
-            ~platform:Platform.x86 store suite
+          P.Evaluate.compare_many ~scenario:Machine.Opt ~platform:Platform.x86 systems suite
         in
-        Table.print (P.Evaluate.table r);
+        Table.print (P.Evaluate.many_table r);
         print_newline ();
         (tag, r))
       [ ("spec", W.Suites.spec); ("dacapo", W.Suites.dacapo) ]
   in
   let oc = open_out "BENCH_policy.json" in
-  let goal_json (g : P.Evaluate.geo option) metric =
-    let v sel = match g with None -> 1.0 | Some g -> sel g in
-    match metric with
-    | `Running -> v (fun g -> g.P.Evaluate.g_running)
-    | `Total -> v (fun g -> g.P.Evaluate.g_total)
-  in
   let suite_json (tag, r) =
-    let tuned = P.Evaluate.tuned_geo r and learned = Some (P.Evaluate.learned_geo r) in
+    let geos = P.Evaluate.many_geos r in
+    let geo l = List.assoc l geos in
     Printf.sprintf
-      "\"%s\":{\"running\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f},\"total\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f}}"
+      "\"%s\":{\"running\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f,\"gp\":%.6f},\"total\":{\"default\":1.0,\"ga\":%.6f,\"learned\":%.6f,\"gp\":%.6f}}"
       tag
-      (goal_json tuned `Running) (goal_json learned `Running)
-      (goal_json tuned `Total) (goal_json learned `Total)
+      (geo "ga").P.Evaluate.g_running (geo "cart").P.Evaluate.g_running
+      (geo "gp").P.Evaluate.g_running (geo "ga").P.Evaluate.g_total
+      (geo "cart").P.Evaluate.g_total (geo "gp").P.Evaluate.g_total
   in
   Printf.fprintf oc "{\"scenario\":\"opt\",\"platform\":\"x86\",\"suites\":{%s}}\n"
     (String.concat "," (List.map suite_json reports));
   close_out oc;
   print_endline "wrote BENCH_policy.json\n"
+
+(* ---- GP bench ------------------------------------------------------------ *)
+
+(* The tentpole's headline experiment: evolve the rule's structure on
+   SPECjvm98, evaluate on the unseen DaCapo+JBB suite against the GA-tuned
+   heuristic (the paper's Fig. 3 protocol) and the CART policy, and report
+   how much simulation the dataset-agreement pre-filter avoided.  Numbers
+   land in BENCH_gp.json for CI. *)
+let gp_bench () =
+  print_endline "==== GP policy evolution (structure search vs GA-tuned and CART) ====\n";
+  let tuned, tree, gpr = train_all_policies () in
+  let avoidance =
+    if gpr.Gp.Evolve.prefilter_candidates = 0 then 0.0
+    else
+      Float.of_int gpr.Gp.Evolve.prefilter_skips
+      /. Float.of_int gpr.Gp.Evolve.prefilter_candidates
+  in
+  Printf.printf "pre-filter: skipped %d of %d fresh trees (%.0f%% simulation avoidance)\n\n"
+    gpr.Gp.Evolve.prefilter_skips gpr.Gp.Evolve.prefilter_candidates (100.0 *. avoidance);
+  let report =
+    P.Evaluate.compare_many ~scenario:Machine.Opt ~platform:Platform.x86
+      (policy_systems tuned tree gpr.Gp.Evolve.best)
+      W.Suites.dacapo
+  in
+  Table.print (P.Evaluate.many_table report);
+  print_newline ();
+  let geos = P.Evaluate.many_geos report in
+  let geo l = List.assoc l geos in
+  let oc = open_out "BENCH_gp.json" in
+  Printf.fprintf oc
+    "{\"scenario\":\"opt\",\"platform\":\"x86\",\"suite\":\"dacapo\",\"best_tree\":\"%s\",\"tree_size\":%d,\"evaluations\":%d,\"cache_hits\":%d,\"prefilter\":{\"candidates\":%d,\"skips\":%d,\"avoidance\":%.4f},\"running\":{\"default\":1.0,\"ga\":%.6f,\"cart\":%.6f,\"gp\":%.6f},\"total\":{\"default\":1.0,\"ga\":%.6f,\"cart\":%.6f,\"gp\":%.6f}}\n"
+    (Gp.Tree.to_text gpr.Gp.Evolve.best)
+    (Gp.Tree.size gpr.Gp.Evolve.best)
+    gpr.Gp.Evolve.evaluations gpr.Gp.Evolve.cache_hits gpr.Gp.Evolve.prefilter_candidates
+    gpr.Gp.Evolve.prefilter_skips avoidance (geo "ga").P.Evaluate.g_running
+    (geo "cart").P.Evaluate.g_running (geo "gp").P.Evaluate.g_running
+    (geo "ga").P.Evaluate.g_total (geo "cart").P.Evaluate.g_total (geo "gp").P.Evaluate.g_total;
+  close_out oc;
+  print_endline "wrote BENCH_gp.json\n"
 
 (* ---- Tuner caching bench ------------------------------------------------- *)
 
@@ -1114,6 +1183,7 @@ let () =
   | "ablations" -> ablations ()
   | "extensions" -> extensions ()
   | "policy" -> policy_comparison ()
+  | "gp" -> gp_bench ()
   | "tuner" -> tuner_bench ()
   | "passes" -> passes_bench ()
   | "vm" -> vm_bench ()

@@ -5,7 +5,8 @@
      show <bench>              dump a benchmark's JIR and shape statistics
      run <bench>               simulate one benchmark and report times
      tune                      GA-tune the heuristic (and, with --tune-passes,
-                               the optimization plan) for a scenario
+                               the optimization plan; with --evolve-policy,
+                               the rule's structure itself) for a scenario
      plan [<file>]             print, validate, or canonicalize a plan
      experiment <id>           regenerate a paper table/figure (or "all")
      trace-summary <file>      aggregate a JSONL trace into report tables
@@ -13,6 +14,7 @@
      dataset <file>            build a flip-oracle labeled dataset (resumable)
      train-policy              induce a decision-tree (or threshold) policy
      eval-policy <file>        run a stored policy on a suite vs default/GA
+     gp print|eval <file>      inspect / evaluate an evolved policy tree
      serve                     run the tuning daemon (line-JSON over a socket)
      client <op>               talk to a running daemon (ping/stats/measure/tune)
 *)
@@ -22,6 +24,8 @@ open Inltune_core
 open Inltune_vm
 open Inltune_opt
 module W = Inltune_workloads
+module P = Inltune_policy
+module Gp = Inltune_gp
 
 (* Bad flag values get one line on stderr and exit code 2 (usage error),
    never a raw OCaml backtrace. *)
@@ -293,7 +297,7 @@ let progress_reporter ~gens =
 
 let tune_cmd =
   let run scenario pop gens seed max_retries domains fcache checkpoint resume planfile
-      tune_passes trace profile progress =
+      tune_passes evolve_policy dataset_file gp_out trace profile progress =
     setup_trace trace;
     setup_profile profile;
     let domains = domains_of_flag domains in
@@ -303,6 +307,10 @@ let tune_cmd =
     let plan = plan_of_flag planfile in
     if tune_passes && Option.is_some plan then
       die "--tune-passes evolves the plan itself; it cannot be combined with --plan";
+    if evolve_policy && tune_passes then
+      die "--evolve-policy and --tune-passes are different searches; pick one";
+    if evolve_policy && Option.is_some plan then
+      die "--evolve-policy runs under the default plan; it cannot be combined with --plan";
     let on_generation (p : Inltune_ga.Evolve.progress) =
       Printf.eprintf "[inltune]   gen %2d: best %.4f mean %.4f (%d evals)\n%!"
         p.Inltune_ga.Evolve.generation p.Inltune_ga.Evolve.best_fitness
@@ -320,7 +328,71 @@ let tune_cmd =
         Printf.printf "evaluation failures: %d (quarantined genotypes: %d)\n" failures
           ga.Inltune_ga.Evolve.quarantined
     in
-    if tune_passes then begin
+    if evolve_policy then begin
+      let spec = Tuner.spec_of id in
+      (* --dataset enables the agreement pre-filter: the flip-oracle labels
+         are loaded when the file already exists (policy.dataset_reused) and
+         computed — with the file as the resumable journal — when not. *)
+      let dataset =
+        match dataset_file with
+        | None -> None
+        | Some path ->
+          let cfg =
+            {
+              P.Dataset.default_config with
+              P.Dataset.scenario = spec.Tuner.scenario;
+              platform = spec.Tuner.platform;
+              goal = spec.Tuner.goal;
+            }
+          in
+          let examples =
+            P.Dataset.load_or_generate ~file:path
+              ~on_benchmark:(fun b n -> Printf.eprintf "[inltune] labeling %s: %d sites\n%!" b n)
+              cfg W.Suites.spec
+          in
+          Some (P.Dataset.to_training examples)
+      in
+      let params =
+        {
+          Gp.Evolve.default_params with
+          Gp.Evolve.pop_size = pop;
+          generations = gens;
+          seed;
+          domains;
+        }
+      in
+      let guard = { Gp.Evolve.default_guard with Inltune_ga.Evolve.max_retries } in
+      let r =
+        Gp.Evolve.run ?on_generation ?on_stats ~guard ?checkpoint ?resume ?dataset
+          ~suite:W.Suites.spec ~scenario:spec.Tuner.scenario ~platform:spec.Tuner.platform
+          ~goal:spec.Tuner.goal ~params ()
+      in
+      Printf.printf "scenario: %s\n" spec.Tuner.label;
+      (match r.Gp.Evolve.stopped with
+      | Some reason -> Printf.printf "search stopped early: %s\n" reason
+      | None -> ());
+      Printf.printf "best policy: %s\n" (Gp.Tree.to_text r.Gp.Evolve.best);
+      Printf.printf "  i.e. %s\n" (Gp.Tree.pretty ~names:P.Features.names r.Gp.Evolve.best);
+      Printf.printf "fitness (geomean vs default + parsimony, lower is better): %.4f\n"
+        r.Gp.Evolve.best_fitness;
+      Printf.printf "distinct evaluations: %d (cache hits: %d)\n" r.Gp.Evolve.evaluations
+        r.Gp.Evolve.cache_hits;
+      if r.Gp.Evolve.prefilter_candidates > 0 then
+        Printf.printf "pre-filter: skipped %d of %d fresh trees (%.0f%% simulation avoidance)\n"
+          r.Gp.Evolve.prefilter_skips r.Gp.Evolve.prefilter_candidates
+          (100.0
+          *. Float.of_int r.Gp.Evolve.prefilter_skips
+          /. Float.of_int r.Gp.Evolve.prefilter_candidates);
+      if r.Gp.Evolve.failures > 0 then
+        Printf.printf "evaluation failures: %d (quarantined genotypes: %d)\n" r.Gp.Evolve.failures
+          r.Gp.Evolve.quarantined;
+      match gp_out with
+      | Some path ->
+        Gp.Tree.save path r.Gp.Evolve.best;
+        Printf.printf "wrote policy tree to %s\n" path
+      | None -> ()
+    end
+    else if tune_passes then begin
       let o =
         Tuner.tune_plan ~budget ?on_generation ?on_stats ?checkpoint ?resume ~max_retries
           ?domains id
@@ -366,6 +438,33 @@ let tune_cmd =
             "Co-evolve the optimization plan (pass toggles, strengths, payoff-pass order) \
              together with the five heuristic parameters, over the composite plan genome.")
   in
+  let evolve_policy =
+    Arg.(
+      value & flag
+      & info [ "evolve-policy" ]
+          ~doc:
+            "Genetic programming instead of parameter tuning: evolve the inlining rule's \
+             structure as a typed expression tree over the call-site features, rather than \
+             the five thresholds of the fixed Fig. 3/4 rule.")
+  in
+  let dataset_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dataset" ] ~docv:"FILE"
+          ~doc:
+            "Flip-oracle dataset (see the $(b,dataset) subcommand) enabling the \
+             agreement pre-filter under $(b,--evolve-policy): trees whose label agreement \
+             trails the current elite's are surrogate-scored without simulation.  Loaded \
+             when the file exists; labeled from scratch (resumably) when not.")
+  in
+  let gp_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gp-out" ] ~docv:"FILE"
+          ~doc:"Write the best evolved policy tree to $(docv) (inltune-gp v1 format).")
+  in
   let progress =
     Arg.(
       value & flag
@@ -378,8 +477,8 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"GA-tune the inlining heuristic for a scenario")
     Term.(
       const run $ scenario $ pop $ gens $ seed $ max_retries_arg $ domains_arg
-      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ plan_arg $ tune_passes $ trace_arg
-      $ profile_arg $ progress)
+      $ fitness_cache_arg $ checkpoint_arg $ resume_arg $ plan_arg $ tune_passes
+      $ evolve_policy $ dataset_file $ gp_out $ trace_arg $ profile_arg $ progress)
 
 (* --- export / run-file ----------------------------------------------------- *)
 
@@ -566,8 +665,6 @@ let trace_summary_cmd =
     Term.(const run $ path $ folded)
 
 (* --- learned policies ------------------------------------------------------ *)
-
-module P = Inltune_policy
 
 let suite_of_flag = function
   | "spec" -> W.Suites.spec
@@ -777,6 +874,72 @@ let eval_policy_cmd =
     Term.(
       const run $ path $ print_only $ suite $ bench_csv $ scenario_arg $ platform_arg $ iters
       $ no_tuned $ tuned_params $ pop $ gens $ seed $ domains_arg $ trace_arg)
+
+(* --- gp ------------------------------------------------------------------- *)
+
+let load_gp_tree path =
+  match Gp.Tree.load ~dim:P.Features.dim path with
+  | Ok t -> t
+  | Error msg -> die "bad policy tree %s: %s" path msg
+
+let gp_print_cmd =
+  let run path pretty =
+    let t = load_gp_tree path in
+    if pretty then print_endline (Gp.Tree.pretty ~names:P.Features.names t)
+    else print_string (Gp.Tree.to_string t)
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TREE"
+         ~doc:"Policy tree file (inltune-gp v1)")
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ]
+         ~doc:"Render as an infix expression over feature names instead of the canonical form")
+  in
+  Cmd.v
+    (Cmd.info "print"
+       ~doc:"Parse, validate, and reprint an evolved policy tree in canonical form")
+    Term.(const run $ path $ pretty)
+
+let gp_eval_cmd =
+  let run path suite bench_csv scenario platform iterations fcache domains trace =
+    setup_trace trace;
+    let (_ : int option) = domains_of_flag domains in
+    setup_fitness_cache fcache;
+    let tree = load_gp_tree path in
+    let scen = scenario_of_flag scenario in
+    let plat = platform_of_flag platform in
+    let benches = benches_of_flags suite bench_csv in
+    let report =
+      P.Evaluate.compare_many ~iterations ~scenario:scen ~platform:plat
+        [ ("gp", fun bm -> Gp.Fitness.measure ~iterations ~scenario:scen ~platform:plat tree bm) ]
+        benches
+    in
+    Inltune_support.Table.print (P.Evaluate.many_table report)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TREE"
+         ~doc:"Policy tree file (inltune-gp v1)")
+  in
+  let suite =
+    Arg.(value & opt string "dacapo" & info [ "suite" ] ~doc:"Benchmark suite: spec, dacapo, or all")
+  in
+  let bench_csv =
+    Arg.(value & opt string "" & info [ "bench" ] ~docv:"NAMES"
+         ~doc:"Comma-separated benchmark names (overrides --suite)")
+  in
+  let iters = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"VM iterations per measurement") in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Run an evolved policy tree on a suite and report time ratios vs default")
+    Term.(
+      const run $ path $ suite $ bench_csv $ scenario_arg $ platform_arg $ iters
+      $ fitness_cache_arg $ domains_arg $ trace_arg)
+
+let gp_cmd =
+  Cmd.group
+    (Cmd.info "gp" ~doc:"Inspect and evaluate evolved policy trees (see tune --evolve-policy)")
+    [ gp_print_cmd; gp_eval_cmd ]
 
 (* --- experiment ----------------------------------------------------------- *)
 
@@ -1055,7 +1218,7 @@ let main_cmd =
     [
       list_cmd; show_cmd; run_cmd; tune_cmd; plan_cmd; experiment_cmd; export_cmd;
       run_file_cmd; knapsack_cmd; search_cmd; trace_summary_cmd; features_cmd; dataset_cmd;
-      train_policy_cmd; eval_policy_cmd; serve_cmd; client_cmd;
+      train_policy_cmd; eval_policy_cmd; gp_cmd; serve_cmd; client_cmd;
     ]
 
 let () =

@@ -137,6 +137,36 @@ let signature ~scenario ~heuristic ~inline_enabled ~plan prog =
            heuristic.Heuristic.caller_max_size);
       Buffer.contents buf
 
+(* First-class policy queries (lib/policy stores, GP trees).  Under [Opt]
+   with a walk-compatible plan and a *static* policy — one whose decisions
+   read nothing but the program and the site record, never the live profile —
+   [Inline.plan_policy] over the constprop'd methods reproduces the exact
+   compile-time verdict sequence, the same argument as the heuristic walk.
+   The resulting signature lives in the same "w:" namespace as the heuristic
+   one, and [Inline.plan] *is* [plan_policy] over [Policy.of_heuristic], so
+   a policy whose decisions equal some heuristic's shares that heuristic's
+   measurements: cache hits transfer across structurally different policies
+   (and across the policy/heuristic divide) whenever the decisions agree.
+
+   Everywhere else — profile-feedback scenarios, non-static policies,
+   walk-incompatible plans — the signature falls back to the caller-supplied
+   content [digest] of the policy artifact: sound (identical policies replay
+   identical decisions), just no cross-policy merging. *)
+let policy_signature ~scenario ~policy ~digest ~static ~inline_enabled ~plan prog =
+  if (not inline_enabled) || not (Plan.has_enabled "inline" plan) then "off"
+  else
+    match scenario with
+    | Machine.Opt when static && Plan.walk_compatible plan ->
+      let info = pinfo_of prog in
+      let buf = Buffer.create 256 in
+      Array.iter
+        (fun cpm ->
+          Buffer.add_string buf (Inline.plan_policy ~program:prog ~policy cpm);
+          Buffer.add_char buf '|')
+        info.p_cp;
+      "w:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+    | Machine.Opt | Machine.Adapt | Machine.Ladder -> "g:" ^ digest
+
 (* Non-default plans change what every compile does, so their measurements
    must never alias the default plan's: the key carries a plan tag — a fixed
    "default" for the default plan, the plan's content digest otherwise. *)
@@ -339,6 +369,34 @@ let lookup_or_measure ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iter
   if not !on then simulate ()
   else begin
     let k = key ~scenario ~platform ~heuristic ~inline_enabled ~plan ~iterations program in
+    match find_measurement k with
+    | Some m ->
+      bump "fitness.sig_hits";
+      count_tenant_hit k;
+      m
+    | None ->
+      bump "fitness.sig_misses";
+      let m = simulate () in
+      store_measurement k m;
+      m
+  end
+
+let policy_key ~scenario ~platform ~policy ~digest ~static ~inline_enabled ~plan ~iterations
+    prog =
+  Printf.sprintf "%s/%s/%s/%s/%d/%s" (program_digest prog)
+    (Machine.scenario_name scenario) platform.Platform.pname (plan_tag plan) iterations
+    (policy_signature ~scenario ~policy ~digest ~static ~inline_enabled ~plan prog)
+
+(* The policy twin of [lookup_or_measure]: same table, same counters, same
+   two-tier persistence — only the signature half of the key differs. *)
+let lookup_or_measure_policy ~scenario ~platform ~policy ~digest ~static ~inline_enabled
+    ~plan ~iterations ~program simulate =
+  if not !on then simulate ()
+  else begin
+    let k =
+      policy_key ~scenario ~platform ~policy ~digest ~static ~inline_enabled ~plan ~iterations
+        program
+    in
     match find_measurement k with
     | Some m ->
       bump "fitness.sig_hits";

@@ -118,3 +118,51 @@ val lookup_or_measure :
   program:Ir.program ->
   (unit -> Runner.measurement) ->
   Runner.measurement
+
+(** Decision signature of a first-class policy.  [static] asserts the policy
+    reads nothing but the program and the site record — never the VM's live
+    profile; under [Opt] with a walk-compatible plan that makes
+    {!Inltune_opt.Inline.plan_policy} over the constprop'd methods exact, so
+    the signature shares the heuristic walk's "w:" namespace and cache hits
+    transfer across structurally different policies (and heuristics) that
+    make identical decisions.  Everywhere else the signature is ["g:"]
+    followed by [digest] — the policy artifact's content digest (sound, no
+    cross-policy merging). *)
+val policy_signature :
+  scenario:Machine.scenario ->
+  policy:Policy.t ->
+  digest:string ->
+  static:bool ->
+  inline_enabled:bool ->
+  plan:Plan.t ->
+  Ir.program ->
+  string
+
+(** Full content-addressed key for a policy query. *)
+val policy_key :
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  policy:Policy.t ->
+  digest:string ->
+  static:bool ->
+  inline_enabled:bool ->
+  plan:Plan.t ->
+  iterations:int ->
+  Ir.program ->
+  string
+
+(** {!lookup_or_measure} keyed by {!policy_signature}: same table, counters,
+    and on-disk tier, so policy and heuristic measurements amortize each
+    other whenever their decision signatures coincide. *)
+val lookup_or_measure_policy :
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  policy:Policy.t ->
+  digest:string ->
+  static:bool ->
+  inline_enabled:bool ->
+  plan:Plan.t ->
+  iterations:int ->
+  program:Ir.program ->
+  (unit -> Runner.measurement) ->
+  Runner.measurement

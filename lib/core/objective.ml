@@ -99,7 +99,7 @@ let genome_grid ?plan ~suite ~scenario ~platform ~goal () =
         else
           let t = Measure.run ?plan ~scenario ~platform ~heuristic:(Heuristic.of_array g) bm in
           perf goal ~t ~default);
-    grid_combine = Stats.geomean;
+    grid_combine = (fun _ cells -> Stats.geomean cells);
   }
 
 (* Plan-genome mode: the genome is the five Table 1 genes followed by the
@@ -137,6 +137,6 @@ let plan_genome_grid ~suite ~scenario ~platform ~goal =
           let heuristic, plan = Params.split_plan_genome g in
           let t = Measure.run ~plan ~scenario ~platform ~heuristic bm in
           perf goal ~t ~default);
-    grid_combine = Stats.geomean;
+    grid_combine = (fun _ cells -> Stats.geomean cells);
   }
 

@@ -34,6 +34,13 @@ val fitness :
     bounded retry before the genome is penalized. *)
 val transient_failure : exn -> bool
 
+(** The ["eval"] fault-injection gate every fitness-evaluation path checks
+    (see {!Inltune_resilience.Faultinject}): raises on an injected [Raise],
+    burns the fuel budget on [Hang], and returns [true] — evaluate to NaN —
+    on [Corrupt].  Exposed so alternative searches over the same simulations
+    (the GP policy search) share one fault boundary with the GA. *)
+val eval_fault_gate : unit -> bool
+
 (** {!fitness} composed with the genome decoding, for the GA.  Each call
     checks the ["eval"] fault-injection site (see
     {!Inltune_resilience.Faultinject}), so failure paths are testable. *)
@@ -59,7 +66,7 @@ val genome_grid :
   platform:Inltune_vm.Platform.t ->
   goal:goal ->
   unit ->
-  (Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid
+  (int array, Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid
 
 (** Plan-genome fitness: the genome is the five Table 1 genes followed by
     the plan genes ({!Params.plan_genome_spec}); heuristic and plan are
@@ -82,4 +89,4 @@ val plan_genome_grid :
   scenario:Inltune_vm.Machine.scenario ->
   platform:Inltune_vm.Platform.t ->
   goal:goal ->
-  (Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid
+  (int array, Inltune_workloads.Suites.benchmark * Measure.times) Inltune_ga.Evolve.grid

@@ -7,14 +7,20 @@ module Metric = Inltune_obs.Metric
 module Sandbox = Inltune_resilience.Sandbox
 module Checkpoint = Inltune_resilience.Checkpoint
 
-(* Generational genetic algorithm over integer-vector genomes, minimizing a
-   fitness function — the role ECJ plays in the paper.
+(* Generational genetic algorithm, minimizing a fitness function — the role
+   ECJ plays in the paper.
+
+   The search loop itself is representation-agnostic: [run_repr] works over
+   an abstract genome type through a [repr] record (key, random, crossover,
+   mutate, copy) and is what both the paper's integer-vector GA ([run], one
+   gene per inlining parameter) and the genetic-programming policy search
+   (lib/gp, expression-tree genomes) instantiate.
 
    One generation: keep the [elites] best individuals, then fill the
-   population with offspring produced by tournament selection, one-point
-   crossover and per-gene reset mutation.  Fitness evaluations are memoized
-   (the GA revisits genotypes constantly) and cache misses of a generation
-   are evaluated in parallel across domains.
+   population with offspring produced by tournament selection, crossover and
+   mutation.  Fitness evaluations are memoized (the GA revisits genotypes
+   constantly) and cache misses of a generation are evaluated in parallel
+   across domains.
 
    The paper's searches run for days; two mechanisms keep them alive:
 
@@ -25,7 +31,7 @@ module Checkpoint = Inltune_resilience.Checkpoint
      rate exceeds the threshold stops the search gracefully — best-known
      result, recorded reason — instead of crashing it.
 
-   - [checkpoint] appends one complete snapshot per generation (population,
+   - [save] appends one complete snapshot per generation (population,
      RNG state, memo cache, quarantine, history, counters); [resume] restores
      the snapshot and continues bit-identically to an uninterrupted run,
      because every stochastic choice flows through the restored RNG and no
@@ -35,7 +41,7 @@ type params = {
   pop_size : int;
   generations : int;
   crossover_prob : float;
-  mutation_prob : float;  (* per gene: reset uniformly within its range *)
+  mutation_prob : float;  (* int genomes: per gene; trees: per individual *)
   tournament : int;
   elites : int;
   seed : int;
@@ -80,11 +86,13 @@ let default_guard =
    domain even when the fresh-genome count of a generation is smaller than
    the domain count.  [grid_combine] folds one genome's per-benchmark cell
    values (in [grid_axis] order) into its fitness — with the same float
-   operations as the scalar path, so switching modes is bit-transparent. *)
-type 'bm grid = {
+   operations as the scalar path, so switching modes is bit-transparent.
+   The genome is passed to the combine so representations can apply
+   genome-shape terms (the GP's parsimony pressure) on top of the fold. *)
+type ('g, 'bm) grid = {
   grid_axis : 'bm array;
-  grid_cell : int array -> 'bm -> float;
-  grid_combine : float array -> float;
+  grid_cell : 'g -> 'bm -> float;
+  grid_combine : 'g -> float array -> float;
 }
 
 type progress = {
@@ -125,6 +133,51 @@ type result = {
   stopped : string option;  (* reason the search degraded/stopped early *)
 }
 
+(* --- the representation-generic engine ---------------------------------- *)
+
+(* What the engine needs from a genome representation.  Every stochastic
+   operator takes the run's RNG so the whole search stays a deterministic
+   function of the seed. *)
+type 'g repr = {
+  r_key : 'g -> string;                      (* stable memoization key *)
+  r_random : Rng.t -> 'g;                    (* fresh random individual *)
+  r_crossover : Rng.t -> 'g -> 'g -> 'g * 'g;
+  r_mutate : Rng.t -> 'g -> 'g;
+  r_copy : 'g -> 'g;                         (* [Fun.id] for immutable genomes *)
+}
+
+(* One self-contained snapshot of the search, the unit of checkpointing.
+   [run_repr] hands these to the [save] hook after every generation and
+   restores one from the [resume] hook; persistence formats are the
+   instantiation's business (int-array GA: {!Inltune_resilience.Checkpoint};
+   GP trees: lib/gp's own JSONL). *)
+type 'g snapshot = {
+  s_gen : int;                     (* last completed generation *)
+  s_rng : int64;                   (* raw RNG state after this generation *)
+  s_pop : 'g array;
+  s_best : 'g option;
+  s_best_fitness : float;
+  s_cache : (string * float) list; (* genome key -> fitness, sorted by key *)
+  s_quarantine : string list;      (* genome keys, sorted *)
+  s_history : progress list;       (* oldest first *)
+  s_evaluations : int;
+  s_cache_hits : int;
+  s_failures : int;
+  s_retries : int;
+}
+
+(* Generic search outcome; [run] narrows it back to [result]. *)
+type 'g search = {
+  s_best_genome : 'g option;   (* None only if nothing ever evaluated finite *)
+  s_fitness : float;
+  s_progress : progress list;  (* oldest first *)
+  s_evals : int;
+  s_hits : int;
+  s_failed : int;
+  s_quarantined : int;
+  s_stopped : string option;
+}
+
 let crossover rng a b =
   let n = Array.length a in
   if n < 2 then (Array.copy a, Array.copy b)
@@ -160,7 +213,20 @@ let entry_progress (e : Checkpoint.entry) =
     evaluations = e.Checkpoint.e_evals;
   }
 
-let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness () =
+(* [prefilter], when given, is consulted for every fresh (uncached) genome
+   before its simulations are submitted: [Some surrogate] records that value
+   as the genome's fitness without evaluating it.  It receives the best
+   individual of the *previous* generation (None until one exists), which is
+   exactly what a restored snapshot carries — so prefilter decisions replay
+   identically across resume.  Surrogates enter the memo cache and therefore
+   the checkpoint, like any other fitness.
+
+   [best_view], when given, adds a ["best_genome"] field (the rendered best
+   individual) to the per-generation trace event — the GP's best-tree trace.
+
+   [label] names the trace events ("ga" -> "ga.generation" etc.). *)
+let run_repr ?on_generation ?on_stats ?guard ?save ?resume ?grid ?prefilter ?best_view
+    ~label ~repr ~params ~fitness () =
   if params.pop_size < 2 then invalid_arg "Evolve.run: population too small";
   if params.elites >= params.pop_size then invalid_arg "Evolve.run: too many elites";
   if params.tournament < 1 then invalid_arg "Evolve.run: tournament size must be >= 1";
@@ -174,6 +240,8 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
   let failures = ref 0 in
   let retries = ref 0 in
   let stopped = ref None in
+  let best = ref None in
+  let best_fit = ref infinity in
   (* Failure rate of the most recent evaluate_all, for the degradation check. *)
   let last_failed = ref 0 in
   let last_attempted = ref 0 in
@@ -191,7 +259,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
     let fresh = Hashtbl.create 16 in
     Array.iter
       (fun g ->
-        let k = Genome.key g in
+        let k = repr.r_key g in
         if Hashtbl.mem cache k then begin
           incr cache_hits;
           if Hashtbl.mem quarantine k then Metric.incr c_quarantine_hits
@@ -201,6 +269,25 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
     let todo = Hashtbl.fold (fun _ g acc -> g :: acc) fresh [] |> Array.of_list in
     (* Sort for a deterministic evaluation order independent of hashing. *)
     Array.sort compare todo;
+    (* The prefilter sees fresh genomes in that same deterministic order and
+       assigns surrogates against the previous generation's best, so its
+       verdicts are a pure function of checkpointed state. *)
+    let todo =
+      match prefilter with
+      | None -> todo
+      | Some pf ->
+        let elite =
+          match !best with Some b when !best_fit < infinity -> Some (b, !best_fit) | _ -> None
+        in
+        let keep = Inltune_support.Vec.create () in
+        Array.iter
+          (fun g ->
+            match pf ~best:elite g with
+            | Some surrogate -> Hashtbl.replace cache (repr.r_key g) surrogate
+            | None -> Inltune_support.Vec.push keep g)
+          todo;
+        Inltune_support.Vec.to_array keep
+    in
     last_fresh := Array.length todo;
     (* Grid mode flattens fresh genomes × benchmarks into independent pool
        cells; [flat] builds that cell array in genome-major, axis order. *)
@@ -223,11 +310,11 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
             try Pool.map ?domains:params.domains (fun (g, bm) -> gr.grid_cell g bm) cells
             with Pool.Worker_failure (i, e) -> raise (Pool.Worker_failure (i / nb, e))
           in
-          Array.mapi (fun i _ -> gr.grid_combine (Array.sub vals (i * nb) nb)) todo
+          Array.mapi (fun i g -> gr.grid_combine g (Array.sub vals (i * nb) nb)) todo
       in
       Array.iteri
         (fun i g ->
-          Hashtbl.replace cache (Genome.key g) scores.(i);
+          Hashtbl.replace cache (repr.r_key g) scores.(i);
           incr evaluations)
         todo
     | Some gu ->
@@ -259,7 +346,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
               cells
           in
           Array.mapi
-            (fun i _ ->
+            (fun i g ->
               let vals = Array.make nb 0.0 in
               let extra = ref 0 in
               let fail = ref None in
@@ -277,13 +364,13 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
               match !fail with
               | Some (`Cell (attempts, reason)) -> `Sandboxed (attempts, reason, !extra)
               | Some (`Exn e) -> `Raw e
-              | None -> `Value (gr.grid_combine vals, !extra))
+              | None -> `Value (gr.grid_combine g vals, !extra))
             todo
       in
       let failed_here = ref 0 in
       Array.iteri
         (fun i g ->
-          let k = Genome.key g in
+          let k = repr.r_key g in
           (match outcomes.(i) with
           | `Value (v, extra) ->
             retries := !retries + extra;
@@ -323,7 +410,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
       failures := !failures + !failed_here;
       last_failed := !failed_here;
       last_attempted := Array.length todo);
-    Array.map (fun g -> Hashtbl.find cache (Genome.key g)) pop
+    Array.map (fun g -> Hashtbl.find cache (repr.r_key g)) pop
   in
   let degraded gen =
     match guard with
@@ -335,7 +422,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
           !last_failed !last_attempted gu.failure_threshold
       in
       if Trace.enabled () then
-        Trace.emit "ga.degraded"
+        Trace.emit (label ^ ".degraded")
           ~fields:
             [
               ("gen", Event.Int gen);
@@ -350,35 +437,25 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
   let restored =
     match resume with
     | None -> None
-    | Some path -> (
-      match Checkpoint.load ~path with
+    | Some load -> (
+      match load () with
       | Error msg -> invalid_arg (Printf.sprintf "Evolve.run: cannot resume: %s" msg)
-      | Ok s ->
-        if s.Checkpoint.pop_size <> params.pop_size || s.Checkpoint.seed <> params.seed then
-          invalid_arg
-            (Printf.sprintf
-               "Evolve.run: checkpoint was written with pop_size %d seed %d, params say %d/%d"
-               s.Checkpoint.pop_size s.Checkpoint.seed params.pop_size params.seed);
-        if not (Array.for_all (Genome.valid spec) s.Checkpoint.pop) then
-          invalid_arg "Evolve.run: checkpoint population does not fit the genome spec";
-        Some s)
+      | Ok (s : 'g snapshot) -> Some s)
   in
   let rng =
     match restored with
-    | Some s -> Rng.of_state s.Checkpoint.rng
+    | Some s -> Rng.of_state s.s_rng
     | None -> Rng.create params.seed
   in
   let pop = ref [||] in
   let fits = ref [||] in
-  let best = ref [||] in
-  let best_fit = ref infinity in
   let history = ref [] in
   let note_generation gen =
     Array.iteri
       (fun i f ->
         if f < !best_fit then begin
           best_fit := f;
-          best := Array.copy !pop.(i)
+          best := Some (repr.r_copy !pop.(i))
         end)
       !fits;
     let p =
@@ -400,7 +477,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
         let idle = Metric.value (Metric.counter "pool.idle_ns") in
         let busy = Metric.value (Metric.counter "pool.busy_ns") in
         let distinct = Hashtbl.create 16 in
-        Array.iter (fun g -> Hashtbl.replace distinct (Genome.key g) ()) !pop;
+        Array.iter (fun g -> Hashtbl.replace distinct (repr.r_key g) ()) !pop;
         let s =
           {
             g_gen = gen;
@@ -426,31 +503,35 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
     in
     if Trace.enabled () then begin
       let s = Option.get stats in
-      Trace.emit "ga.generation"
+      Trace.emit (label ^ ".generation")
         ~fields:
-          [
-            ("gen", Event.Int p.generation);
-            ("best", Event.Float p.best_fitness);
-            ("mean", Event.Float p.mean_fitness);
-            ("evals", Event.Int p.evaluations);
-            ("cache_hits", Event.Int !cache_hits);
-            ("wall_s", Event.Float (Trace.now () -. t_start));
-            ("fresh", Event.Int s.g_fresh);
-            ("diversity", Event.Float s.g_diversity);
-            ("quarantined", Event.Int s.g_quarantined);
-            ("stolen", Event.Int s.g_stolen);
-            ("idle_ns", Event.Int s.g_idle_ns);
-            ("busy_ns", Event.Int s.g_busy_ns);
-            ("gen_wall_s", Event.Float s.g_wall_s);
-          ]
+          ([
+             ("gen", Event.Int p.generation);
+             ("best", Event.Float p.best_fitness);
+             ("mean", Event.Float p.mean_fitness);
+             ("evals", Event.Int p.evaluations);
+             ("cache_hits", Event.Int !cache_hits);
+             ("wall_s", Event.Float (Trace.now () -. t_start));
+             ("fresh", Event.Int s.g_fresh);
+             ("diversity", Event.Float s.g_diversity);
+             ("quarantined", Event.Int s.g_quarantined);
+             ("stolen", Event.Int s.g_stolen);
+             ("idle_ns", Event.Int s.g_idle_ns);
+             ("busy_ns", Event.Int s.g_busy_ns);
+             ("gen_wall_s", Event.Float s.g_wall_s);
+           ]
+          @
+          match (best_view, !best) with
+          | Some view, Some b -> [ ("best_genome", Event.Str (view b)) ]
+          | _ -> [])
     end;
     (match on_stats, stats with Some f, Some s -> f s | _ -> ());
     match on_generation with Some f -> f p | None -> ()
   in
   let write_ckpt gen =
-    match checkpoint with
+    match save with
     | None -> ()
-    | Some path ->
+    | Some sv ->
       let cache_assoc =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) cache []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -458,45 +539,42 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
       let quarantine_keys =
         Hashtbl.fold (fun k () acc -> k :: acc) quarantine [] |> List.sort compare
       in
-      Checkpoint.write ~path
+      sv
         {
-          Checkpoint.gen;
-          rng = Rng.state rng;
-          pop = !pop;
-          best = !best;
-          best_fitness = !best_fit;
-          cache = cache_assoc;
-          quarantine = quarantine_keys;
-          history = List.rev_map progress_entry !history;
-          evaluations = !evaluations;
-          cache_hits = !cache_hits;
-          failures = !failures;
-          retries = !retries;
-          pop_size = params.pop_size;
-          seed = params.seed;
+          s_gen = gen;
+          s_rng = Rng.state rng;
+          s_pop = !pop;
+          s_best = !best;
+          s_best_fitness = !best_fit;
+          s_cache = cache_assoc;
+          s_quarantine = quarantine_keys;
+          s_history = List.rev !history;
+          s_evaluations = !evaluations;
+          s_cache_hits = !cache_hits;
+          s_failures = !failures;
+          s_retries = !retries;
         }
   in
   let start_gen =
     match restored with
     | Some s ->
-      pop := s.Checkpoint.pop;
-      List.iter (fun (k, v) -> Hashtbl.replace cache k v) s.Checkpoint.cache;
-      List.iter (fun k -> Hashtbl.replace quarantine k ()) s.Checkpoint.quarantine;
-      evaluations := s.Checkpoint.evaluations;
-      cache_hits := s.Checkpoint.cache_hits;
-      failures := s.Checkpoint.failures;
-      retries := s.Checkpoint.retries;
-      best := s.Checkpoint.best;
-      best_fit := s.Checkpoint.best_fitness;
-      history := List.rev_map entry_progress s.Checkpoint.history;
-      fits := Array.map (fun g -> Hashtbl.find cache (Genome.key g)) !pop;
+      pop := s.s_pop;
+      List.iter (fun (k, v) -> Hashtbl.replace cache k v) s.s_cache;
+      List.iter (fun k -> Hashtbl.replace quarantine k ()) s.s_quarantine;
+      evaluations := s.s_evaluations;
+      cache_hits := s.s_cache_hits;
+      failures := s.s_failures;
+      retries := s.s_retries;
+      best := s.s_best;
+      best_fit := s.s_best_fitness;
+      history := List.rev s.s_history;
+      fits := Array.map (fun g -> Hashtbl.find cache (repr.r_key g)) !pop;
       if Trace.enabled () then
-        Trace.emit "ga.resume"
-          ~fields:
-            [ ("gen", Event.Int s.Checkpoint.gen); ("evals", Event.Int !evaluations) ];
-      s.Checkpoint.gen + 1
+        Trace.emit (label ^ ".resume")
+          ~fields:[ ("gen", Event.Int s.s_gen); ("evals", Event.Int !evaluations) ];
+      s.s_gen + 1
     | None ->
-      pop := Array.init params.pop_size (fun _ -> Genome.random spec rng);
+      pop := Array.init params.pop_size (fun _ -> repr.r_random rng);
       fits := evaluate_all !pop;
       note_generation 0;
       write_ckpt 0;
@@ -521,17 +599,17 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
        Array.sort (fun a b -> compare !fits.(a) !fits.(b)) order;
        let next = Inltune_support.Vec.create () in
        for e = 0 to params.elites - 1 do
-         Inltune_support.Vec.push next (Array.copy !pop.(order.(e)))
+         Inltune_support.Vec.push next (repr.r_copy !pop.(order.(e)))
        done;
        while Inltune_support.Vec.length next < params.pop_size do
          let a = select () and b = select () in
          let c1, c2 =
-           if Rng.chance rng params.crossover_prob then crossover rng a b
-           else (Array.copy a, Array.copy b)
+           if Rng.chance rng params.crossover_prob then repr.r_crossover rng a b
+           else (repr.r_copy a, repr.r_copy b)
          in
-         Inltune_support.Vec.push next (mutate spec params rng c1);
+         Inltune_support.Vec.push next (repr.r_mutate rng c1);
          if Inltune_support.Vec.length next < params.pop_size then
-           Inltune_support.Vec.push next (mutate spec params rng c2)
+           Inltune_support.Vec.push next (repr.r_mutate rng c2)
        done;
        pop := Inltune_support.Vec.to_array next;
        fits := evaluate_all !pop;
@@ -541,7 +619,7 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
      done
    with Stop -> ());
   if Trace.enabled () then
-    Trace.emit "ga.result"
+    Trace.emit (label ^ ".result")
       ~fields:
         [
           ("best", Event.Float !best_fit);
@@ -551,14 +629,98 @@ let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params 
           ("wall_s", Event.Float (Trace.now () -. t_start));
         ];
   {
-    best = !best;
-    best_fitness = !best_fit;
-    history = List.rev !history;
-    evaluations = !evaluations;
-    cache_hits = !cache_hits;
-    failures = !failures;
-    quarantined = Hashtbl.length quarantine;
-    stopped = !stopped;
+    s_best_genome = !best;
+    s_fitness = !best_fit;
+    s_progress = List.rev !history;
+    s_evals = !evaluations;
+    s_hits = !cache_hits;
+    s_failed = !failures;
+    s_quarantined = Hashtbl.length quarantine;
+    s_stopped = !stopped;
+  }
+
+(* --- the paper's integer-vector GA --------------------------------------- *)
+
+(* [run] is [run_repr] instantiated at int-array genomes with [Checkpoint]
+   persistence; every stochastic operator flows through the same RNG calls in
+   the same order as it always did, so seeds, checkpoints, and resumes stay
+   bit-compatible with runs recorded before the engine was generalized. *)
+let run ?on_generation ?on_stats ?guard ?checkpoint ?resume ?grid ~spec ~params ~fitness () =
+  let repr =
+    {
+      r_key = Genome.key;
+      r_random = Genome.random spec;
+      r_crossover = crossover;
+      r_mutate = mutate spec params;
+      r_copy = Array.copy;
+    }
+  in
+  let save =
+    Option.map
+      (fun path (s : int array snapshot) ->
+        Checkpoint.write ~path
+          {
+            Checkpoint.gen = s.s_gen;
+            rng = s.s_rng;
+            pop = s.s_pop;
+            best = Option.value ~default:[||] s.s_best;
+            best_fitness = s.s_best_fitness;
+            cache = s.s_cache;
+            quarantine = s.s_quarantine;
+            history = List.map progress_entry s.s_history;
+            evaluations = s.s_evaluations;
+            cache_hits = s.s_cache_hits;
+            failures = s.s_failures;
+            retries = s.s_retries;
+            pop_size = params.pop_size;
+            seed = params.seed;
+          })
+      checkpoint
+  in
+  let resume =
+    Option.map
+      (fun path () ->
+        match Checkpoint.load ~path with
+        | Error msg -> Error msg
+        | Ok s ->
+          if s.Checkpoint.pop_size <> params.pop_size || s.Checkpoint.seed <> params.seed then
+            invalid_arg
+              (Printf.sprintf
+                 "Evolve.run: checkpoint was written with pop_size %d seed %d, params say %d/%d"
+                 s.Checkpoint.pop_size s.Checkpoint.seed params.pop_size params.seed);
+          if not (Array.for_all (Genome.valid spec) s.Checkpoint.pop) then
+            invalid_arg "Evolve.run: checkpoint population does not fit the genome spec";
+          Ok
+            {
+              s_gen = s.Checkpoint.gen;
+              s_rng = s.Checkpoint.rng;
+              s_pop = s.Checkpoint.pop;
+              s_best =
+                (if Array.length s.Checkpoint.best = 0 then None else Some s.Checkpoint.best);
+              s_best_fitness = s.Checkpoint.best_fitness;
+              s_cache = s.Checkpoint.cache;
+              s_quarantine = s.Checkpoint.quarantine;
+              s_history = List.map entry_progress s.Checkpoint.history;
+              s_evaluations = s.Checkpoint.evaluations;
+              s_cache_hits = s.Checkpoint.cache_hits;
+              s_failures = s.Checkpoint.failures;
+              s_retries = s.Checkpoint.retries;
+            })
+      resume
+  in
+  let r =
+    run_repr ?on_generation ?on_stats ?guard ?save ?resume ?grid ~label:"ga" ~repr ~params
+      ~fitness ()
+  in
+  {
+    best = Option.value ~default:[||] r.s_best_genome;
+    best_fitness = r.s_fitness;
+    history = r.s_progress;
+    evaluations = r.s_evals;
+    cache_hits = r.s_hits;
+    failures = r.s_failed;
+    quarantined = r.s_quarantined;
+    stopped = r.s_stopped;
   }
 
 (* Random search with the same evaluation budget — the ablation baseline the

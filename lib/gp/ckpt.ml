@@ -1,0 +1,254 @@
+(* GP checkpoint files: the tree-genome twin of lib/resilience's GA
+   checkpoints.  Same discipline — append-only JSONL, one self-contained
+   snapshot per generation, "%.17g" floats, RNG state as a decimal string
+   (JSON numbers are doubles and would round an int64), loader walks back to
+   the last line that parses.  The only representational difference: genomes
+   are canonical tree texts ([Tree.to_text]), parsed back on load, so a
+   checkpoint is human-inspectable with nothing but `jq`. *)
+
+module Json = Inltune_obs.Json
+module Metric = Inltune_obs.Metric
+module Trace = Inltune_obs.Trace
+module Event = Inltune_obs.Event
+module E = Inltune_ga.Evolve
+module Features = Inltune_policy.Features
+
+let version = 1
+
+type state = {
+  gen : int;                      (* last completed generation *)
+  rng : int64;                    (* raw RNG state after this generation *)
+  pop : Tree.t array;
+  best : Tree.t option;
+  best_fitness : float;
+  cache : (string * float) list;  (* tree digest -> fitness, sorted by key *)
+  quarantine : string list;       (* tree digests, sorted *)
+  history : E.progress list;      (* oldest first *)
+  evaluations : int;
+  cache_hits : int;
+  failures : int;
+  retries : int;
+  pop_size : int;                 (* echo of the run's params, for validation *)
+  seed : int;
+}
+
+(* --- writing ------------------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape_into buf s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else add_str buf (if f > 0.0 then "inf" else if f < 0.0 then "-inf" else "nan")
+
+let to_line s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"v\":%d,\"gen\":%d,\"rng\":" version s.gen);
+  add_str buf (Int64.to_string s.rng);
+  Buffer.add_string buf ",\"pop_size\":";
+  Buffer.add_string buf (string_of_int s.pop_size);
+  Buffer.add_string buf ",\"seed\":";
+  Buffer.add_string buf (string_of_int s.seed);
+  Buffer.add_string buf ",\"pop\":[";
+  Array.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf (Tree.to_text g))
+    s.pop;
+  Buffer.add_string buf "],\"best\":";
+  add_str buf (match s.best with Some t -> Tree.to_text t | None -> "");
+  Buffer.add_string buf ",\"best_fitness\":";
+  add_float buf s.best_fitness;
+  Buffer.add_string buf ",\"cache\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_float buf v)
+    s.cache;
+  Buffer.add_string buf "},\"quarantine\":[";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k)
+    s.quarantine;
+  Buffer.add_string buf "],\"history\":[";
+  List.iteri
+    (fun i (e : E.progress) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"gen\":%d,\"best\":" e.generation);
+      add_float buf e.best_fitness;
+      Buffer.add_string buf ",\"mean\":";
+      add_float buf e.mean_fitness;
+      Buffer.add_string buf (Printf.sprintf ",\"evals\":%d}" e.evaluations))
+    s.history;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"evaluations\":%d,\"cache_hits\":%d,\"failures\":%d,\"retries\":%d}"
+       s.evaluations s.cache_hits s.failures s.retries);
+  Buffer.contents buf
+
+let write ~path s =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_line s);
+      output_char oc '\n');
+  Metric.incr (Metric.counter "ckpt.writes");
+  if Trace.enabled () then
+    Trace.emit "ckpt.write"
+      ~fields:
+        [ ("kind", Event.Str "gp"); ("gen", Event.Int s.gen);
+          ("cache", Event.Int (List.length s.cache)) ]
+
+(* --- reading ------------------------------------------------------------- *)
+
+let field name j = Json.member name j
+
+let get_int name j =
+  match Option.bind (field name j) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-integer %S" name)
+
+let get_float name j =
+  match field name j with
+  | Some (Json.Num f) -> Ok f
+  | Some (Json.Str s) -> (
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad float string %S in %S" s name))
+  | _ -> Error (Printf.sprintf "missing or non-number %S" name)
+
+let get_str name j =
+  match Option.bind (field name j) Json.to_string with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string %S" name)
+
+let ( let* ) = Result.bind
+
+let parse_tree what s =
+  match Tree.of_text ~dim:Features.dim s with
+  | Ok t -> Ok t
+  | Error m -> Error (Printf.sprintf "bad tree in %S: %s" what m)
+
+let of_json j =
+  let* v = get_int "v" j in
+  if v <> version then Error (Printf.sprintf "unsupported checkpoint version %d" v)
+  else
+    let* gen = get_int "gen" j in
+    let* rng_s = get_str "rng" j in
+    let* rng =
+      match Int64.of_string_opt rng_s with
+      | Some r -> Ok r
+      | None -> Error (Printf.sprintf "bad rng state %S" rng_s)
+    in
+    let* pop_size = get_int "pop_size" j in
+    let* seed = get_int "seed" j in
+    let* pop =
+      match field "pop" j with
+      | Some (Json.List gs) ->
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | Json.Str s :: rest ->
+            let* t = parse_tree "pop" s in
+            go (t :: acc) rest
+          | _ -> Error "non-string individual in \"pop\""
+        in
+        go [] gs
+      | _ -> Error "missing or non-array \"pop\""
+    in
+    let* best_s = get_str "best" j in
+    let* best =
+      if best_s = "" then Ok None
+      else
+        let* t = parse_tree "best" best_s in
+        Ok (Some t)
+    in
+    let* best_fitness = get_float "best_fitness" j in
+    let* cache =
+      match field "cache" j with
+      | Some (Json.Obj kvs) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Num f) :: rest -> go ((k, f) :: acc) rest
+          | (k, Json.Str s) :: rest -> (
+            match float_of_string_opt s with
+            | Some f -> go ((k, f) :: acc) rest
+            | None -> Error (Printf.sprintf "bad cached fitness for %S" k))
+          | (k, _) :: _ -> Error (Printf.sprintf "non-number cache entry %S" k)
+        in
+        go [] kvs
+      | _ -> Error "missing or non-object \"cache\""
+    in
+    let* quarantine =
+      match field "quarantine" j with
+      | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Str s :: rest -> go (s :: acc) rest
+          | _ -> Error "non-string quarantine key"
+        in
+        go [] items
+      | _ -> Error "missing or non-array \"quarantine\""
+    in
+    let* history =
+      match field "history" j with
+      | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | it :: rest ->
+            let* generation = get_int "gen" it in
+            let* best_fitness = get_float "best" it in
+            let* mean_fitness = get_float "mean" it in
+            let* evaluations = get_int "evals" it in
+            go ({ E.generation; best_fitness; mean_fitness; evaluations } :: acc) rest
+        in
+        go [] items
+      | _ -> Error "missing or non-array \"history\""
+    in
+    let* evaluations = get_int "evaluations" j in
+    let* cache_hits = get_int "cache_hits" j in
+    let* failures = get_int "failures" j in
+    let* retries = get_int "retries" j in
+    Ok
+      {
+        gen; rng; pop; best; best_fitness; cache; quarantine; history;
+        evaluations; cache_hits; failures; retries; pop_size; seed;
+      }
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let rec last_valid = function
+      | [] -> Error (Printf.sprintf "%s: no complete checkpoint record" path)
+      | line :: rest ->
+        if String.trim line = "" then last_valid rest
+        else ( match of_line line with Ok s -> Ok s | Error _ -> last_valid rest)
+    in
+    last_valid !lines

@@ -1,0 +1,40 @@
+(** GP checkpoint files — the tree-genome twin of
+    {!Inltune_resilience.Checkpoint}.
+
+    Append-only JSONL, one self-contained snapshot per completed generation:
+    population (as canonical tree texts), RNG state (decimal string),
+    fitness memo cache, quarantine, history, counters, and a
+    [pop_size]/[seed] echo for resume validation.  Floats are ["%.17g"] so
+    reloading reproduces identical bit patterns; the loader walks back to
+    the last line that parses, so a mid-write kill costs at most the final
+    generation. *)
+
+module E = Inltune_ga.Evolve
+
+type state = {
+  gen : int;
+  rng : int64;
+  pop : Tree.t array;
+  best : Tree.t option;
+  best_fitness : float;
+  cache : (string * float) list;
+  quarantine : string list;
+  history : E.progress list;
+  evaluations : int;
+  cache_hits : int;
+  failures : int;
+  retries : int;
+  pop_size : int;
+  seed : int;
+}
+
+(** Append one snapshot line (creates the file if needed); bumps
+    ["ckpt.writes"] and emits a ["ckpt.write"] trace event with
+    [kind = "gp"]. *)
+val write : path:string -> state -> unit
+
+(** Parse a single JSONL line (exposed for tests). *)
+val of_line : string -> (state, string) result
+
+(** Load the most recent complete snapshot. *)
+val load : path:string -> (state, string) result

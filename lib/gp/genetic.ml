@@ -1,0 +1,251 @@
+(* Genetic operators over expression trees: ramped half-and-half
+   initialization, subtree crossover, and three-way point mutation.  All
+   randomness flows through the explicit Rng value and every operator
+   consumes it in a fixed order, so populations are a pure function of the
+   seed — the property checkpoint/resume bit-identity rests on.
+
+   Offspring are always [Tree.clamp]ed; when a child would exceed
+   [Tree.max_size] the operator returns the (already canonical) parent
+   instead, the same fallback discipline the GA uses for invalid genomes. *)
+
+module Rng = Inltune_support.Rng
+module Features = Inltune_policy.Features
+open Tree
+
+(* Random constants come from Table 1's ranges — each draw picks a row of
+   the paper's parameter table uniformly, then an integer in its range, so
+   initial thresholds are the magnitudes the search space is actually
+   about (1..50 sizes up to 1..4000 caps). *)
+let table1_ranges =
+  Array.of_list
+    (List.map (fun r -> (r.Inltune_core.Params.lo, r.Inltune_core.Params.hi)) Inltune_core.Params.table1)
+
+let random_const rng =
+  let lo, hi = table1_ranges.(Rng.int rng (Array.length table1_ranges)) in
+  Float.of_int (Rng.range rng lo hi)
+
+let random_leaf_num rng =
+  if Rng.bool rng then Feat (Rng.int rng Features.dim) else Const (random_const rng)
+
+let nops = [| Add; Sub; Mul; Div; Min; Max |]
+
+(* [full] forces every branch to the depth budget (the "full" half of ramped
+   half-and-half); grow mode may cut to a leaf early. *)
+let rec random_num ~full rng budget =
+  if budget <= 1 || ((not full) && Rng.chance rng 0.35) then random_leaf_num rng
+  else begin
+    let op = nops.(Rng.int rng (Array.length nops)) in
+    let a = random_num ~full rng (budget - 1) in
+    let b = random_num ~full rng (budget - 1) in
+    Arith (op, a, b)
+  end
+
+let random_cmp rng = if Rng.bool rng then Le else Gt
+
+let rec random_bool ~full rng budget =
+  if budget <= 1 then if Rng.bool rng then True else False
+  else if budget = 2 then begin
+    let op = random_cmp rng in
+    let a = random_leaf_num rng in
+    let b = random_leaf_num rng in
+    Cmp (op, a, b)
+  end
+  else begin
+    match Rng.int rng 4 with
+    | 0 ->
+      let op = random_cmp rng in
+      let a = random_num ~full rng (budget - 1) in
+      let b = random_num ~full rng (budget - 1) in
+      Cmp (op, a, b)
+    | 1 ->
+      let a = random_bool ~full rng (budget - 1) in
+      let b = random_bool ~full rng (budget - 1) in
+      And (a, b)
+    | 2 ->
+      let a = random_bool ~full rng (budget - 1) in
+      let b = random_bool ~full rng (budget - 1) in
+      Or (a, b)
+    | _ -> Not (random_bool ~full rng (budget - 1))
+  end
+
+let min_init_depth = 3
+let max_init_depth = 6
+
+let random rng =
+  let d = Rng.range rng min_init_depth max_init_depth in
+  let full = Rng.bool rng in
+  Tree.clamp (random_bool ~full rng d)
+
+(* --- positional access --------------------------------------------------- *)
+(* Boolean nodes are numbered in preorder (comparisons count as one node —
+   their numeric operands are not boolean positions).  Constants and
+   comparisons get their own preorder numberings for point mutation. *)
+
+let rec count_bool = function
+  | True | False | Cmp _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + count_bool a + count_bool b
+  | Not a -> 1 + count_bool a
+
+let nth_bool t i =
+  let seen = ref (-1) in
+  let exception Found of Tree.t in
+  let rec go t =
+    incr seen;
+    if !seen = i then raise (Found t);
+    match t with
+    | True | False | Cmp _ -> ()
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+  in
+  match go t with
+  | () -> t (* out of range: the root, a total fallback *)
+  | exception Found s -> s
+
+let replace_bool t i sub =
+  let seen = ref (-1) in
+  let rec go t =
+    incr seen;
+    if !seen = i then sub
+    else
+      match t with
+      | True | False | Cmp _ -> t
+      | And (a, b) ->
+        (* Explicit sequencing: constructor arguments evaluate right-to-left
+           in OCaml, which would visit the right child first and renumber
+           every position. *)
+        let a' = go a in
+        let b' = go b in
+        And (a', b')
+      | Or (a, b) ->
+        let a' = go a in
+        let b' = go b in
+        Or (a', b')
+      | Not a -> Not (go a)
+  in
+  go t
+
+let count_const t =
+  let rec cnum = function
+    | Feat _ -> 0
+    | Const _ -> 1
+    | Arith (_, a, b) -> cnum a + cnum b
+  in
+  let rec go = function
+    | True | False -> 0
+    | Cmp (_, a, b) -> cnum a + cnum b
+    | And (a, b) | Or (a, b) -> go a + go b
+    | Not a -> go a
+  in
+  go t
+
+let replace_const t i c =
+  let seen = ref (-1) in
+  let rec cnum n =
+    match n with
+    | Feat _ -> n
+    | Const _ ->
+      incr seen;
+      if !seen = i then Const c else n
+    | Arith (op, a, b) ->
+      let a' = cnum a in
+      let b' = cnum b in
+      Arith (op, a', b')
+  in
+  let rec go t =
+    match t with
+    | True | False -> t
+    | Cmp (op, a, b) ->
+      let a' = cnum a in
+      let b' = cnum b in
+      Cmp (op, a', b')
+    | And (a, b) ->
+      let a' = go a in
+      let b' = go b in
+      And (a', b')
+    | Or (a, b) ->
+      let a' = go a in
+      let b' = go b in
+      Or (a', b')
+    | Not a -> Not (go a)
+  in
+  go t
+
+let count_cmp t =
+  let rec go = function
+    | True | False -> 0
+    | Cmp _ -> 1
+    | And (a, b) | Or (a, b) -> go a + go b
+    | Not a -> go a
+  in
+  go t
+
+let flip_cmp t i =
+  let seen = ref (-1) in
+  let rec go t =
+    match t with
+    | True | False -> t
+    | Cmp (op, a, b) ->
+      incr seen;
+      if !seen = i then Cmp ((match op with Le -> Gt | Gt -> Le), a, b) else t
+    | And (a, b) ->
+      let a' = go a in
+      let b' = go b in
+      And (a', b')
+    | Or (a, b) ->
+      let a' = go a in
+      let b' = go b in
+      Or (a', b')
+    | Not a -> Not (go a)
+  in
+  go t
+
+(* --- variation ----------------------------------------------------------- *)
+
+let graft parent i sub =
+  let child = Tree.clamp (replace_bool parent i sub) in
+  if Tree.size child > Tree.max_size then parent else child
+
+(* Classic subtree exchange: a random boolean node of each parent swaps into
+   the other.  Both offspring are clamped; an over-size child yields its
+   parent unchanged. *)
+let crossover rng a b =
+  let ia = Rng.int rng (count_bool a) in
+  let ib = Rng.int rng (count_bool b) in
+  let sa = nth_bool a ia in
+  let sb = nth_bool b ib in
+  let ca = graft a ia sb in
+  let cb = graft b ib sa in
+  (ca, cb)
+
+(* Point mutation, three variants: replace a random boolean subtree with a
+   freshly grown one, redraw one constant from Table 1's ranges, or flip one
+   comparison's direction.  The probability draw happens unconditionally so
+   the RNG stream does not depend on the outcome. *)
+let mutate ~prob rng t =
+  let fire = Rng.chance rng prob in
+  if not fire then t
+  else begin
+    let t' =
+      match Rng.int rng 3 with
+      | 0 ->
+        let i = Rng.int rng (count_bool t) in
+        let d = Rng.range rng 2 4 in
+        let sub = random_bool ~full:false rng d in
+        replace_bool t i sub
+      | 1 ->
+        let n = count_const t in
+        if n = 0 then t
+        else begin
+          let i = Rng.int rng n in
+          let c = random_const rng in
+          replace_const t i c
+        end
+      | _ ->
+        let n = count_cmp t in
+        if n = 0 then t else flip_cmp t (Rng.int rng n)
+    in
+    let t' = Tree.clamp t' in
+    if Tree.size t' > Tree.max_size then t else t'
+  end

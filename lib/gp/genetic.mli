@@ -1,0 +1,42 @@
+(** Genetic operators over {!Tree.t} genomes.
+
+    Ramped half-and-half initialization (grow/full halves over depths
+    [3..6]), classic subtree crossover, and three-way point mutation
+    (subtree replacement, Table 1 constant redraw, comparison flip).  Every
+    operator consumes the generator in a fixed order and clamps its
+    offspring, so populations are a pure function of the seed and all trees
+    in flight satisfy {!Tree.well_formed}. *)
+
+module Rng = Inltune_support.Rng
+
+(** Uniform Table 1 draw: a random row of the paper's parameter table, then
+    an integer in its [lo..hi] range. *)
+val random_const : Rng.t -> float
+
+(** One ramped half-and-half individual (clamped). *)
+val random : Rng.t -> Tree.t
+
+(** Number of boolean positions (preorder; comparisons are single nodes). *)
+val count_bool : Tree.t -> int
+
+(** Boolean subtree at preorder position [i]; the root when out of range. *)
+val nth_bool : Tree.t -> int -> Tree.t
+
+(** Replace the boolean subtree at preorder position [i] (not clamped —
+    callers clamp the result). *)
+val replace_bool : Tree.t -> int -> Tree.t -> Tree.t
+
+val count_const : Tree.t -> int
+val replace_const : Tree.t -> int -> float -> Tree.t
+val count_cmp : Tree.t -> int
+val flip_cmp : Tree.t -> int -> Tree.t
+
+(** [crossover rng a b] exchanges one random boolean subtree between the
+    parents.  Offspring are clamped; a child exceeding {!Tree.max_size}
+    falls back to its parent. *)
+val crossover : Rng.t -> Tree.t -> Tree.t -> Tree.t * Tree.t
+
+(** [mutate ~prob rng t] fires with probability [prob] (the draw happens
+    unconditionally, keeping the stream outcome-independent) and applies one
+    of: boolean-subtree replacement, constant redraw, comparison flip. *)
+val mutate : prob:float -> Rng.t -> Tree.t -> Tree.t

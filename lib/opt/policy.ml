@@ -59,5 +59,18 @@ let of_custom f =
         { accept; rule = (if accept then "custom_accept" else "custom_reject") });
   }
 
+(* A pure site predicate lifted to a policy; the caller names the family and
+   the two rule strings so traces can tell one predicate source from
+   another (the GP's evolved predicates use "gp" / "gp_accept" /
+   "gp_reject"). *)
+let of_predicate ~name ~accept_rule ~reject_rule f =
+  {
+    name;
+    decide =
+      (fun s ->
+        let accept = f s in
+        { accept; rule = (if accept then accept_rule else reject_rule) });
+  }
+
 let always = { name = "always"; decide = (fun _ -> { accept = true; rule = "always" }) }
 let never = { name = "never"; decide = (fun _ -> { accept = false; rule = "never" }) }

@@ -48,6 +48,12 @@ val of_custom :
   bool) ->
   t
 
+(** [of_predicate ~name ~accept_rule ~reject_rule f] lifts a pure site
+    predicate to a policy whose verdicts carry the given rule strings —
+    the seam evolved GP predicates decode through. *)
+val of_predicate :
+  name:string -> accept_rule:string -> reject_rule:string -> (site -> bool) -> t
+
 (** Accepts every site / refuses every site (testing aids). *)
 val always : t
 val never : t

@@ -254,3 +254,19 @@ let generate ?resume ?on_benchmark cfg benches =
     benches;
   (match append_oc with Some oc -> close_out oc | None -> ());
   Array.to_list (Vec.to_array out)
+
+(* Labeling is by far the most expensive step of the CART/GP protocols (one
+   flip measurement per site); when [file] already holds a usable dataset,
+   load it instead of recomputing.  An absent, empty, or fully corrupt file
+   falls back to [generate ?resume:file], which also (re)populates it. *)
+let load_or_generate ?file ?on_benchmark cfg benches =
+  match file with
+  | Some path when Sys.file_exists path -> (
+    match load path with
+    | [], _ -> generate ?resume:file ?on_benchmark cfg benches
+    | examples, _ ->
+      (* looked up at use, not module init: counters survive a registry
+         reset (Metric.reset_all) between runs in one process *)
+      Metric.incr (Metric.counter "policy.dataset_reused");
+      examples)
+  | _ -> generate ?resume:file ?on_benchmark cfg benches

@@ -65,3 +65,15 @@ val generate :
   config ->
   Inltune_workloads.Suites.benchmark list ->
   example list
+
+(** [load_or_generate ?file cfg benches] returns [file]'s examples when it
+    exists and holds at least one (bumping ["policy.dataset_reused"]);
+    otherwise labels from scratch via {!generate} with [file] as its resume
+    journal.  The [--dataset] flag's semantics: labeling is loaded, not
+    recomputed, whenever the file is already there. *)
+val load_or_generate :
+  ?file:string ->
+  ?on_benchmark:(string -> int -> unit) ->
+  config ->
+  Inltune_workloads.Suites.benchmark list ->
+  example list

@@ -7,7 +7,10 @@ module Measure = Inltune_core.Measure
     table — default heuristic vs GA-tuned heuristic vs learned policy — on a
     suite (typically the unseen DaCapo+JBB programs). *)
 
-(** Simulate one benchmark with [store] deciding every inlining. *)
+(** Simulate one benchmark with [store] deciding every inlining.
+    Measurements route through the fitness cache: threshold stores share the
+    heuristic walk's entries, stored trees are keyed by their content
+    digest. *)
 val measure :
   ?iterations:int ->
   scenario:Machine.scenario ->
@@ -48,3 +51,37 @@ val tuned_geo : report -> geo option
 
 (** The comparison as a report table (ratio columns, geomean footer). *)
 val table : report -> Inltune_support.Table.t
+
+type many_row = {
+  n_bench : string;
+  n_default : Measure.times;
+  n_cells : Measure.times list;  (** one per system, in label order *)
+}
+
+(** An n-way comparison: arbitrary labeled systems, each normalized against
+    the shared default-heuristic baseline (the 4-column
+    default/GA-tuned/CART/GP protocol). *)
+type many_report = {
+  m_labels : string list;
+  m_rows : many_row list;
+  m_scenario : Machine.scenario;
+  m_platform : Platform.t;
+}
+
+(** [compare_many ~scenario ~platform systems benches] measures every
+    benchmark under every labeled system ([iterations] applies to the
+    default baseline; each system closure owns its measurement settings).
+    Emits one ["policy.eval"] trace event per (benchmark, system). *)
+val compare_many :
+  ?iterations:int ->
+  scenario:Machine.scenario ->
+  platform:Platform.t ->
+  (string * (Inltune_workloads.Suites.benchmark -> Measure.times)) list ->
+  Inltune_workloads.Suites.benchmark list ->
+  many_report
+
+(** Per-system geomean ratios, in label order ([1.0]s when no rows). *)
+val many_geos : many_report -> (string * geo) list
+
+(** The n-way comparison as a report table. *)
+val many_table : many_report -> Inltune_support.Table.t

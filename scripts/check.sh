@@ -86,6 +86,42 @@ rc=0
 dune exec --no-build bin/main.exe -- eval-policy "$pol" --print > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "corrupt policy exited $rc, want 2"; exit 1; }
 
+echo "== gp smoke =="
+# GP policy evolution: a fixed-seed run interrupted after 1 generation and
+# resumed must print exactly what an uninterrupted run prints (checkpoint /
+# resume bit-identity); gp print is a serialization fixpoint; a corrupt tree
+# file dies with a one-line error and exit code 2.
+gpck=$(mktemp -t inltune_gpck.XXXXXX.jsonl)
+gptree=$(mktemp -t inltune_gptree.XXXXXX.txt)
+trap 'rm -f "$trace" "$faults" "$ckpt" "$ds" "$pol" "$pol2" "$gpck" "$gptree"' EXIT
+rm -f "$gpck"
+gp_full=$(dune exec --no-build bin/main.exe -- tune --evolve-policy -s opt:tot --pop 6 -g 2 \
+  --seed 7 --gp-out "$gptree" 2> /dev/null)
+dune exec --no-build bin/main.exe -- tune --evolve-policy -s opt:tot --pop 6 -g 1 --seed 7 \
+  --checkpoint "$gpck" > /dev/null 2>&1
+gp_resumed=$(dune exec --no-build bin/main.exe -- tune --evolve-policy -s opt:tot --pop 6 -g 2 \
+  --seed 7 --gp-out "$gptree" --resume "$gpck" 2> /dev/null)
+[ "$gp_full" = "$gp_resumed" ] || {
+  echo "resumed GP run differs from uninterrupted run:"
+  echo "--- full ---"; echo "$gp_full"
+  echo "--- resumed ---"; echo "$gp_resumed"
+  exit 1
+}
+dune exec --no-build bin/main.exe -- gp print "$gptree" | cmp -s - "$gptree" \
+  || { echo "gp tree canonical form is not a serialization fixpoint"; exit 1; }
+printf 'inltune-gp v1\n(and true)\n' > "$gptree"
+rc=0
+dune exec --no-build bin/main.exe -- gp print "$gptree" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "corrupt gp tree exited $rc, want 2"; exit 1; }
+
+echo "== gp-bench smoke =="
+# The GP comparison bench must leave a parseable BENCH_gp.json carrying the
+# 4-column protocol geomeans and the pre-filter avoidance counters.
+INLTUNE_POP=6 INLTUNE_GENS=2 dune exec --no-build bench/main.exe gp > /dev/null
+for field in '"best_tree"' '"prefilter"' '"avoidance"' '"gp"' '"cart"' '"ga"'; do
+  grep -q "$field" BENCH_gp.json || { echo "BENCH_gp.json: missing $field"; exit 1; }
+done
+
 echo "== tuner-bench smoke =="
 # The decision-signature cache must avoid simulations without changing the
 # search: bench tuner runs the same fixed-seed GA cache-off then cache-on and

@@ -14,6 +14,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("core", Test_core.suite);
       ("policy", Test_policy.suite);
+      ("gp", Test_gp.suite);
       ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);

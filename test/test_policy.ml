@@ -215,6 +215,22 @@ let test_store_round_trip () =
       | Ok s' -> Alcotest.(check bool) "store preserved" true (s = s'))
     [ tree; thr ]
 
+(* GP predicate trees are policy artifacts too: random genomes must
+   round-trip through their canonical text form just like stores do.  The
+   full property (200 random seeds) lives in the gp suite; this keeps the
+   artifact-format contract visible next to the store tests. *)
+let test_gp_tree_round_trip () =
+  let module Gp = Inltune_gp in
+  for seed = 1 to 20 do
+    let t = Gp.Genetic.random (Inltune_support.Rng.create seed) in
+    match Gp.Tree.of_string ~dim:Features.dim (Gp.Tree.to_string t) with
+    | Error e -> Alcotest.failf "gp round trip failed: %s" e
+    | Ok t' ->
+      Alcotest.(check string) "canonical text preserved" (Gp.Tree.to_text t)
+        (Gp.Tree.to_text t');
+      Alcotest.(check string) "digest stable" (Gp.Tree.digest t) (Gp.Tree.digest t')
+  done
+
 let test_store_clamps_threshold_genes () =
   (* Out-of-range parameters clamp exactly like GA genomes (Table 1). *)
   match Store.of_string "inltune-policy v1 threshold\n9999 9999 9999 9999 9999\n" with
@@ -374,6 +390,7 @@ let suite =
     Alcotest.test_case "cart: learns a separable rule" `Quick test_cart_learns_separable_rule;
     Alcotest.test_case "cart: degenerate inputs" `Quick test_cart_degenerate_inputs;
     Alcotest.test_case "store: round trip" `Quick test_store_round_trip;
+    Alcotest.test_case "store: gp tree round trip" `Quick test_gp_tree_round_trip;
     Alcotest.test_case "store: clamps threshold genes" `Quick test_store_clamps_threshold_genes;
     Alcotest.test_case "store: rejects corrupt files" `Quick test_store_rejects_corrupt;
     Alcotest.test_case "dataset: line round trip" `Quick test_dataset_line_round_trip;
