@@ -736,26 +736,53 @@ let vm_bench () =
   print_endline "==== VM bench: interpreter throughput trajectory ====\n";
   let repeats = max 1 (env_int "INLTUNE_VM_REPEATS" 3) in
   let iterations = max 2 (env_int "INLTUNE_VM_ITERS" 3) in
-  let scenarios = [ ("opt", Machine.Opt); ("adapt", Machine.Adapt) ] in
+  let scenarios =
+    [ ("opt", Machine.Opt); ("adapt", Machine.Adapt); ("ladder", Machine.Ladder) ]
+  in
   let suite = W.Suites.spec in
   let now = Inltune_support.Pool.now in
-  (* One simulation: fresh VM, [iterations] runs of main.  Returns
-     (wall seconds, simulated cycles, interpreter steps). *)
+  (* The previous run's headline number, read before this run overwrites the
+     file, turns BENCH_vm.json into a trajectory: every hot-path change
+     reports its own speedup instead of claiming it once in a commit
+     message. *)
+  let previous_sps =
+    match In_channel.with_open_text "BENCH_vm.json" In_channel.input_all with
+    | exception _ -> None
+    | text -> (
+      match Inltune_obs.Json.parse text with
+      | Error _ -> None
+      | Ok j ->
+        Option.bind (Inltune_obs.Json.member "overall" j) (fun o ->
+            Option.bind (Inltune_obs.Json.member "steps_per_second" o)
+              Inltune_obs.Json.to_float))
+  in
+  (* One simulation: fresh VM, [iterations] runs of main.  Returns (wall
+     seconds, simulated cycles, interpreter steps, minor words allocated) —
+     the GC column catches allocation regressions in the dispatch loop that
+     wall-clock noise can hide. *)
   let simulate scen p =
     let t0 = now () in
+    let g0 = Gc.minor_words () in
     let vm = Machine.create (Machine.config scen Heuristic.default) Platform.x86 p in
     for _ = 1 to iterations do
       ignore (Machine.run_iteration vm : Machine.iteration)
     done;
-    (now () -. t0, vm.Machine.exec_cycles + vm.Machine.compile_cycles, vm.Machine.steps)
+    ( now () -. t0,
+      vm.Machine.exec_cycles + vm.Machine.compile_cycles,
+      vm.Machine.steps,
+      Gc.minor_words () -. g0 )
   in
   let t =
     Table.create ~title:"VM throughput (simulated cycles and steps per host second)"
       ~header:
-        [| "scenario"; "sims"; "cycles/s"; "steps/s"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" |]
+        [|
+          "scenario"; "sims"; "cycles/s"; "steps/s"; "gc w/step"; "p50 ms"; "p90 ms";
+          "p99 ms"; "max ms";
+        |]
       ~aligns:
         [|
           Table.Left;
+          Table.Right;
           Table.Right;
           Table.Right;
           Table.Right;
@@ -767,11 +794,13 @@ let vm_bench () =
   in
   let all_lat = ref [] in
   let all_wall = ref 0.0 and all_cycles = ref 0 and all_steps = ref 0 in
+  let all_words = ref 0.0 in
   let per_scenario =
     List.map
       (fun (sname, scen) ->
         let lats = ref [] in
         let wall = ref 0.0 and cycles = ref 0 and steps = ref 0 in
+        let words = ref 0.0 in
         List.iter
           (fun bm ->
             let p = W.Suites.program bm in
@@ -779,22 +808,25 @@ let vm_bench () =
                that are not interpreter throughput. *)
             ignore (simulate scen p);
             for _ = 1 to repeats do
-              let w, c, s = simulate scen p in
+              let w, c, s, g = simulate scen p in
               lats := w :: !lats;
               wall := !wall +. w;
               cycles := !cycles + c;
-              steps := !steps + s
+              steps := !steps + s;
+              words := !words +. g
             done)
           suite;
         let lat = Array.of_list !lats in
         let pct p = Stats.percentile lat p *. 1e3 in
         let per_s v = Float.of_int v /. Float.max 1e-9 !wall in
+        let wps = !words /. Float.max 1.0 (Float.of_int !steps) in
         Table.add_row t
           [|
             sname;
             string_of_int (Array.length lat);
             Printf.sprintf "%.3e" (per_s !cycles);
             Printf.sprintf "%.3e" (per_s !steps);
+            Printf.sprintf "%.4f" wps;
             Table.fmt_float (pct 50.0);
             Table.fmt_float (pct 90.0);
             Table.fmt_float (pct 99.0);
@@ -804,40 +836,58 @@ let vm_bench () =
         all_wall := !all_wall +. !wall;
         all_cycles := !all_cycles + !cycles;
         all_steps := !all_steps + !steps;
-        (sname, per_s !cycles, per_s !steps, pct 50.0, pct 90.0, pct 99.0))
+        all_words := !all_words +. !words;
+        (sname, per_s !cycles, per_s !steps, wps, pct 50.0, pct 90.0, pct 99.0))
       scenarios
   in
   let lat = Array.of_list !all_lat in
   let pct p = Stats.percentile lat p *. 1e3 in
   let per_s v = Float.of_int v /. Float.max 1e-9 !all_wall in
+  let overall_sps = per_s !all_steps in
+  let overall_wps = !all_words /. Float.max 1.0 (Float.of_int !all_steps) in
   Table.add_rule t;
   Table.add_row t
     [|
       "overall";
       string_of_int (Array.length lat);
       Printf.sprintf "%.3e" (per_s !all_cycles);
-      Printf.sprintf "%.3e" (per_s !all_steps);
+      Printf.sprintf "%.3e" overall_sps;
+      Printf.sprintf "%.4f" overall_wps;
       Table.fmt_float (pct 50.0);
       Table.fmt_float (pct 90.0);
       Table.fmt_float (pct 99.0);
       Table.fmt_float (Stats.max_of lat *. 1e3);
     |];
   Table.print t;
+  (match previous_sps with
+  | Some prev when prev > 0.0 ->
+    Printf.printf "speedup vs previous BENCH_vm.json: %.2fx (%.3e -> %.3e steps/s)\n" (overall_sps /. prev)
+      prev overall_sps
+  | _ -> ());
   print_newline ();
   let oc = open_out "BENCH_vm.json" in
-  let scenario_json (sname, cps, sps, p50, p90, p99) =
+  let scenario_json (sname, cps, sps, wps, p50, p90, p99) =
     Printf.sprintf
       "\"%s\":{\"cycles_per_second\":%.1f,\"steps_per_second\":%.1f,\
+       \"gc_minor_words_per_step\":%.6f,\
        \"sim_latency_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f}}"
-      sname cps sps p50 p90 p99
+      sname cps sps wps p50 p90 p99
+  in
+  let trajectory_json =
+    match previous_sps with
+    | Some prev when prev > 0.0 ->
+      Printf.sprintf ",\"previous_steps_per_second\":%.1f,\"speedup_vs_previous\":%.4f" prev
+        (overall_sps /. prev)
+    | _ -> ""
   in
   Printf.fprintf oc
     "{\"benchmarks\":%d,\"repeats\":%d,\"iterations\":%d,\
      \"overall\":{\"cycles_per_second\":%.1f,\"steps_per_second\":%.1f,\
-     \"sim_latency_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f}},\
+     \"gc_minor_words_per_step\":%.6f,\
+     \"sim_latency_ms\":{\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f}}%s,\
      \"scenarios\":{%s}}\n"
-    (List.length suite) repeats iterations (per_s !all_cycles) (per_s !all_steps) (pct 50.0)
-    (pct 90.0) (pct 99.0)
+    (List.length suite) repeats iterations (per_s !all_cycles) overall_sps overall_wps
+    (pct 50.0) (pct 90.0) (pct 99.0) trajectory_json
     (String.concat "," (List.map scenario_json per_scenario));
   close_out oc;
   print_endline "wrote BENCH_vm.json\n"
@@ -1166,6 +1216,8 @@ let micro () =
 
 let () =
   Inltune_obs.Trace.init_from_env ();
+  (* INLTUNE_PROFILE=1 works for benches exactly as it does for the CLI. *)
+  Inltune_obs.Prof.init_from_env ();
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "everything" in
   let ctx = Experiments.make_ctx ~budget:(budget ()) () in
   match arg with

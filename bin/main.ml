@@ -17,6 +17,11 @@
      gp print|eval <file>      inspect / evaluate an evolved policy tree
      serve                     run the tuning daemon (line-JSON over a socket)
      client <op>               talk to a running daemon (ping/stats/measure/tune)
+
+   INLTUNE_VM_REFERENCE=1 runs every simulation on the tree-walking
+   reference interpreter instead of the flat compiled-dispatch one; the
+   two are bit-identical on all reported numbers (see README
+   "Performance"), so this is a cross-check knob, not a behaviour knob.
 *)
 
 open Cmdliner

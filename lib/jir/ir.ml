@@ -98,6 +98,49 @@ let def_of = function
   | CallVirt (d, _, _, _) -> Some d
   | Store _ | StoreIdx _ | Print _ -> None
 
+(* Destination register, or -1 when the instruction writes none —
+   allocation-free variant of [def_of] for per-instruction scans (the
+   [Some d] box costs a minor-heap word per instruction per pass). *)
+let def_reg = function
+  | Const (d, _)
+  | Move (d, _)
+  | Binop (_, d, _, _)
+  | Cmp (_, d, _, _)
+  | Load (d, _, _)
+  | LoadIdx (d, _, _)
+  | ClassOf (d, _)
+  | Alloc (d, _, _)
+  | Call (d, _, _)
+  | CallVirt (d, _, _, _) -> d
+  | Store _ | StoreIdx _ | Print _ -> -1
+
+(* Allocation-free iteration over the registers an instruction reads, for
+   passes that scan every instruction of every compile ([uses_of] builds a
+   fresh list per call, which shows up as GC traffic in hot analyses). *)
+let iter_uses f = function
+  | Const _ | Alloc _ -> ()
+  | Move (_, s) -> f s
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) ->
+    f a;
+    f b
+  | Load (_, o, _) -> f o
+  | Store (o, _, s) ->
+    f o;
+    f s
+  | LoadIdx (_, o, i) ->
+    f o;
+    f i
+  | StoreIdx (o, i, s) ->
+    f o;
+    f i;
+    f s
+  | ClassOf (_, o) -> f o
+  | Call (_, _, args) -> Array.iter f args
+  | CallVirt (_, _, recv, args) ->
+    f recv;
+    Array.iter f args
+  | Print s -> f s
+
 (* Registers read by an instruction. *)
 let uses_of = function
   | Const _ -> []

@@ -29,18 +29,47 @@
 
 type error = { line : int; msg : string }
 
-let binop_names =
-  [
-    (Ir.Add, "add"); (Ir.Sub, "sub"); (Ir.Mul, "mul"); (Ir.Div, "div"); (Ir.Mod, "mod");
-    (Ir.And, "and"); (Ir.Or, "or"); (Ir.Xor, "xor"); (Ir.Shl, "shl"); (Ir.Shr, "shr");
-  ]
+let binop_name = function
+  | Ir.Add -> "add"
+  | Ir.Sub -> "sub"
+  | Ir.Mul -> "mul"
+  | Ir.Div -> "div"
+  | Ir.Mod -> "mod"
+  | Ir.And -> "and"
+  | Ir.Or -> "or"
+  | Ir.Xor -> "xor"
+  | Ir.Shl -> "shl"
+  | Ir.Shr -> "shr"
 
-let cmpop_names =
-  [ (Ir.Lt, "cmp.lt"); (Ir.Le, "cmp.le"); (Ir.Eq, "cmp.eq"); (Ir.Ne, "cmp.ne");
-    (Ir.Gt, "cmp.gt"); (Ir.Ge, "cmp.ge") ]
+let cmpop_name = function
+  | Ir.Lt -> "cmp.lt"
+  | Ir.Le -> "cmp.le"
+  | Ir.Eq -> "cmp.eq"
+  | Ir.Ne -> "cmp.ne"
+  | Ir.Gt -> "cmp.gt"
+  | Ir.Ge -> "cmp.ge"
 
-let binop_name op = List.assoc op binop_names
-let cmpop_name op = List.assoc op cmpop_names
+let binop_of_name = function
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div
+  | "mod" -> Some Ir.Mod
+  | "and" -> Some Ir.And
+  | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl
+  | "shr" -> Some Ir.Shr
+  | _ -> None
+
+let cmpop_of_name = function
+  | "cmp.lt" -> Some Ir.Lt
+  | "cmp.le" -> Some Ir.Le
+  | "cmp.eq" -> Some Ir.Eq
+  | "cmp.ne" -> Some Ir.Ne
+  | "cmp.gt" -> Some Ir.Gt
+  | "cmp.ge" -> Some Ir.Ge
+  | _ -> None
 
 (* ---- printing ------------------------------------------------------------ *)
 
@@ -174,12 +203,11 @@ let parse (src : string) : (Ir.program, error) result =
               Ir.Call (r d, parse_prefixed ~line ~prefix:"m" m, Array.of_list (List.map r args))
             | "callvirt", d :: slot :: recv :: args ->
               Ir.CallVirt (r d, parse_int ~line slot, r recv, Array.of_list (List.map r args))
-            | _, [ a; b; c ] when List.exists (fun (_, n) -> n = op) binop_names ->
-              let bop = fst (List.find (fun (_, n) -> n = op) binop_names) in
-              Ir.Binop (bop, r a, r b, r c)
-            | _, [ a; b; c ] when List.exists (fun (_, n) -> n = op) cmpop_names ->
-              let cop = fst (List.find (fun (_, n) -> n = op) cmpop_names) in
-              Ir.Cmp (cop, r a, r b, r c)
+            | _, [ a; b; c ] -> (
+              match (binop_of_name op, cmpop_of_name op) with
+              | Some bop, _ -> Ir.Binop (bop, r a, r b, r c)
+              | None, Some cop -> Ir.Cmp (cop, r a, r b, r c)
+              | None, None -> fail line "unknown instruction %s" op)
             | _ -> fail line "unknown instruction %s" op
           in
           Vec.push cur_instrs i)

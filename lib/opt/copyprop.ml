@@ -11,60 +11,130 @@ let analysis_budget = 2_000_000
 let run m =
   if Array.length m.Ir.blocks * m.Ir.nregs > analysis_budget then (m, 0)
   else
+  let nregs = m.Ir.nregs in
   let rewritten = ref 0 in
+  (* copy_of.(r) = s >= 0 when r currently holds a copy of s, -1 otherwise.
+     copiers.(s) over-approximates the registers copying s (it may hold
+     stale entries from registers since redefined; [invalidate] re-checks),
+     so killing the copies of a redefined source is proportional to the
+     copies made, not to nregs. *)
+  let copy_of = Array.make nregs (-1) in
+  let copiers = Array.make nregs [] in
   let blocks =
     Array.map
       (fun blk ->
-        (* copy_of.(r) = Some s when r currently holds a copy of s. *)
-        let copy_of = Array.make m.Ir.nregs None in
+        Array.fill copy_of 0 nregs (-1);
+        Array.fill copiers 0 nregs [];
         let resolve r =
-          match copy_of.(r) with
-          | Some s ->
+          let s = copy_of.(r) in
+          if s >= 0 then begin
             incr rewritten;
             s
-          | None -> r
+          end
+          else r
         in
         let invalidate d =
-          copy_of.(d) <- None;
-          Array.iteri (fun r c -> if c = Some d then copy_of.(r) <- None) copy_of
+          copy_of.(d) <- -1;
+          match copiers.(d) with
+          | [] -> ()
+          | rs ->
+            List.iter (fun r -> if copy_of.(r) = d then copy_of.(r) <- -1) rs;
+            copiers.(d) <- []
         in
-        let instrs =
-          Array.map
-            (fun i ->
-              let i' =
-                match i with
-                | Ir.Const (d, n) -> Ir.Const (d, n)
-                | Ir.Move (d, s) -> Ir.Move (d, resolve s)
-                | Ir.Binop (op, d, a, b) -> Ir.Binop (op, d, resolve a, resolve b)
-                | Ir.Cmp (op, d, a, b) -> Ir.Cmp (op, d, resolve a, resolve b)
-                | Ir.Load (d, o, off) -> Ir.Load (d, resolve o, off)
-                | Ir.Store (o, off, s) -> Ir.Store (resolve o, off, resolve s)
-                | Ir.LoadIdx (d, o, i) -> Ir.LoadIdx (d, resolve o, resolve i)
-                | Ir.StoreIdx (o, i, s) -> Ir.StoreIdx (resolve o, resolve i, resolve s)
-                | Ir.ClassOf (d, o) -> Ir.ClassOf (d, resolve o)
-                | Ir.Alloc (d, k, s) -> Ir.Alloc (d, k, s)
-                | Ir.Call (d, t, args) -> Ir.Call (d, t, Array.map resolve args)
-                | Ir.CallVirt (d, slot, recv, args) ->
-                  Ir.CallVirt (d, slot, resolve recv, Array.map resolve args)
-                | Ir.Print r -> Ir.Print (resolve r)
-              in
-              (match Ir.def_of i' with
-              | Some d ->
-                invalidate d;
-                (match i' with
-                | Ir.Move (d, s) when d <> s -> copy_of.(d) <- Some s
-                | _ -> ())
-              | None -> ());
-              i')
-            blk.Ir.instrs
+        (* [resolve r = r] exactly when no copy fires (a register is never a
+           copy of itself), so sharing [i] when every operand resolves to
+           itself is precise.  Copy-on-write at both levels — instruction
+           boxes and the per-block array — because this pass runs on every
+           optimizing compile and mostly changes nothing. *)
+        let resolve_args args =
+          let changed = ref false in
+          let args' =
+            Array.map
+              (fun r ->
+                let r' = resolve r in
+                if r' <> r then changed := true;
+                r')
+              args
+          in
+          if !changed then Some args' else None
         in
+        let instrs = blk.Ir.instrs in
+        let out = ref instrs in
+        for k = 0 to Array.length instrs - 1 do
+          let i = instrs.(k) in
+          let replacement =
+            match i with
+            | Ir.Const _ | Ir.Alloc _ -> None
+            | Ir.Move (d, s) ->
+              let s' = resolve s in
+              if s' <> s then Some (Ir.Move (d, s')) else None
+            | Ir.Binop (op, d, a, b) ->
+              let a' = resolve a and b' = resolve b in
+              if a' <> a || b' <> b then Some (Ir.Binop (op, d, a', b')) else None
+            | Ir.Cmp (op, d, a, b) ->
+              let a' = resolve a and b' = resolve b in
+              if a' <> a || b' <> b then Some (Ir.Cmp (op, d, a', b')) else None
+            | Ir.Load (d, o, off) ->
+              let o' = resolve o in
+              if o' <> o then Some (Ir.Load (d, o', off)) else None
+            | Ir.Store (o, off, s) ->
+              let o' = resolve o and s' = resolve s in
+              if o' <> o || s' <> s then Some (Ir.Store (o', off, s')) else None
+            | Ir.LoadIdx (d, o, ix) ->
+              let o' = resolve o and ix' = resolve ix in
+              if o' <> o || ix' <> ix then Some (Ir.LoadIdx (d, o', ix')) else None
+            | Ir.StoreIdx (o, ix, s) ->
+              let o' = resolve o and ix' = resolve ix and s' = resolve s in
+              if o' <> o || ix' <> ix || s' <> s then Some (Ir.StoreIdx (o', ix', s'))
+              else None
+            | Ir.ClassOf (d, o) ->
+              let o' = resolve o in
+              if o' <> o then Some (Ir.ClassOf (d, o')) else None
+            | Ir.Call (d, t, args) -> (
+              match resolve_args args with
+              | Some args' -> Some (Ir.Call (d, t, args'))
+              | None -> None)
+            | Ir.CallVirt (d, slot, recv, args) -> (
+              let recv' = resolve recv in
+              match resolve_args args with
+              | Some args' -> Some (Ir.CallVirt (d, slot, recv', args'))
+              | None ->
+                if recv' <> recv then Some (Ir.CallVirt (d, slot, recv', args))
+                else None)
+            | Ir.Print r ->
+              let r' = resolve r in
+              if r' <> r then Some (Ir.Print r') else None
+          in
+          let i' =
+            match replacement with
+            | Some i' ->
+              if !out == instrs then out := Array.copy instrs;
+              (!out).(k) <- i';
+              i'
+            | None -> i
+          in
+          let d = Ir.def_reg i' in
+          if d >= 0 then begin
+            invalidate d;
+            match i' with
+            | Ir.Move (d, s) when d <> s ->
+              copy_of.(d) <- s;
+              copiers.(s) <- d :: copiers.(s)
+            | _ -> ()
+          end
+        done;
         let term =
           match blk.Ir.term with
-          | Ir.Jump l -> Ir.Jump l
-          | Ir.Branch (c, t, f) -> Ir.Branch (resolve c, t, f)
-          | Ir.Ret r -> Ir.Ret (resolve r)
+          | Ir.Jump _ -> blk.Ir.term
+          | Ir.Branch (c, t, f) ->
+            let c' = resolve c in
+            if c' <> c then Ir.Branch (c', t, f) else blk.Ir.term
+          | Ir.Ret r ->
+            let r' = resolve r in
+            if r' <> r then Ir.Ret r' else blk.Ir.term
         in
-        { Ir.instrs; term })
+        if !out == instrs && term == blk.Ir.term then blk
+        else { Ir.instrs = !out; term })
       m.Ir.blocks
   in
   ({ m with Ir.blocks }, !rewritten)

@@ -1,0 +1,58 @@
+(* Frame pool for flat interpreters: one growable int array holds every
+   frame's register window back to back, and parallel stacks hold the saved
+   caller state (code payload, frame pointer, resume pc, destination
+   register, method id).  Pushing a frame is a bounds check plus a few int
+   stores — no per-call allocation once the pool is warm. *)
+
+type 'a t = {
+  mutable regs : int array;   (* register windows, all live frames *)
+  mutable sp : int;           (* next free slot in [regs] *)
+  mutable depth : int;        (* number of saved caller frames *)
+  mutable codes : 'a array;   (* saved caller code payloads *)
+  mutable fps : int array;    (* saved caller frame pointers *)
+  mutable pcs : int array;    (* saved caller resume pcs *)
+  mutable dests : int array;  (* saved caller destination registers *)
+  mutable mids : int array;   (* saved caller method ids *)
+  dummy : 'a;                 (* fills unused [codes] slots *)
+}
+
+let create ~dummy () =
+  {
+    regs = Array.make 1024 0;
+    sp = 0;
+    depth = 0;
+    codes = Array.make 64 dummy;
+    fps = Array.make 64 0;
+    pcs = Array.make 64 0;
+    dests = Array.make 64 0;
+    mids = Array.make 64 0;
+    dummy;
+  }
+
+let reset t =
+  t.sp <- 0;
+  t.depth <- 0
+
+(* Live register windows ([0, sp)) survive the copy. *)
+let grow_regs t need =
+  let a = Array.make (max need (2 * Array.length t.regs)) 0 in
+  Array.blit t.regs 0 a 0 t.sp;
+  t.regs <- a
+
+let ensure_regs t need = if need > Array.length t.regs then grow_regs t need
+
+let grow_meta t =
+  let n = Array.length t.fps in
+  let n' = 2 * n in
+  let codes = Array.make n' t.dummy in
+  Array.blit t.codes 0 codes 0 n;
+  t.codes <- codes;
+  let grow_int a =
+    let a' = Array.make n' 0 in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.fps <- grow_int t.fps;
+  t.pcs <- grow_int t.pcs;
+  t.dests <- grow_int t.dests;
+  t.mids <- grow_int t.mids

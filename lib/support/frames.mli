@@ -1,0 +1,33 @@
+(** Frame pool for flat interpreters: a single growable int array of
+    back-to-back register windows plus parallel stacks of saved caller state
+    (code payload, frame pointer, resume pc, destination register, method
+    id).  The record is exposed so interpreter hot loops can touch the
+    arrays directly; everything is single-threaded per pool. *)
+
+type 'a t = {
+  mutable regs : int array;   (** register windows, all live frames *)
+  mutable sp : int;           (** next free slot in [regs] *)
+  mutable depth : int;        (** number of saved caller frames *)
+  mutable codes : 'a array;   (** saved caller code payloads *)
+  mutable fps : int array;    (** saved caller frame pointers *)
+  mutable pcs : int array;    (** saved caller resume pcs *)
+  mutable dests : int array;  (** saved caller destination registers *)
+  mutable mids : int array;   (** saved caller method ids *)
+  dummy : 'a;                 (** fills unused [codes] slots *)
+}
+
+(** Fresh pool; [dummy] fills unused code slots. *)
+val create : dummy:'a -> unit -> 'a t
+
+(** Drop every frame (the arrays keep their capacity). *)
+val reset : 'a t -> unit
+
+(** Grow [regs] to hold at least [need] slots, preserving live windows.
+    Precondition: [need > Array.length t.regs]. *)
+val grow_regs : 'a t -> int -> unit
+
+(** [grow_regs] only when needed. *)
+val ensure_regs : 'a t -> int -> unit
+
+(** Double the saved-caller stacks (call when [depth] hits their length). *)
+val grow_meta : 'a t -> unit

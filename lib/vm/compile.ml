@@ -17,6 +17,7 @@ type tier = Baseline | O1 | Optimized
 type compiled = {
   tier : tier;
   code : Ir.methd;
+  flat : Lower.code;          (* lowered stream the flat interpreter runs *)
   addr : int;
   code_bytes : int;
   bytes_per_instr : int;
@@ -38,20 +39,25 @@ let block_offsets m =
 
 (* Baseline code keeps everything in memory anyway (its quality multiplier
    already reflects that), so no extra spill surcharge. *)
-let baseline (plat : Platform.t) codespace m =
+let baseline (plat : Platform.t) codespace ~profile m =
   let size = Size.of_method m in
   let code_bytes = Size.code_bytes ~expansion:plat.Platform.baseline_expansion m in
   let addr = Codespace.alloc codespace code_bytes in
   let instrs = max 1 (Ir.instr_count m) in
+  let bytes_per_instr = max 1 (code_bytes / instrs) in
+  let quality = plat.Platform.baseline_quality in
   let c =
     {
       tier = Baseline;
       code = m;
+      flat =
+        Lower.lower ~plat ~profile ~owner:m.Ir.mid ~quality ~addr ~bytes_per_instr
+          ~spill:0 m;
       addr;
       code_bytes;
-      bytes_per_instr = max 1 (code_bytes / instrs);
+      bytes_per_instr;
       block_offsets = block_offsets m;
-      quality = plat.Platform.baseline_quality;
+      quality;
       block_spill_cost = 0;
       spills = 0;
     }
@@ -60,44 +66,55 @@ let baseline (plat : Platform.t) codespace m =
 
 (* The mid tier: dataflow optimizations without inlining — cheap linear
    compile time, decent code.  Used by the multi-level ladder scenario. *)
-let o1 (plat : Platform.t) codespace program m =
+let o1 (plat : Platform.t) codespace program ~profile m =
   let code, _stats = Pipeline.run program Pipeline.no_inline_config m in
   let size = Size.of_method m in
   let code_bytes = Size.code_bytes ~expansion:plat.Platform.o1_expansion code in
   let addr = Codespace.alloc codespace code_bytes in
   let instrs = max 1 (Ir.instr_count code) in
   let ra = Regalloc.run ~phys_regs:plat.Platform.phys_regs code in
+  let bytes_per_instr = max 1 (code_bytes / instrs) in
+  let quality = plat.Platform.o1_quality in
+  let block_spill_cost = Regalloc.block_spill_cost plat code ra in
   let c =
     {
       tier = O1;
       code;
+      flat =
+        Lower.lower ~plat ~profile ~owner:m.Ir.mid ~quality ~addr ~bytes_per_instr
+          ~spill:block_spill_cost code;
       addr;
       code_bytes;
-      bytes_per_instr = max 1 (code_bytes / instrs);
+      bytes_per_instr;
       block_offsets = block_offsets code;
-      quality = plat.Platform.o1_quality;
-      block_spill_cost = Regalloc.block_spill_cost plat code ra;
+      quality;
+      block_spill_cost;
       spills = ra.Regalloc.spilled;
     }
   in
   (c, Platform.o1_compile_cycles plat ~size)
 
-let optimizing (plat : Platform.t) codespace program config m =
+let optimizing (plat : Platform.t) codespace program config ~profile m =
   let code, stats = Pipeline.run program config m in
   let code_bytes = Size.code_bytes ~expansion:plat.Platform.opt_expansion code in
   let addr = Codespace.alloc codespace code_bytes in
   let instrs = max 1 (Ir.instr_count code) in
   let ra = Regalloc.run ~phys_regs:plat.Platform.phys_regs code in
+  let bytes_per_instr = max 1 (code_bytes / instrs) in
+  let block_spill_cost = Regalloc.block_spill_cost plat code ra in
   let c =
     {
       tier = Optimized;
       code;
+      flat =
+        Lower.lower ~plat ~profile ~owner:m.Ir.mid ~quality:1 ~addr ~bytes_per_instr
+          ~spill:block_spill_cost code;
       addr;
       code_bytes;
-      bytes_per_instr = max 1 (code_bytes / instrs);
+      bytes_per_instr;
       block_offsets = block_offsets code;
       quality = 1;
-      block_spill_cost = Regalloc.block_spill_cost plat code ra;
+      block_spill_cost;
       spills = ra.Regalloc.spilled;
     }
   in

@@ -9,6 +9,7 @@ type tier = Baseline | O1 | Optimized
 type compiled = {
   tier : tier;
   code : Ir.methd;            (** the code the interpreter executes *)
+  flat : Lower.code;          (** lowered stream the flat interpreter runs *)
   addr : int;                 (** code-space address (I-cache tag base) *)
   code_bytes : int;
   bytes_per_instr : int;
@@ -20,15 +21,15 @@ type compiled = {
 
 (** Compile with the baseline tier: no transformation, cheap compile cycles,
     slow bulky code.  Returns the compiled method and compile cycles. *)
-val baseline : Platform.t -> Codespace.t -> Ir.methd -> compiled * int
+val baseline : Platform.t -> Codespace.t -> profile:Profile.t -> Ir.methd -> compiled * int
 
 (** Compile with the mid tier: dataflow passes, no inlining; linear compile
     cost, intermediate code quality.  Used by the ladder scenario. *)
-val o1 : Platform.t -> Codespace.t -> Ir.program -> Ir.methd -> compiled * int
+val o1 : Platform.t -> Codespace.t -> Ir.program -> profile:Profile.t -> Ir.methd -> compiled * int
 
 (** Compile with the optimizing tier: runs the pipeline under [config] and
     charges compile cycles superlinear in the post-inlining size.  Returns
     the compiled method, compile cycles, and the pipeline statistics. *)
 val optimizing :
-  Platform.t -> Codespace.t -> Ir.program -> Pipeline.config -> Ir.methd ->
-  compiled * int * Pipeline.stats
+  Platform.t -> Codespace.t -> Ir.program -> Pipeline.config -> profile:Profile.t ->
+  Ir.methd -> compiled * int * Pipeline.stats

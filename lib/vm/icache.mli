@@ -1,6 +1,17 @@
-(** Direct-mapped instruction-cache simulator. *)
+(** Direct-mapped instruction-cache simulator.
 
-type t
+    The representation is exposed so the flat interpreter can fold the
+    per-instruction tag probe into its dispatch loop ({!access} is one call
+    per simulated instruction, which dominates its cost).  Treat the fields
+    as read-only outside this module and [Machine]. *)
+
+type t = {
+  tags : int array;  (** -1 = invalid *)
+  line_bits : int;
+  index_mask : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
 
 (** [create ~bytes ~line_bytes] — both must make the line count a power of
     two. *)

@@ -1,0 +1,71 @@
+open Inltune_jir
+
+(** Compile-once lowering of a method to a flat int-coded instruction
+    stream: blocks flattened behind synthetic ENTER ops, branch targets
+    resolved to flat pcs, per-instruction simulated cost and icache address
+    precomputed, static call sites interned to dense {!Profile} site ids,
+    and call argument lists packed into an [extra] pool.  See the
+    implementation header for the opcode encoding. *)
+
+type code = {
+  opc : int array;
+      (** opcode in the low 8 bits, precomputed quality * platform cost
+          above them *)
+  args : int array;
+      (** operands packed x | y << 21 | z << 42 (21-bit fields; [lower]
+          rejects anything wider) *)
+  iaddrs : int array;  (** icache address, precomputed *)
+  extra : int array;
+      (** call operand pool ([site id|recv; nargs; args...]) and constant
+          pool (const's y field indexes its full-width value here) *)
+  nregs : int;
+  spill : int;         (** per-executed-block spill cost *)
+}
+
+(** Placeholder for unused frame-pool slots; never executed. *)
+val dummy : code
+
+(** Width of one packed operand field in [args], and its mask. *)
+
+val field_bits : int
+val field_mask : int
+
+(** Opcode values; {!Machine}'s dispatch matches on the literals and asserts
+    they agree with these. *)
+
+val op_const : int
+val op_move : int
+val op_binop_base : int
+val op_cmp_base : int
+val op_load : int
+val op_store : int
+val op_loadidx : int
+val op_storeidx : int
+val op_classof : int
+val op_alloc : int
+val op_print : int
+val op_last_plain : int
+val op_call : int
+val op_callvirt : int
+val op_enter : int
+val op_jump : int
+val op_branch : int
+val op_ret : int
+
+(** [lower ~plat ~profile ~owner ~quality ~addr ~bytes_per_instr ~spill m]
+    flattens [m] (the code a tier is about to install).  [owner] is the
+    method id call sites are attributed to; [quality], [addr],
+    [bytes_per_instr], and [spill] come from the tier's {!Compile.compiled}
+    record.  Re-validates registers, block targets, and callee ids, which
+    licenses the interpreter's unsafe array accesses; raises
+    [Invalid_argument] on malformed code. *)
+val lower :
+  plat:Platform.t ->
+  profile:Profile.t ->
+  owner:int ->
+  quality:int ->
+  addr:int ->
+  bytes_per_instr:int ->
+  spill:int ->
+  Ir.methd ->
+  code

@@ -25,6 +25,18 @@ module Prof = Inltune_obs.Prof
 exception Trap of string
 exception Out_of_fuel
 
+(* [INLTUNE_VM_REFERENCE=1] selects the tree-walking reference interpreter
+   instead of the flat dispatch loop; both must agree on every observable
+   bit (the differential suite and check.sh enforce this). *)
+let reference_mode =
+  ref
+    (match Sys.getenv_opt "INLTUNE_VM_REFERENCE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let set_reference b = reference_mode := b
+let reference_enabled () = !reference_mode
+
 type scenario =
   | Opt     (* optimize everything on first invocation *)
   | Adapt   (* baseline first, one-step promotion to the optimizer *)
@@ -88,6 +100,10 @@ type t = {
   mutable o1_compiles : int;
   mutable baseline_compiles : int;
   mutable call_depth : int;
+  frames : Lower.code Inltune_support.Frames.t;
+  mutable frames_reused : int;
+      (* frame pushes served without growing the pool, flushed to the
+         vm.frames_reused counter once per iteration *)
   (* Wall-clock seconds spent inside the compilers, accumulated only while
      Prof is enabled.  Profiler bookkeeping, never part of cycle accounting. *)
   mutable compile_wall_s : float;
@@ -118,6 +134,8 @@ let create cfg (plat : Platform.t) prog =
     o1_compiles = 0;
     baseline_compiles = 0;
     call_depth = 0;
+    frames = Inltune_support.Frames.create ~dummy:Lower.dummy ();
+    frames_reused = 0;
     compile_wall_s = 0.0;
   }
 
@@ -183,7 +201,7 @@ let compile_opt vm mid =
   let recompile = vm.compiled.(mid) <> None in
   let c, cycles, stats =
     Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
-        Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) m)
+        Compile.optimizing vm.plat vm.codespace vm.prog (pipeline_config vm) ~profile:vm.profile m)
   in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.opt_compiles <- vm.opt_compiles + 1;
@@ -203,7 +221,7 @@ let compile_o1 vm mid =
   let recompile = vm.compiled.(mid) <> None in
   let c, cycles =
     Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
-        Compile.o1 vm.plat vm.codespace vm.prog vm.prog.Ir.methods.(mid))
+        Compile.o1 vm.plat vm.codespace vm.prog ~profile:vm.profile vm.prog.Ir.methods.(mid))
   in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.o1_compiles <- vm.o1_compiles + 1;
@@ -215,7 +233,7 @@ let compile_baseline vm mid =
   let recompile = vm.compiled.(mid) <> None in
   let c, cycles =
     Prof.span "vm.compile" ~on_time:(note_compile_wall vm) (fun () ->
-        Compile.baseline vm.plat vm.codespace vm.prog.Ir.methods.(mid))
+        Compile.baseline vm.plat vm.codespace ~profile:vm.profile vm.prog.Ir.methods.(mid))
   in
   vm.compile_cycles <- vm.compile_cycles + cycles;
   vm.baseline_compiles <- vm.baseline_compiles + 1;
@@ -289,7 +307,7 @@ let mix h v =
   let x = h lxor (v * 0x9E3779B1) in
   (x lsl 7) lxor (x lsr 9) lxor x
 
-let rec exec vm mid (args : int array) =
+let rec exec_reference vm mid (args : int array) =
   vm.call_depth <- vm.call_depth + 1;
   if vm.call_depth > max_call_depth then raise (Trap "simulated call stack overflow");
   Profile.record_invocation vm.profile mid;
@@ -339,7 +357,7 @@ let rec exec vm mid (args : int array) =
       | Ir.Call (d, callee, cargs) ->
         Profile.record_call vm.profile ~site_owner:mid ~callee;
         let argv = Array.map (fun r -> regs.(r)) cargs in
-        regs.(d) <- exec vm callee argv
+        regs.(d) <- exec_reference vm callee argv
       | Ir.CallVirt (d, slot, recv_r, cargs) ->
         let recv = regs.(recv_r) in
         let kid = heap_get vm recv in
@@ -351,7 +369,7 @@ let rec exec vm mid (args : int array) =
         Profile.record_call vm.profile ~site_owner:mid ~callee;
         let argv = Array.make (1 + Array.length cargs) recv in
         Array.iteri (fun j r -> argv.(j + 1) <- regs.(r)) cargs;
-        regs.(d) <- exec vm callee argv
+        regs.(d) <- exec_reference vm callee argv
       | Ir.Print r ->
         vm.out_hash <- mix vm.out_hash regs.(r);
         Inltune_support.Vec.push vm.outputs regs.(r)
@@ -366,6 +384,458 @@ let rec exec vm mid (args : int array) =
   let result = loop 0 in
   vm.call_depth <- vm.call_depth - 1;
   result
+
+(* --- flat interpreter ----------------------------------------------------- *)
+
+(* The dispatch loop below matches on opcode literals; pin them to the
+   encoding [Lower] emits. *)
+let () =
+  assert (
+    Lower.op_const = 0 && Lower.op_move = 1 && Lower.op_binop_base = 2
+    && Lower.op_cmp_base = 12 && Lower.op_load = 18 && Lower.op_store = 19
+    && Lower.op_loadidx = 20 && Lower.op_storeidx = 21 && Lower.op_classof = 22
+    && Lower.op_alloc = 23 && Lower.op_print = 24 && Lower.op_last_plain = 24
+    && Lower.op_call = 25 && Lower.op_callvirt = 26 && Lower.op_enter = 27
+    && Lower.op_jump = 28 && Lower.op_branch = 29 && Lower.op_ret = 30
+    && Lower.field_bits = 21 && Lower.field_mask = 0x1FFFFF)
+
+module Frames = Inltune_support.Frames
+
+(* Same observable semantics as [exec_reference], executed over the lowered
+   streams: per executed instruction the order is steps, fuel, icache touch,
+   sample check, cost, effect; per block ENTER is fuel then spill cost; per
+   terminator icache touch then cost then transfer.  Calls record the
+   profile edge before the depth check, check depth before
+   [record_invocation], and fetch (possibly compiling) the callee's code
+   after it — bit-for-bit the reference ordering.  Register windows live in
+   the VM's frame pool: pushing a frame zeroes a fresh window and copies
+   argument values caller-window to callee-window, no allocation.
+
+   Unsafe array accesses are licensed by [Lower.lower], which validates
+   every register, block target, and callee id at compile time, and by the
+   pool invariant fp + nregs <= sp <= length regs. *)
+let exec_flat vm mid (args : int array) =
+  vm.call_depth <- vm.call_depth + 1;
+  if vm.call_depth > max_call_depth then raise (Trap "simulated call stack overflow");
+  Profile.record_invocation vm.profile mid;
+  let c0 = get_code vm mid in
+  let f0 = c0.Compile.flat in
+  let fr = vm.frames in
+  Frames.reset fr;
+  Frames.ensure_regs fr f0.Lower.nregs;
+  Array.fill fr.Frames.regs 0 f0.Lower.nregs 0;
+  Array.blit args 0 fr.Frames.regs 0 (Array.length args);
+  fr.Frames.sp <- f0.Lower.nregs;
+  let plat = vm.plat in
+  let miss_penalty = plat.Platform.miss_penalty in
+  let icache_on = vm.cfg.icache_enabled in
+  let icache = vm.icache in
+  (* The cache geometry is immutable; hoisting it lets the per-instruction
+     tag probe run inline (no call, no bounds check: [idx] is masked into
+     range by construction). *)
+  let itags = icache.Icache.tags
+  and iline_bits = icache.Icache.line_bits
+  and iindex_mask = icache.Icache.index_mask in
+  let profile = vm.profile in
+  let classes = vm.prog.Ir.classes in
+  (* Per-step counters, hoisted out of the vm record into local refs: the
+     compiler rewrites non-escaping refs into plain mutable variables, so
+     the hot path keeps them in registers instead of a load + store on a
+     record field per counter per step.  They are flushed back at every
+     point where other code can observe the vm — sampling (which may
+     compile), lazy compilation on call, traps, fuel exhaustion, and exit —
+     and [sample_at] is re-read after sampling, the only one of the four
+     that [maybe_sample] writes (compilation touches [compile_cycles],
+     never these).  The refs must never be captured by a closure or that
+     rewrite is defeated, which is why [flush] takes the values as
+     arguments and the raise sites spell the flush out inline. *)
+  let steps = ref vm.steps
+  and fuel = ref vm.fuel_left
+  and cycles = ref vm.exec_cycles
+  and sample_at = ref vm.next_sample_at
+  and iacc = ref icache.Icache.accesses
+  and imiss = ref icache.Icache.misses in
+  let flush st fu cy sa ia im =
+    vm.steps <- st;
+    vm.fuel_left <- fu;
+    vm.exec_cycles <- cy;
+    vm.next_sample_at <- sa;
+    icache.Icache.accesses <- ia;
+    icache.Icache.misses <- im
+  in
+  (* The heap pointer and length are re-read only after an allocation (the
+     single thing that can move them); everything else that runs mid-loop —
+     sampling, compilation, profile updates — never touches the heap. *)
+  let heap = ref vm.heap
+  and hlen = ref vm.heap_len in
+  let code = ref f0 and pc = ref 0 and fp = ref 0 and cmid = ref mid in
+  let result = ref 0 and running = ref true in
+  while !running do
+    (* Hoist the current frame's arrays; re-entered on every frame switch,
+       so a mid-run recompile or pool growth can invalidate nothing. *)
+    let f = !code in
+    let opc = f.Lower.opc
+    and argv = f.Lower.args
+    and iaddrs = f.Lower.iaddrs
+    and extra = f.Lower.extra in
+    let spill = f.Lower.spill in
+    let regs = fr.Frames.regs in
+    let base = !fp in
+    let i = ref !pc in
+    let switched = ref false in
+    (* One packed word [w] = opcode | cost << 8, one packed word [av] =
+       x | y << 21 | z << 42 (field layout asserted against [Lower] at
+       module init); decoding is register arithmetic, so an executed step
+       streams three array slots (opc, args, iaddrs) where the previous
+       layout streamed six parallel arrays. *)
+    while not !switched do
+      let s = !i in
+      let w = Array.unsafe_get opc s in
+      let op = w land 0xFF in
+      if op <= 24 then begin
+        (* Plain instruction prologue, reference order. *)
+        steps := !steps + 1;
+        fuel := !fuel - 1;
+        if !fuel <= 0 then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          raise Out_of_fuel
+        end;
+        if icache_on then begin
+          iacc := !iacc + 1;
+          let line = Array.unsafe_get iaddrs s lsr iline_bits in
+          let idx = line land iindex_mask in
+          if Array.unsafe_get itags idx <> line then begin
+            Array.unsafe_set itags idx line;
+            imiss := !imiss + 1;
+            cycles := !cycles + miss_penalty
+          end
+        end;
+        if !cycles >= !sample_at then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          maybe_sample vm !cmid;
+          sample_at := vm.next_sample_at
+        end;
+        cycles := !cycles + (w lsr 8);
+        let av = Array.unsafe_get argv s in
+        let x = av land 0x1FFFFF in
+        (match op with
+        | 0 (* const *) ->
+          Array.unsafe_set regs (base + x)
+            (Array.unsafe_get extra ((av lsr 21) land 0x1FFFFF))
+        | 1 (* move *) ->
+          Array.unsafe_set regs (base + x)
+            (Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF)))
+        | 2 (* add *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a + b)
+        | 3 (* sub *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a - b)
+        | 4 (* mul *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a * b)
+        | 5 (* div *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if b = 0 then 0 else a / b)
+        | 6 (* mod *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if b = 0 then 0 else a mod b)
+        | 7 (* and *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a land b)
+        | 8 (* or *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a lor b)
+        | 9 (* xor *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a lxor b)
+        | 10 (* shl *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a lsl (b land 62))
+        | 11 (* shr *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (a asr (b land 62))
+        | 12 (* lt *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a < b then 1 else 0)
+        | 13 (* le *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a <= b then 1 else 0)
+        | 14 (* eq *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a = b then 1 else 0)
+        | 15 (* ne *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a <> b then 1 else 0)
+        | 16 (* gt *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a > b then 1 else 0)
+        | 17 (* ge *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          and b = Array.unsafe_get regs (base + (av lsr 42)) in
+          Array.unsafe_set regs (base + x) (if a >= b then 1 else 0)
+        (* Heap ops run with [heap_get]/[heap_set] expanded inline: the range
+           check against [heap_len] makes the subsequent unsafe access sound
+           ([heap_len <= Array.length vm.heap] always); the hoisted [heap]
+           and [hlen] are re-read after every allocation, the only thing
+           that can move them. *)
+        | 18 (* load *) ->
+          let a =
+            Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF)) + (av lsr 42)
+          in
+          if a < 0 || a >= !hlen then begin
+            flush !steps !fuel !cycles !sample_at !iacc !imiss;
+            raise (Trap "heap load out of range")
+          end;
+          Array.unsafe_set regs (base + x) (Array.unsafe_get !heap a)
+        | 19 (* store *) ->
+          let a = Array.unsafe_get regs (base + x) + ((av lsr 21) land 0x1FFFFF) in
+          if a < 0 || a >= !hlen then begin
+            flush !steps !fuel !cycles !sample_at !iacc !imiss;
+            raise (Trap "heap store out of range")
+          end;
+          Array.unsafe_set !heap a (Array.unsafe_get regs (base + (av lsr 42)))
+        | 20 (* loadidx *) ->
+          let a =
+            Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+            + 1
+            + Array.unsafe_get regs (base + (av lsr 42))
+          in
+          if a < 0 || a >= !hlen then begin
+            flush !steps !fuel !cycles !sample_at !iacc !imiss;
+            raise (Trap "heap load out of range")
+          end;
+          Array.unsafe_set regs (base + x) (Array.unsafe_get !heap a)
+        | 21 (* storeidx *) ->
+          let a =
+            Array.unsafe_get regs (base + x)
+            + 1
+            + Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF))
+          in
+          if a < 0 || a >= !hlen then begin
+            flush !steps !fuel !cycles !sample_at !iacc !imiss;
+            raise (Trap "heap store out of range")
+          end;
+          Array.unsafe_set !heap a (Array.unsafe_get regs (base + (av lsr 42)))
+        | 22 (* classof *) ->
+          let a = Array.unsafe_get regs (base + ((av lsr 21) land 0x1FFFFF)) in
+          if a < 0 || a >= !hlen then begin
+            flush !steps !fuel !cycles !sample_at !iacc !imiss;
+            raise (Trap "heap load out of range")
+          end;
+          Array.unsafe_set regs (base + x) (Array.unsafe_get !heap a)
+        | 23 (* alloc *) ->
+          Array.unsafe_set regs (base + x)
+            (heap_alloc vm ((av lsr 21) land 0x1FFFFF) (av lsr 42));
+          heap := vm.heap;
+          hlen := vm.heap_len
+        | _ (* 24 print *) ->
+          let v = Array.unsafe_get regs (base + x) in
+          vm.out_hash <- mix vm.out_hash v;
+          Inltune_support.Vec.push vm.outputs v);
+        i := s + 1
+      end
+      else if op = 27 (* enter *) then begin
+        fuel := !fuel - 1;
+        if !fuel <= 0 then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          raise Out_of_fuel
+        end;
+        if spill > 0 then cycles := !cycles + spill;
+        i := s + 1
+      end
+      else if op = 28 (* jump *) then begin
+        if icache_on then begin
+          iacc := !iacc + 1;
+          let line = Array.unsafe_get iaddrs s lsr iline_bits in
+          let idx = line land iindex_mask in
+          if Array.unsafe_get itags idx <> line then begin
+            Array.unsafe_set itags idx line;
+            imiss := !imiss + 1;
+            cycles := !cycles + miss_penalty
+          end
+        end;
+        cycles := !cycles + (w lsr 8);
+        i := Array.unsafe_get argv s land 0x1FFFFF
+      end
+      else if op = 29 (* branch *) then begin
+        if icache_on then begin
+          iacc := !iacc + 1;
+          let line = Array.unsafe_get iaddrs s lsr iline_bits in
+          let idx = line land iindex_mask in
+          if Array.unsafe_get itags idx <> line then begin
+            Array.unsafe_set itags idx line;
+            imiss := !imiss + 1;
+            cycles := !cycles + miss_penalty
+          end
+        end;
+        cycles := !cycles + (w lsr 8);
+        let av = Array.unsafe_get argv s in
+        i :=
+          (if Array.unsafe_get regs (base + (av land 0x1FFFFF)) <> 0 then
+             (av lsr 21) land 0x1FFFFF
+           else av lsr 42)
+      end
+      else if op = 30 (* ret *) then begin
+        if icache_on then begin
+          iacc := !iacc + 1;
+          let line = Array.unsafe_get iaddrs s lsr iline_bits in
+          let idx = line land iindex_mask in
+          if Array.unsafe_get itags idx <> line then begin
+            Array.unsafe_set itags idx line;
+            imiss := !imiss + 1;
+            cycles := !cycles + miss_penalty
+          end
+        end;
+        cycles := !cycles + (w lsr 8);
+        let rv = Array.unsafe_get regs (base + (Array.unsafe_get argv s land 0x1FFFFF)) in
+        vm.call_depth <- vm.call_depth - 1;
+        if fr.Frames.depth = 0 then begin
+          running := false;
+          result := rv
+        end
+        else begin
+          let d = fr.Frames.depth - 1 in
+          fr.Frames.depth <- d;
+          fr.Frames.sp <- base;
+          let pbase = fr.Frames.fps.(d) in
+          code := fr.Frames.codes.(d);
+          fr.Frames.codes.(d) <- Lower.dummy;
+          fp := pbase;
+          cmid := fr.Frames.mids.(d);
+          pc := fr.Frames.pcs.(d);
+          Array.unsafe_set regs (pbase + fr.Frames.dests.(d)) rv
+        end;
+        switched := true
+      end
+      else begin
+        (* call / callvirt: plain prologue, then the frame switch. *)
+        steps := !steps + 1;
+        fuel := !fuel - 1;
+        if !fuel <= 0 then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          raise Out_of_fuel
+        end;
+        if icache_on then begin
+          iacc := !iacc + 1;
+          let line = Array.unsafe_get iaddrs s lsr iline_bits in
+          let idx = line land iindex_mask in
+          if Array.unsafe_get itags idx <> line then begin
+            Array.unsafe_set itags idx line;
+            imiss := !imiss + 1;
+            cycles := !cycles + miss_penalty
+          end
+        end;
+        if !cycles >= !sample_at then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          maybe_sample vm !cmid;
+          sample_at := vm.next_sample_at
+        end;
+        cycles := !cycles + (w lsr 8);
+        let av = Array.unsafe_get argv s in
+        let x = av land 0x1FFFFF in
+        let o = av lsr 42 in
+        let callee =
+          if op = 25 (* call *) then begin
+            let callee = (av lsr 21) land 0x1FFFFF in
+            Profile.record_site profile (Array.unsafe_get extra o);
+            callee
+          end
+          else begin
+            (* callvirt: resolve through the vtable before the edge is
+               recorded, as the reference does. *)
+            let recv = Array.unsafe_get regs (base + Array.unsafe_get extra o) in
+            if recv < 0 || recv >= !hlen then begin
+              flush !steps !fuel !cycles !sample_at !iacc !imiss;
+              raise (Trap "heap load out of range")
+            end;
+            let kid = Array.unsafe_get !heap recv in
+            if kid < 0 || kid >= Array.length classes then begin
+              flush !steps !fuel !cycles !sample_at !iacc !imiss;
+              raise (Trap "virtual dispatch on non-object")
+            end;
+            let k = Array.unsafe_get classes kid in
+            let slot = (av lsr 21) land 0x1FFFFF in
+            if slot >= Array.length k.Ir.vtable then begin
+              flush !steps !fuel !cycles !sample_at !iacc !imiss;
+              raise (Trap "vtable slot out of range")
+            end;
+            let callee = k.Ir.vtable.(slot) in
+            Profile.record_call_dynamic profile ~site_owner:!cmid ~callee;
+            callee
+          end
+        in
+        vm.call_depth <- vm.call_depth + 1;
+        if vm.call_depth > max_call_depth then begin
+          flush !steps !fuel !cycles !sample_at !iacc !imiss;
+          raise (Trap "simulated call stack overflow")
+        end;
+        Profile.record_invocation profile callee;
+        (* [get_code] may lazily compile; keep the vm record current across
+           it even though compilation never reads these counters today. *)
+        flush !steps !fuel !cycles !sample_at !iacc !imiss;
+        let cf = (get_code vm callee).Compile.flat in
+        let d = fr.Frames.depth in
+        if d >= Array.length fr.Frames.fps then Frames.grow_meta fr;
+        fr.Frames.codes.(d) <- f;
+        fr.Frames.fps.(d) <- base;
+        fr.Frames.pcs.(d) <- s + 1;
+        fr.Frames.dests.(d) <- x;
+        fr.Frames.mids.(d) <- !cmid;
+        fr.Frames.depth <- d + 1;
+        let nfp = fr.Frames.sp in
+        let need = nfp + cf.Lower.nregs in
+        if need <= Array.length fr.Frames.regs then
+          vm.frames_reused <- vm.frames_reused + 1
+        else Frames.grow_regs fr need;
+        let regs' = fr.Frames.regs in
+        Array.fill regs' nfp cf.Lower.nregs 0;
+        if op = 25 then begin
+          let nargs = Array.unsafe_get extra (o + 1) in
+          for j = 0 to nargs - 1 do
+            Array.unsafe_set regs' (nfp + j)
+              (Array.unsafe_get regs' (base + Array.unsafe_get extra (o + 2 + j)))
+          done
+        end
+        else begin
+          (* receiver in slot 0, then the declared arguments *)
+          Array.unsafe_set regs' nfp
+            (Array.unsafe_get regs' (base + Array.unsafe_get extra o));
+          let nargs = Array.unsafe_get extra (o + 1) in
+          for j = 0 to nargs - 1 do
+            Array.unsafe_set regs' (nfp + 1 + j)
+              (Array.unsafe_get regs' (base + Array.unsafe_get extra (o + 2 + j)))
+          done
+        end;
+        fr.Frames.sp <- need;
+        code := cf;
+        fp := nfp;
+        cmid := callee;
+        pc := 0;
+        switched := true
+      end
+    done
+  done;
+  flush !steps !fuel !cycles !sample_at !iacc !imiss;
+  !result
+
+let exec vm mid args =
+  if !reference_mode then exec_reference vm mid args else exec_flat vm mid args
 
 (* --- iterations ---------------------------------------------------------- *)
 
@@ -388,6 +858,12 @@ let run_iteration vm =
   vm.fuel_left <- vm.cfg.fuel;
   let exec0 = vm.exec_cycles and comp0 = vm.compile_cycles and steps0 = vm.steps in
   let ret = exec vm vm.prog.Ir.main [||] in
+  (* Flush the frame-pool reuse tally once per iteration; looked up at use
+     time so Metric.reset_all cannot orphan the counter. *)
+  if vm.frames_reused > 0 then begin
+    Inltune_obs.Metric.add (Inltune_obs.Metric.counter "vm.frames_reused") vm.frames_reused;
+    vm.frames_reused <- 0
+  end;
   if Trace.enabled () then
     Trace.emit "vm.iteration"
       ~fields:

@@ -11,6 +11,14 @@ exception Trap of string
 (** The per-iteration step budget ran out. *)
 exception Out_of_fuel
 
+(** Select the tree-walking reference interpreter instead of the flat
+    dispatch loop (also settable via [INLTUNE_VM_REFERENCE=1] in the
+    environment).  Both interpreters are bit-identical on every observable:
+    cycles, steps, out_hash, outputs, profile state, recompilation points. *)
+val set_reference : bool -> unit
+
+val reference_enabled : unit -> bool
+
 type scenario =
   | Opt     (** optimize every method on first invocation *)
   | Adapt   (** baseline first; hot methods promoted to the optimizer *)
@@ -75,6 +83,11 @@ type t = {
   mutable o1_compiles : int;
   mutable baseline_compiles : int;
   mutable call_depth : int;
+  frames : Lower.code Inltune_support.Frames.t;
+      (** reusable register windows for the flat interpreter *)
+  mutable frames_reused : int;
+      (** frame pushes served without growing the pool; flushed to the
+          [vm.frames_reused] counter once per iteration *)
   mutable compile_wall_s : float;
       (** wall seconds inside the compilers, accumulated only while
           {!Inltune_obs.Prof} is enabled; profiler bookkeeping, never part

@@ -45,23 +45,41 @@ let occurrences m =
       Array.iter
         (fun i ->
           incr pos;
-          List.iter touch (Ir.uses_of i);
-          match Ir.def_of i with Some d -> touch d | None -> ())
+          Ir.iter_uses touch i;
+          let d = Ir.def_reg i in
+          if d >= 0 then touch d)
         blk.Ir.instrs;
       incr pos;
-      List.iter touch (Ir.term_uses blk.Ir.term))
+      match blk.Ir.term with
+      | Ir.Branch (c, _, _) -> touch c
+      | Ir.Ret r -> touch r
+      | Ir.Jump _ -> ())
     m.Ir.blocks;
   (first, last, count)
 
 let run ~phys_regs m =
   if phys_regs < 2 then invalid_arg "Regalloc.run: need at least 2 physical registers";
   let first, last, count = occurrences m in
-  let intervals =
-    Array.to_list (Array.init m.Ir.nregs (fun r -> r))
-    |> List.filter (fun r -> first.(r) >= 0)
-    |> List.sort (fun a b -> compare first.(a) first.(b))
-  in
-  let vregs = List.length intervals in
+  (* Present registers sorted by interval start, in place.  Ties broken by
+     register index — the previous stable [List.sort] over an index-ordered
+     list produced exactly that order, and tie order is observable (it decides
+     which of two same-start intervals the scan considers first, and hence
+     what spills). *)
+  let intervals = Array.make m.Ir.nregs 0 in
+  let nint = ref 0 in
+  for r = 0 to m.Ir.nregs - 1 do
+    if first.(r) >= 0 then begin
+      intervals.(!nint) <- r;
+      incr nint
+    end
+  done;
+  let intervals = Array.sub intervals 0 !nint in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare first.(a) first.(b) in
+      if c <> 0 then c else Int.compare a b)
+    intervals;
+  let vregs = Array.length intervals in
   (* Active list ordered by interval end (kept as a sorted list; methods have
      at most tens of simultaneously live values in practice). *)
   let active = ref [] in
@@ -75,7 +93,7 @@ let run ~phys_regs m =
     in
     go l
   in
-  List.iter
+  Array.iter
     (fun r ->
       (* Expire intervals that ended before this one starts. *)
       active := List.filter (fun x -> last.(x) >= first.(r)) !active;

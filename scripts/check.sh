@@ -198,10 +198,53 @@ dune exec --no-build bin/main.exe -- trace-summary --folded "$obs" \
 
 echo "== vm-bench smoke =="
 # The VM throughput trajectory bench must leave a parseable BENCH_vm.json
-# with throughput and latency percentiles.
+# with throughput, latency percentiles, per-step GC allocation, all three
+# scenarios, and the speedup-vs-previous trajectory field (the bench reads
+# the previous file before overwriting, and one just ran above).
 INLTUNE_VM_REPEATS=1 INLTUNE_VM_ITERS=2 dune exec --no-build bench/main.exe vm > /dev/null
-for field in cycles_per_second steps_per_second '"p50"' '"p99"'; do
+INLTUNE_VM_REPEATS=1 INLTUNE_VM_ITERS=2 dune exec --no-build bench/main.exe vm > /dev/null
+for field in cycles_per_second steps_per_second gc_minor_words_per_step \
+    speedup_vs_previous '"opt"' '"adapt"' '"ladder"' '"p50"' '"p99"'; do
   grep -q "$field" BENCH_vm.json || { echo "BENCH_vm.json: missing $field"; exit 1; }
+done
+
+echo "== flat-interpreter identity smoke =="
+# The flat threaded-dispatch interpreter and the tree-walking reference
+# (INLTUNE_VM_REFERENCE=1) must be bit-identical on every observable the
+# CLI prints: cycles, steps, output hash, compile counts, per-iteration
+# breakdowns.  The built binary is invoked directly — dune's build lock
+# writes to stderr under concurrent process substitution and would show up
+# as spurious diffs.
+BIN=./_build/default/bin/main.exe
+for prog in jess compress db; do
+  for scen in opt adapt ladder; do
+    flat=$("$BIN" run "$prog" -s "$scen")
+    tree=$(INLTUNE_VM_REFERENCE=1 "$BIN" run "$prog" -s "$scen")
+    [ "$flat" = "$tree" ] || {
+      echo "flat vs reference interpreter differ on $prog/$scen:"
+      echo "--- flat ---"; echo "$flat"
+      echo "--- reference ---"; echo "$tree"
+      exit 1
+    }
+  done
+done
+# A fixed-seed GA search must also be interpreter-independent end to end:
+# same best genome, same per-generation history, same printed fitness.
+tune_flat=$("$BIN" tune -s opt:tot --pop 4 -g 2 2> /dev/null)
+tune_tree=$(INLTUNE_VM_REFERENCE=1 "$BIN" tune -s opt:tot --pop 4 -g 2 2> /dev/null)
+[ "$tune_flat" = "$tune_tree" ] || {
+  echo "fixed-seed tune differs between interpreters:"
+  echo "--- flat ---"; echo "$tune_flat"
+  echo "--- reference ---"; echo "$tune_tree"
+  exit 1
+}
+# And the tuner bench's own cache-transparency contract must hold on the
+# reference interpreter too.
+INLTUNE_VM_REFERENCE=1 INLTUNE_POP=6 INLTUNE_GENS=2 \
+  dune exec --no-build bench/main.exe tuner > /dev/null
+for flag in identical_best identical_history; do
+  grep -q "\"$flag\":true" BENCH_tuner.json \
+    || { echo "reference-mode tuner bench: $flag is not true"; exit 1; }
 done
 
 echo "== serve smoke =="

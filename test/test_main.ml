@@ -8,6 +8,7 @@ let () =
       ("opt", Test_opt.suite);
       ("plan", Test_plan.suite);
       ("vm", Test_vm.suite);
+      ("flat", Test_flat.suite);
       ("workloads", Test_workloads.suite);
       ("shapes", Test_shapes.suite);
       ("ga", Test_ga.suite);
