@@ -9,6 +9,7 @@
        dune exec bench/main.exe gp              # GP structure search -> BENCH_gp.json
        dune exec bench/main.exe tuner           # fitness-cache off/on protocol
        dune exec bench/main.exe passes          # plan-interpreter identity + plan GA
+       dune exec bench/main.exe inliners        # strategy plans vs default -> BENCH_inliners.json
        dune exec bench/main.exe vm              # VM throughput trajectory -> BENCH_vm.json
        dune exec bench/main.exe serve           # daemon under load -> BENCH_serve.json
        dune exec bench/main.exe micro           # just the micro-benchmarks
@@ -719,6 +720,203 @@ let passes_bench () =
     exit 1
   end
 
+(* ---- Inlining-strategy bench ---------------------------------------------- *)
+
+(* The default plan with one alternative inlining strategy switched on (at
+   its default knobs) in place of the decider-driven inline pass. *)
+let strategy_plan strategy =
+  let items =
+    Array.map
+      (fun it ->
+        if it.Plan.pass = strategy then { it with Plan.enabled = true }
+        else if it.Plan.pass = "inline" then { it with Plan.enabled = false }
+        else it)
+      Plan.default.Plan.items
+  in
+  match Plan.validate { Plan.items } with
+  | Ok p -> p
+  | Error msg -> failwith ("strategy plan " ^ strategy ^ ": " ^ msg)
+
+(* Default plan vs each strategy plan vs a GA-tuned composite (heuristic +
+   plan genes co-evolved on a training slice of the generated corpus), all
+   evaluated on an unseen suite the GA never saw.  Writes
+   BENCH_inliners.json. *)
+let inliners_bench () =
+  print_endline "==== Inliners bench: strategy plans vs the Fig. 3 default ====\n";
+  let budget = budget () in
+  let corpus name =
+    match W.Corpus.find_opt name with
+    | Some bm -> bm
+    | None -> failwith ("inliners bench: no corpus program " ^ name)
+  in
+  let train =
+    List.map corpus
+      [ "corpus_chain00"; "corpus_dispatch00"; "corpus_recur00"; "corpus_sweep00";
+        "corpus_sweep01"; "corpus_phase00" ]
+  in
+  let unseen =
+    List.map corpus
+      [ "corpus_chain10"; "corpus_dispatch10"; "corpus_recur10"; "corpus_sweep10";
+        "corpus_phase01" ]
+    @ [ W.Suites.find "compress"; W.Suites.find "jess" ]
+  in
+  let total ?plan scen heuristic bm =
+    let cfg =
+      match plan with
+      | None -> Machine.config scen heuristic
+      | Some plan -> Machine.config ~plan scen heuristic
+    in
+    (Runner.measure cfg Platform.x86 (W.Suites.program bm)).Runner.total_cycles
+  in
+  (* (a) Identity: corpus programs measure bit-identically under the parsed
+     default plan, where the strategies are scheduled but disabled. *)
+  let parsed_default =
+    match Plan.of_string (Plan.to_string Plan.default) with
+    | Ok p -> p
+    | Error msg -> failwith ("default plan does not round-trip: " ^ msg)
+  in
+  let identical =
+    List.for_all
+      (fun bm ->
+        total Machine.Opt Heuristic.default bm
+        = total ~plan:parsed_default Machine.Opt Heuristic.default bm)
+      train
+  in
+  Printf.printf "default-plan identity on the corpus: %b\n\n" identical;
+  (* (b) Tuned composite: co-evolve heuristic + plan genes (which now span
+     the strategy toggles and knobs) on the training corpus. *)
+  Fitcache.clear ();
+  let po = Tuner.tune_plan ~budget ~suite:train Tuner.Opt_tot_x86 in
+  Printf.printf "tuned composite: fitness %.4f   plan %s\n%s\n" po.Tuner.p_fitness
+    (if Plan.is_default po.Tuner.p_plan then "= default"
+     else "digest " ^ Plan.digest po.Tuner.p_plan)
+    (Plan.to_string po.Tuner.p_plan);
+  (* (c) Unseen-suite comparison under Opt.  inline_hot is omitted here: it
+     needs a live profile, so it competes under Adapt below. *)
+  let opt_columns =
+    [ ("inline_leaves", strategy_plan "inline_leaves", Heuristic.default);
+      ("inline_region", strategy_plan "inline_region", Heuristic.default);
+      ("tuned", po.Tuner.p_plan, po.Tuner.p_heuristic) ]
+  in
+  let t =
+    Table.create ~title:"Unseen suite, Opt: total cycles vs the default plan"
+      ~header:
+        (Array.of_list
+           ("benchmark" :: "default"
+           :: List.concat_map (fun (n, _, _) -> [ n; n ^ " /def" ]) opt_columns))
+      ~aligns:(Array.make (2 + (2 * List.length opt_columns)) Table.Right)
+  in
+  let opt_rows =
+    List.map
+      (fun bm ->
+        let def = total Machine.Opt Heuristic.default bm in
+        let cells =
+          List.map
+            (fun (_, plan, heuristic) ->
+              let c = total ~plan Machine.Opt heuristic bm in
+              (c, Float.of_int c /. Float.of_int def))
+            opt_columns
+        in
+        Table.add_row t
+          (Array.of_list
+             (bm.W.Suites.bname :: string_of_int def
+             :: List.concat_map
+                  (fun (c, r) -> [ string_of_int c; Table.fmt_float r ])
+                  cells));
+        (bm, def, cells))
+      unseen
+  in
+  let geomean_of idx =
+    Stats.geomean
+      (Array.of_list (List.map (fun (_, _, cells) -> snd (List.nth cells idx)) opt_rows))
+  in
+  let opt_geomeans = List.mapi (fun i (n, _, _) -> (n, geomean_of i)) opt_columns in
+  Table.add_row t
+    (Array.of_list
+       ("geomean" :: ""
+       :: List.concat_map (fun (_, g) -> [ ""; Table.fmt_float g ]) opt_geomeans));
+  Table.print t;
+  print_newline ();
+  (* (d) Adapt: the hot-path strategy against the default, on the unseen
+     corpus programs (the profile-consuming pass only exists here). *)
+  let t2 =
+    Table.create ~title:"Unseen suite, Adapt: hot-path strategy vs the default plan"
+      ~header:[| "benchmark"; "default"; "inline_hot"; "hot /def" |]
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right |]
+  in
+  let hot_plan = strategy_plan "inline_hot" in
+  let adapt_rows =
+    List.map
+      (fun bm ->
+        let def = total Machine.Adapt Heuristic.default bm in
+        let hot = total ~plan:hot_plan Machine.Adapt Heuristic.default bm in
+        let r = Float.of_int hot /. Float.of_int def in
+        Table.add_row t2
+          [| bm.W.Suites.bname; string_of_int def; string_of_int hot; Table.fmt_float r |];
+        (bm, def, hot, r))
+      unseen
+  in
+  let hot_geomean =
+    Stats.geomean (Array.of_list (List.map (fun (_, _, _, r) -> r) adapt_rows))
+  in
+  Table.add_row t2 [| "geomean"; ""; ""; Table.fmt_float hot_geomean |];
+  Table.print t2;
+  print_newline ();
+  (* A corpus program "wins" when some strategy or the tuned composite beats
+     the default plan's total time on it. *)
+  let corpus_wins =
+    List.filter
+      (fun (bm, def, cells) ->
+        String.length bm.W.Suites.bname >= 7
+        && String.sub bm.W.Suites.bname 0 7 = "corpus_"
+        && List.exists (fun (c, _) -> c < def) cells)
+      opt_rows
+    |> List.map (fun (bm, _, _) -> bm.W.Suites.bname)
+  in
+  Printf.printf "corpus programs where a strategy/tuned plan beats the default: %s\n"
+    (match corpus_wins with [] -> "none" | l -> String.concat ", " l);
+  let oc = open_out "BENCH_inliners.json" in
+  Printf.fprintf oc
+    "{\"train\":[%s],\"unseen\":[%s],\"pop\":%d,\"gens\":%d,\"seed\":%d,\
+     \"identical_default\":%b,\
+     \"tuned\":{\"fitness\":%.6f,\"plan_is_default\":%b,\"plan_digest\":\"%s\"},\
+     \"opt\":{\"benchmarks\":[%s],\"geomean_vs_default\":{%s}},\
+     \"adapt\":{\"benchmarks\":[%s],\"geomean_vs_default\":{\"inline_hot\":%.6f}},\
+     \"corpus_wins\":[%s],\"any_corpus_win\":%b}\n"
+    (String.concat "," (List.map (fun bm -> "\"" ^ bm.W.Suites.bname ^ "\"") train))
+    (String.concat "," (List.map (fun bm -> "\"" ^ bm.W.Suites.bname ^ "\"") unseen))
+    budget.Tuner.pop budget.Tuner.gens budget.Tuner.seed identical po.Tuner.p_fitness
+    (Plan.is_default po.Tuner.p_plan)
+    (Plan.digest po.Tuner.p_plan)
+    (String.concat ","
+       (List.map
+          (fun (bm, def, cells) ->
+            Printf.sprintf "{\"name\":\"%s\",\"default\":%d,%s}" bm.W.Suites.bname def
+              (String.concat ","
+                 (List.map2
+                    (fun (n, _, _) (c, _) -> Printf.sprintf "\"%s\":%d" n c)
+                    opt_columns cells)))
+          opt_rows))
+    (String.concat ","
+       (List.map (fun (n, g) -> Printf.sprintf "\"%s\":%.6f" n g) opt_geomeans))
+    (String.concat ","
+       (List.map
+          (fun (bm, def, hot, _) ->
+            Printf.sprintf "{\"name\":\"%s\",\"default\":%d,\"inline_hot\":%d}"
+              bm.W.Suites.bname def hot)
+          adapt_rows))
+    hot_geomean
+    (String.concat "," (List.map (fun n -> "\"" ^ n ^ "\"") corpus_wins))
+    (corpus_wins <> []);
+  close_out oc;
+  print_endline "wrote BENCH_inliners.json\n";
+  if not identical then begin
+    prerr_endline
+      "inliners bench: the default plan (strategies scheduled but disabled) changed \
+       corpus measurements (must be bit-identical)";
+    exit 1
+  end
+
 (* ---- VM throughput trajectory bench -------------------------------------- *)
 
 (* ROADMAP item 5's trajectory: interpreter throughput (simulated cycles per
@@ -1229,6 +1427,7 @@ let () =
     policy_comparison ();
     tuner_bench ();
     passes_bench ();
+    inliners_bench ();
     vm_bench ();
     serve_bench ();
     micro ()
@@ -1238,6 +1437,7 @@ let () =
   | "gp" -> gp_bench ()
   | "tuner" -> tuner_bench ()
   | "passes" -> passes_bench ()
+  | "inliners" -> inliners_bench ()
   | "vm" -> vm_bench ()
   | "serve" -> serve_bench ()
   | "micro" -> micro ()

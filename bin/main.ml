@@ -96,10 +96,17 @@ let plan_of_flag = function
 
 let find_bench name =
   try W.Suites.find name
-  with Invalid_argument _ ->
-    die "unknown benchmark '%s' (valid: %s)" name
-      (String.concat ", "
-         (List.map (fun bm -> bm.W.Suites.bname) (W.Suites.spec @ W.Suites.dacapo)))
+  with Invalid_argument _ -> (
+    match W.Corpus.find_opt name with
+    | Some bm -> bm
+    | None ->
+      die "unknown benchmark '%s' (valid: %s; or a generated corpus program: %s)" name
+        (String.concat ", "
+           (List.map (fun bm -> bm.W.Suites.bname) (W.Suites.spec @ W.Suites.dacapo)))
+        (String.concat ", "
+           (List.map
+              (fun f -> Printf.sprintf "corpus_%s00..%02d" f.W.Corpus.fname (f.W.Corpus.fcount - 1))
+              W.Corpus.families)))
 
 let trace_arg =
   let doc =

@@ -40,6 +40,19 @@ module Json = Inltune_obs.Json
      included, stays identical.  Weaker merging than the walk, but sound
      under profile feedback.
 
+   Alternative inlining strategies (inline_leaves / inline_hot /
+   inline_region) never read the heuristic or the decider, which is what
+   keeps both arguments intact when a plan schedules them: a strategy's
+   output is a deterministic function of its input, its plan knobs (inside
+   the key's plan tag), and — for inline_hot — the profile trajectory, which
+   the induction already covers.  When a *static* strategy (one whose
+   decisions read only the program and the site record) is the plan's
+   leading inliner and the decider-driven inline item is off, the signature
+   is that strategy's own exact engine walk, so two strategies with
+   different verdict vectors can never share a measurement; every other
+   strategy shape falls back conservatively (exact heuristic parameters when
+   the heuristic still runs, an opaque constant when it does not).
+
    The cache is two-tier: a mutex-guarded in-memory table, plus an optional
    append-only JSONL file ([set_file], CLI [--fitness-cache]) that is loaded
    on attach and appended to on every fresh measurement, so warm state
@@ -95,32 +108,84 @@ let program_digest prog = (pinfo_of prog).p_digest
 
 (* --- signatures --------------------------------------------------------- *)
 
+(* The plan with the VM's legacy inline ablation applied — what the
+   pipeline actually interprets; every shape question below is asked of
+   this. *)
+let effective_plan ~inline_enabled plan =
+  if inline_enabled then plan else Plan.disable "inline" plan
+
+(* Under [Opt] the inline_hot pass is structurally inapplicable (no profile
+   exists), so the plan-shape analysis must not see it. *)
+let opt_skip pass = pass = "inline_hot"
+
+let any_enabled_inliner ~skip plan =
+  List.exists (fun n -> (not (skip n)) && Plan.has_enabled n plan) Pass.inliner_names
+
+(* Exact walk signature: hash of the concatenated per-method decision-plan
+   bit strings of [policy_of] over the constprop'd methods. *)
+let walk_signature info prog policy_of =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun cpm ->
+      Buffer.add_string buf (Inline.plan_policy ~program:prog ~policy:(policy_of cpm) cpm);
+      Buffer.add_char buf '|')
+    info.p_cp;
+  "w:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let signature ~scenario ~heuristic ~inline_enabled ~plan prog =
-  if (not inline_enabled) || not (Plan.has_enabled "inline" plan) then "off"
-  else
-    let info = pinfo_of prog in
-    match scenario with
-    | Machine.Opt when not (Plan.walk_compatible plan) ->
-      (* A plan whose effective pre-inline schedule is not the single
-         constprop the [p_cp] walk assumes: the walk would see the wrong
-         methods, so fall back to the exact parameters — still sound (no
-         merging beyond identical heuristics under the same plan, which the
-         key's plan tag already isolates), just maximally conservative. *)
-      Printf.sprintf "h:%s"
-        (String.concat ","
-           (Array.to_list (Array.map string_of_int (Heuristic.to_array heuristic))))
-    | Machine.Opt ->
-      (* Exact: hash of the concatenated per-method decision plans. *)
-      let buf = Buffer.create 256 in
-      Array.iter
-        (fun cpm ->
-          Buffer.add_string buf (Inline.plan ~program:prog ~heuristic cpm);
-          Buffer.add_char buf '|')
-        info.p_cp;
-      "w:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
-    | Machine.Adapt | Machine.Ladder ->
+  let plan = effective_plan ~inline_enabled plan in
+  let heuristic_params () =
+    Printf.sprintf "h:%s"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int (Heuristic.to_array heuristic))))
+  in
+  match scenario with
+  | Machine.Opt -> (
+    if not (any_enabled_inliner ~skip:opt_skip plan) then "off"
+    else
+      let heuristic_used = Plan.has_enabled "inline" plan in
+      let info () = pinfo_of prog in
+      match Plan.first_walkable_inliner ~skip:opt_skip plan with
+      | Some it when it.Plan.pass = "inline" ->
+        (* Exact: the walk replays the decider's verdict sequence.  Strategy
+           items scheduled after inline are decider-independent functions of
+           its output, so equal walks still imply identical compilation. *)
+        walk_signature (info ()) prog (fun _ -> Policy.of_heuristic heuristic)
+      | Some it when not heuristic_used -> (
+        (* The leading inliner is a strategy and the decider-driven inline
+           item is off: decisions read nothing the heuristic controls, so
+           the strategy's own walk is exact — and distinct strategies with
+           different verdict vectors hash apart, which keeps their
+           measurements apart even before the key's plan tag does. *)
+        match Option.bind (Pass.find it.Plan.pass) (fun p -> p.Pass.static_policy) with
+        | Some mk -> walk_signature (info ()) prog (mk (Plan.item_knob it) prog)
+        | None -> "n:static" (* non-static strategy: plan tag isolates *))
+      | Some _ ->
+        (* A strategy leads but the heuristic-driven inline item still runs
+           later, on code the walk cannot reconstruct: fall back to the
+           exact parameters — still sound (no merging beyond identical
+           heuristics under the same plan, which the key's plan tag already
+           isolates), just maximally conservative. *)
+        heuristic_params ()
+      | None ->
+        (* Pre-inline schedule diverges from the single constprop the
+           [p_cp] walk assumes: same fallbacks, by heuristic relevance. *)
+        if heuristic_used then heuristic_params () else "n:static")
+  | Machine.Adapt | Machine.Ladder ->
+    if not (any_enabled_inliner ~skip:(fun _ -> false) plan) then "off"
+    else if not (Plan.has_enabled "inline" plan) then
+      (* Only strategy inliners run.  Their decisions read the program, the
+         site record, and the profile — never the heuristic — and the
+         profile trajectory is deterministic given the plan, so under a
+         fixed plan tag every heuristic produces the same execution. *)
+      "n:static"
+    else begin
       (* Sound projection under profile feedback: threshold bits per distinct
-         callee size + clamped depth limit + caller limit. *)
+         callee size + clamped depth limit + caller limit.  Strategy items
+         stay heuristic-independent, so the induction (equal projections ⇒
+         identical decisions ⇒ identical profile ⇒ identical execution)
+         carries over unchanged. *)
+      let info = pinfo_of prog in
       let buf = Buffer.create 64 in
       Buffer.add_string buf "p:";
       Array.iter
@@ -136,6 +201,7 @@ let signature ~scenario ~heuristic ~inline_enabled ~plan prog =
            (min heuristic.Heuristic.max_inline_depth info.p_nmethods)
            heuristic.Heuristic.caller_max_size);
       Buffer.contents buf
+    end
 
 (* First-class policy queries (lib/policy stores, GP trees).  Under [Opt]
    with a walk-compatible plan and a *static* policy — one whose decisions
@@ -153,18 +219,17 @@ let signature ~scenario ~heuristic ~inline_enabled ~plan prog =
    content [digest] of the policy artifact: sound (identical policies replay
    identical decisions), just no cross-policy merging. *)
 let policy_signature ~scenario ~policy ~digest ~static ~inline_enabled ~plan prog =
-  if (not inline_enabled) || not (Plan.has_enabled "inline" plan) then "off"
+  let plan = effective_plan ~inline_enabled plan in
+  let skip = match scenario with Machine.Opt -> opt_skip | _ -> fun _ -> false in
+  if not (Plan.has_enabled "inline" plan) then
+    (* The policy drives only the inline item; with it off the execution is
+       policy-independent — "off" when nothing inlines at all, an opaque
+       constant (isolated by the key's plan tag) when strategies still run. *)
+    if any_enabled_inliner ~skip plan then "n:static" else "off"
   else
     match scenario with
     | Machine.Opt when static && Plan.walk_compatible plan ->
-      let info = pinfo_of prog in
-      let buf = Buffer.create 256 in
-      Array.iter
-        (fun cpm ->
-          Buffer.add_string buf (Inline.plan_policy ~program:prog ~policy cpm);
-          Buffer.add_char buf '|')
-        info.p_cp;
-      "w:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+      walk_signature (pinfo_of prog) prog (fun _ -> policy)
     | Machine.Opt | Machine.Adapt | Machine.Ladder -> "g:" ^ digest
 
 (* Non-default plans change what every compile does, so their measurements

@@ -112,19 +112,21 @@ let compile_tiers recs =
     (select "vm.compile" recs);
   Hashtbl.fold (fun tier v l -> (tier, v) :: l) tbl [] |> List.sort compare
 
-(* pass -> (runs, transforms, total_us, size_delta).  [size_delta] sums
-   size_out - size_in over the pass's spans; spans from traces written
-   before those fields existed contribute 0. *)
+(* pass -> (runs, transforms, total_us, size_delta, sites_inlined).
+   [size_delta] sums size_out - size_in over the pass's spans;
+   [sites_inlined] attributes inlined call sites to the pass (the inliner
+   strategies each report their own).  Spans from traces written before
+   those fields existed contribute 0. *)
 let pass_totals recs =
-  let tbl : (string, int * int * float * int) Hashtbl.t = Hashtbl.create 8 in
+  let tbl : (string, int * int * float * int * int) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun r ->
       let prefix = "opt.pass." in
       let pn = String.length prefix in
       if String.length r.ev > pn && String.sub r.ev 0 pn = prefix then begin
         let pass = String.sub r.ev pn (String.length r.ev - pn) in
-        let runs, tr, us, ds =
-          Option.value (Hashtbl.find_opt tbl pass) ~default:(0, 0, 0.0, 0)
+        let runs, tr, us, ds, inl =
+          Option.value (Hashtbl.find_opt tbl pass) ~default:(0, 0, 0.0, 0, 0)
         in
         let dsize =
           match (int_f r "size_in", int_f r "size_out") with
@@ -135,11 +137,12 @@ let pass_totals recs =
           ( runs + 1,
             tr + Option.value (int_f r "transforms") ~default:0,
             us +. Option.value (num r "dur_us") ~default:0.0,
-            ds + dsize )
+            ds + dsize,
+            inl + Option.value (int_f r "sites_inlined") ~default:0 )
       end)
     recs;
   Hashtbl.fold (fun pass v l -> (pass, v) :: l) tbl []
-  |> List.sort (fun (_, (_, _, a, _)) (_, (_, _, b, _)) -> compare b a)
+  |> List.sort (fun (_, (_, _, a, _, _)) (_, (_, _, b, _, _)) -> compare b a)
 
 (* prog -> (measures, mean total, mean running, mean compile cycles). *)
 let measure_by_prog recs =
@@ -295,17 +298,20 @@ let pass_table recs =
   else begin
     let t =
       Table.create ~title:"optimizer pass totals"
-        ~header:[| "pass"; "runs"; "transforms"; "size delta"; "total ms"; "us/run" |]
+        ~header:
+          [| "pass"; "runs"; "transforms"; "inlined"; "size delta"; "total ms"; "us/run" |]
         ~aligns:
-          [| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right |]
+          [| Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+             Table.Right |]
     in
     List.iter
-      (fun (pass, (runs, tr, us, ds)) ->
+      (fun (pass, (runs, tr, us, ds, inl)) ->
         Table.add_row t
           [|
             pass;
             string_of_int runs;
             string_of_int tr;
+            string_of_int inl;
             Printf.sprintf "%+d" ds;
             Printf.sprintf "%.2f" (us /. 1000.0);
             Printf.sprintf "%.1f" (us /. Float.of_int (max 1 runs));

@@ -20,10 +20,12 @@ val ga_generations : record list -> (int * float * float * int) list
 (** tier -> (compiles, recompiles, cycles, code bytes), sorted by tier. *)
 val compile_tiers : record list -> (string * (int * int * int * int)) list
 
-(** pass -> (runs, transforms, total us, summed size_out - size_in), sorted
-    by total time.  Spans without size fields (older traces) contribute 0 to
-    the size delta. *)
-val pass_totals : record list -> (string * (int * int * float * int)) list
+(** pass -> (runs, transforms, total us, summed size_out - size_in, inlined
+    call sites), sorted by total time.  [inlined] attributes inlining to the
+    pass that performed it, so runs mixing strategies (inline_leaves /
+    inline_hot / inline / inline_region) break down per strategy.  Spans
+    without size or inlining fields (older traces) contribute 0. *)
+val pass_totals : record list -> (string * (int * int * float * int * int)) list
 
 (** counter name -> last reported value. *)
 val counter_values : record list -> (string * int) list

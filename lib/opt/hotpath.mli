@@ -1,0 +1,19 @@
+open Inltune_jir
+(** Profile-guided hot-path inliner strategy: inline the call edges that
+    carry at least a tunable per-mille of all recorded calls, within a
+    per-root expansion budget. *)
+
+(** The strategy's window onto the live profile: per-edge execution counts
+    and the total number of recorded calls.  Installed by the VM at
+    compile time under the adaptive scenarios; absent under [Opt] (no
+    profile exists), which makes the pass structurally inapplicable. *)
+type view = {
+  edge_count : site_owner:Ir.mid -> callee:Ir.mid -> int;
+  total_calls : unit -> int;
+}
+
+(** [policy ~hot_permille ~budget view root] accepts a call site iff its
+    edge carries at least [hot_permille] ‰ of all recorded calls and the
+    expansion over [root]'s own size stays within [budget].  Not static —
+    decisions read the live profile. *)
+val policy : hot_permille:int -> budget:int -> view -> Ir.methd -> Policy.t

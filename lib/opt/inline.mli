@@ -3,7 +3,7 @@ open Inltune_jir
     controls).  Semantics-preserving for well-formed (define-before-use)
     programs. *)
 
-type stats = {
+type stats = Engine.stats = {
   mutable sites_seen : int;
   mutable sites_inlined : int;
   mutable hot_sites_seen : int;
@@ -15,7 +15,7 @@ val fresh_stats : unit -> stats
 (** Why a call site was or wasn't inlined: the policy rule that fired (for
     the heuristic policy this is the Fig. 3 / Fig. 4 vocabulary), or one of
     the transformation's own guards. *)
-type reason =
+type reason = Engine.reason =
   | Rule of Policy.verdict  (** the policy's verdict, with the rule name *)
   | Recursive               (** callee already on the inline chain *)
   | Space_cap               (** accepted by the policy, blocked by
@@ -25,7 +25,7 @@ val reason_accepts : reason -> bool
 val reason_name : reason -> string
 
 (** One record per call site the inliner examined, in decision order. *)
-type decision = {
+type decision = Engine.decision = {
   d_site_owner : Ir.mid;
   d_callee : Ir.mid;
   d_callee_size : int;

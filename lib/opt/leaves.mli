@@ -1,0 +1,18 @@
+open Inltune_jir
+(** Small-leaf inliner strategy: iterate-to-fixpoint leaf selection,
+    collapsed into one {!Engine} run via precomputed leaf levels. *)
+
+(** Level assigned to methods that never become leaves (call cycles,
+    virtual calls). *)
+val never_leaf : int
+
+(** Leaf level per method: 0 = no calls at all; k = every static callee
+    has level < k; {!never_leaf} otherwise.  Cached per program (by
+    physical identity), safe under parallel tuners. *)
+val levels : Ir.program -> int array
+
+(** [policy ~leaf_size ~rounds program] accepts a call site iff the callee's
+    leaf level is below [rounds] and its static size is at most
+    [leaf_size].  Static: reads only the program and the site record, so
+    {!Engine.walk} over it is exact. *)
+val policy : leaf_size:int -> rounds:int -> Ir.program -> Policy.t

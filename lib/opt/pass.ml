@@ -71,6 +71,8 @@ type ctx = {
   decider : Decider.t;
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
   devirt_oracle : Guarded_devirt.site_oracle option;
+  profile : Hotpath.view option;
+      (* adaptive scenario: live call-edge counts for the hot-path strategy *)
 }
 
 type t = {
@@ -79,7 +81,14 @@ type t = {
   applicable : ctx -> bool;
       (* structurally skipped (no run, no span) when false — e.g. guarded
          devirtualization without a profile oracle *)
-  run : Ir.program -> ctx -> Ir.methd -> Ir.methd * delta;
+  run : Ir.program -> ctx -> knob:(string -> int) -> Ir.methd -> Ir.methd * delta;
+      (* [knob] resolves this instance's declared knobs (plan value or
+         declared default); "iters" is interpreted by the pipeline, every
+         other knob by the pass itself *)
+  static_policy : ((string -> int) -> Ir.program -> Ir.methd -> Policy.t) option;
+      (* for inliner passes whose decisions read nothing but the program
+         and the site record: rebuild the exact per-method policy from a
+         knob lookup, so Fitcache can walk it (see fitcache.ml) *)
 }
 
 let always_applicable _ = true
@@ -90,12 +99,13 @@ let guarded_devirt =
     knobs = [];
     applicable = (fun ctx -> ctx.devirt_oracle <> None);
     run =
-      (fun program ctx m ->
+      (fun program ctx ~knob:_ m ->
         match ctx.devirt_oracle with
         | None -> (m, zero_delta)
         | Some oracle ->
           let m, s = Guarded_devirt.run ~program ~oracle m in
           (m, { zero_delta with d_sites_guarded = s.Guarded_devirt.sites_guarded }));
+    static_policy = None;
   }
 
 let iters_knob = { k_name = "iters"; k_lo = 1; k_hi = 3; k_default = 1 }
@@ -106,7 +116,7 @@ let constprop =
     knobs = [ iters_knob ];
     applicable = always_applicable;
     run =
-      (fun program _ m ->
+      (fun program _ ~knob:_ m ->
         let m, s = Constprop.run program m in
         ( m,
           {
@@ -115,6 +125,16 @@ let constprop =
             d_devirtualized = s.Constprop.devirtualized;
             d_branches_folded = s.Constprop.branches_folded;
           } ));
+    static_policy = None;
+  }
+
+let inline_delta (s : Engine.stats) =
+  {
+    zero_delta with
+    d_sites_seen = s.Engine.sites_seen;
+    d_sites_inlined = s.Engine.sites_inlined;
+    d_hot_sites_seen = s.Engine.hot_sites_seen;
+    d_hot_sites_inlined = s.Engine.hot_sites_inlined;
   }
 
 let inline =
@@ -123,7 +143,7 @@ let inline =
     knobs = [];
     applicable = always_applicable;
     run =
-      (fun program ctx m ->
+      (fun program ctx ~knob:_ m ->
         let m, s =
           match ctx.decider with
           | Decider.Custom decide -> Inline.run_custom ~decide ~program m
@@ -132,14 +152,75 @@ let inline =
           | Decider.Heuristic heuristic ->
             Inline.run ?hot_site:ctx.hot_site ~program ~heuristic m
         in
-        ( m,
-          {
-            zero_delta with
-            d_sites_seen = s.Inline.sites_seen;
-            d_sites_inlined = s.Inline.sites_inlined;
-            d_hot_sites_seen = s.Inline.hot_sites_seen;
-            d_hot_sites_inlined = s.Inline.hot_sites_inlined;
-          } ));
+        (m, inline_delta s));
+    static_policy = None;
+  }
+
+(* --- alternative inlining strategies ------------------------------------ *)
+
+(* Each strategy is its own engine run under its own policy; they ignore the
+   decider entirely, so their decisions are heuristic-independent — the
+   property Fitcache's signature soundness arguments lean on. *)
+
+let inline_leaves =
+  let policy knob program _m =
+    Leaves.policy ~leaf_size:(knob "leaf_size") ~rounds:(knob "rounds") program
+  in
+  {
+    name = "inline_leaves";
+    knobs =
+      [
+        { k_name = "leaf_size"; k_lo = 1; k_hi = 60; k_default = 12 };
+        { k_name = "rounds"; k_lo = 1; k_hi = 5; k_default = 2 };
+      ];
+    applicable = always_applicable;
+    run =
+      (fun program _ ~knob m ->
+        let m, s = Engine.run ~program ~policy:(policy knob program m) m in
+        (m, inline_delta s));
+    static_policy = Some policy;
+  }
+
+let inline_hot =
+  {
+    name = "inline_hot";
+    knobs =
+      [
+        { k_name = "hot_permille"; k_lo = 1; k_hi = 500; k_default = 50 };
+        { k_name = "budget"; k_lo = 16; k_hi = 4096; k_default = 512 };
+      ];
+    (* No profile, no hot paths: structurally skipped under [Opt]. *)
+    applicable = (fun ctx -> ctx.profile <> None);
+    run =
+      (fun program ctx ~knob m ->
+        match ctx.profile with
+        | None -> (m, zero_delta)
+        | Some view ->
+          let policy =
+            Hotpath.policy ~hot_permille:(knob "hot_permille") ~budget:(knob "budget") view m
+          in
+          let m, s = Engine.run ~program ~policy m in
+          (m, inline_delta s));
+    static_policy = None;
+  }
+
+let inline_region =
+  let policy knob _program m =
+    Region.policy ~budget:(knob "budget") ~depth:(knob "depth") m
+  in
+  {
+    name = "inline_region";
+    knobs =
+      [
+        { k_name = "budget"; k_lo = 16; k_hi = 4096; k_default = 512 };
+        { k_name = "depth"; k_lo = 1; k_hi = 12; k_default = 6 };
+      ];
+    applicable = always_applicable;
+    run =
+      (fun program _ ~knob m ->
+        let m, s = Engine.run ~program ~policy:(policy knob program m) m in
+        (m, inline_delta s));
+    static_policy = Some policy;
   }
 
 let cse =
@@ -148,9 +229,10 @@ let cse =
     knobs = [ iters_knob ];
     applicable = always_applicable;
     run =
-      (fun _ _ m ->
+      (fun _ _ ~knob:_ m ->
         let m, n = Cse.run m in
         (m, { zero_delta with d_cse_replaced = n }));
+    static_policy = None;
   }
 
 let copyprop =
@@ -159,9 +241,10 @@ let copyprop =
     knobs = [ iters_knob ];
     applicable = always_applicable;
     run =
-      (fun _ _ m ->
+      (fun _ _ ~knob:_ m ->
         let m, n = Copyprop.run m in
         (m, { zero_delta with d_copies_propagated = n }));
+    static_policy = None;
   }
 
 let dce =
@@ -170,9 +253,10 @@ let dce =
     knobs = [ iters_knob ];
     applicable = always_applicable;
     run =
-      (fun _ _ m ->
+      (fun _ _ ~knob:_ m ->
         let m, n = Dce.run m in
         (m, { zero_delta with d_dce_removed = n }));
+    static_policy = None;
   }
 
 let cleanup =
@@ -180,10 +264,20 @@ let cleanup =
     name = "cleanup";
     knobs = [];
     applicable = always_applicable;
-    run = (fun _ _ m -> (Cleanup.run m, zero_delta));
+    run = (fun _ _ ~knob:_ m -> (Cleanup.run m, zero_delta));
+    static_policy = None;
   }
 
-let all = [ guarded_devirt; constprop; inline; cse; copyprop; dce; cleanup ]
+let all =
+  [
+    guarded_devirt; constprop; inline_leaves; inline_hot; inline; inline_region; cse;
+    copyprop; dce; cleanup;
+  ]
+
+(* The passes that drive the inline engine: the set the pipeline's
+   [size_peak] trajectory and Fitcache's plan-shape analysis key off. *)
+let inliner_names = [ "inline_leaves"; "inline_hot"; "inline"; "inline_region" ]
+let is_inliner_name name = List.mem name inliner_names
 
 let find name = List.find_opt (fun p -> p.name = name) all
 let find_knob p name = List.find_opt (fun k -> k.k_name = name) p.knobs

@@ -43,6 +43,9 @@ type ctx = {
   decider : Decider.t;
   hot_site : (site_owner:Ir.mid -> callee:Ir.mid -> bool) option;
   devirt_oracle : Guarded_devirt.site_oracle option;
+  profile : Hotpath.view option;
+      (** adaptive scenario: live call-edge counts for the hot-path
+          strategy; [None] under [Opt] *)
 }
 
 type t = {
@@ -51,12 +54,30 @@ type t = {
   applicable : ctx -> bool;
       (** structurally skipped (no run, no span) when false — e.g. guarded
           devirtualization without a profile oracle *)
-  run : Ir.program -> ctx -> Ir.methd -> Ir.methd * delta;
+  run : Ir.program -> ctx -> knob:(string -> int) -> Ir.methd -> Ir.methd * delta;
+      (** [knob] resolves this instance's declared knobs to their effective
+          values (plan value or declared default); ["iters"] is interpreted
+          by the pipeline, every other knob by the pass itself *)
+  static_policy : ((string -> int) -> Ir.program -> Ir.methd -> Policy.t) option;
+      (** for inliner passes whose decisions read nothing but the program
+          and the site record: rebuilds the exact per-method {!Policy.t}
+          from a knob lookup so {!Engine.walk} (and thus Fitcache) can
+          replay the pass's verdict sequence *)
 }
 
 val guarded_devirt : t
 val constprop : t
 val inline : t
+
+(** The three alternative inlining strategies, each a full engine run under
+    its own policy (the decider is ignored): iterate-to-fixpoint small-leaf
+    selection ({!Leaves}), profile-guided hot-path expansion ({!Hotpath};
+    inapplicable without a profile), and per-root region growth
+    ({!Region}). *)
+val inline_leaves : t
+val inline_hot : t
+val inline_region : t
+
 val cse : t
 val copyprop : t
 val dce : t
@@ -65,5 +86,11 @@ val cleanup : t
 (** Every registered pass, in canonical (default-schedule) order. *)
 val all : t list
 
+(** The pass names that drive the inline engine (["inline"] and the three
+    strategies) — the set the pipeline's size trajectory and Fitcache's
+    plan-shape analysis key off. *)
+val inliner_names : string list
+
+val is_inliner_name : string -> bool
 val find : string -> t option
 val find_knob : t -> string -> knob option

@@ -25,11 +25,13 @@ type config = {
       (* adaptive scenario: which call sites are profile-hot *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (* adaptive scenario: guard-devirtualize monomorphic virtual sites *)
+  profile : Hotpath.view option;
+      (* adaptive scenario: live call-edge counts (hot-path strategy) *)
 }
 
 (* The one constructor every configuration goes through. *)
-let make ?(plan = Plan.default) ?hot_site ?devirt_oracle decider =
-  { decider; plan; hot_site; devirt_oracle }
+let make ?(plan = Plan.default) ?hot_site ?devirt_oracle ?profile decider =
+  { decider; plan; hot_site; devirt_oracle; profile }
 
 (* Standard optimizing configuration around a heuristic. *)
 let opt_config ?hot_site heuristic = make ?hot_site (Decider.Heuristic heuristic)
@@ -75,7 +77,7 @@ let bump_pass name d =
    and the size it produced ([Trace.span] runs the thunk directly when
    tracing is off, so the disabled cost is one closure; the size fields are
    only computed inside the enabled-only [post] callback). *)
-let exec_pass program ctx (p : Pass.t) size_in m =
+let exec_pass program ctx (p : Pass.t) ~knob size_in m =
   let m, d =
     (* Nested inside the trace span so the profiler attributes pass time
        under whatever compiled it ("...;vm.compile;opt.pass.<name>"). *)
@@ -84,66 +86,70 @@ let exec_pass program ctx (p : Pass.t) size_in m =
       ~post:(fun (m', d) ->
         [
           ("transforms", Event.Int (Pass.transforms d));
+          ("sites_inlined", Event.Int d.Pass.d_sites_inlined);
           ("size_in", Event.Int (Lazy.force size_in));
           ("size_out", Event.Int (Size.of_method m'));
         ])
       (fun () ->
-        Inltune_obs.Prof.span ("opt.pass." ^ p.Pass.name) (fun () -> p.Pass.run program ctx m))
+        Inltune_obs.Prof.span ("opt.pass." ^ p.Pass.name) (fun () ->
+            p.Pass.run program ctx ~knob m))
   in
   bump_pass p.Pass.name d;
   (m, d)
 
 (* Interpret the plan.  Returns the per-item deltas alongside the method
-   and totals; [size_peak] is recorded right after the plan's inline item —
-   enabled or not, matching the historical trajectory for both the inlining
-   and the no-inlining configurations.  Plans without an inline item fall
-   back to the maximum size reached. *)
+   and totals; [size_peak] is recorded right after the plan's *last*
+   inliner-kind item ({!Pass.inliner_names}) — enabled or not, matching the
+   historical trajectory for both the inlining and the no-inlining
+   configurations (in the default plan every strategy item is disabled, so
+   the size there equals the size right after the inline item).  Plans
+   without any inliner item fall back to the maximum size reached. *)
 let run_detailed program config m =
   let ctx =
     {
       Pass.decider = config.decider;
       hot_site = config.hot_site;
       devirt_oracle = config.devirt_oracle;
+      profile = config.profile;
     }
   in
   let size_before = Size.of_method m in
-  let track_max = not (Plan.has_item "inline" config.plan) in
+  let last_inliner =
+    let last = ref (-1) in
+    Array.iteri
+      (fun i (it : Plan.item) -> if Pass.is_inliner_name it.Plan.pass then last := i)
+      config.plan.Plan.items;
+    !last
+  in
+  let track_max = last_inliner < 0 in
   let size_peak = ref (if track_max then size_before else -1) in
   let deltas = ref [] in
-  let m =
-    Array.fold_left
-      (fun m (it : Plan.item) ->
-        let m =
-          if not it.Plan.enabled then m
-          else
-            match Pass.find it.Plan.pass with
-            | None -> m (* unreachable for validated plans *)
-            | Some p ->
-              if not (p.Pass.applicable ctx) then m
-              else begin
-                let iters =
-                  match Pass.find_knob p "iters" with
-                  | Some _ -> Plan.item_knob it "iters"
-                  | None -> 1
-                in
-                let m = ref m in
-                let acc = ref Pass.zero_delta in
-                for _ = 1 to iters do
-                  let before = !m in
-                  let size_in = lazy (Size.of_method before) in
-                  let m', d = exec_pass program ctx p size_in before in
-                  m := m';
-                  acc := Pass.add_delta !acc d
-                done;
-                deltas := (p.Pass.name, !acc) :: !deltas;
-                !m
-              end
-        in
-        if it.Plan.pass = "inline" && !size_peak < 0 then size_peak := Size.of_method m
-        else if track_max then size_peak := max !size_peak (Size.of_method m);
-        m)
-      m config.plan.Plan.items
-  in
+  let cur = ref m in
+  Array.iteri
+    (fun idx (it : Plan.item) ->
+      (if it.Plan.enabled then
+         match Pass.find it.Plan.pass with
+         | None -> () (* unreachable for validated plans *)
+         | Some p ->
+           if p.Pass.applicable ctx then begin
+             let knob name = Plan.item_knob it name in
+             let iters =
+               match Pass.find_knob p "iters" with Some _ -> knob "iters" | None -> 1
+             in
+             let acc = ref Pass.zero_delta in
+             for _ = 1 to iters do
+               let before = !cur in
+               let size_in = lazy (Size.of_method before) in
+               let m', d = exec_pass program ctx p ~knob size_in before in
+               cur := m';
+               acc := Pass.add_delta !acc d
+             done;
+             deltas := (p.Pass.name, !acc) :: !deltas
+           end);
+      if idx = last_inliner && !size_peak < 0 then size_peak := Size.of_method !cur
+      else if track_max then size_peak := max !size_peak (Size.of_method !cur))
+    config.plan.Plan.items;
+  let m = !cur in
   let size_after = Size.of_method m in
   let size_peak = if !size_peak < 0 then size_after else !size_peak in
   let total = List.fold_left (fun acc (_, d) -> Pass.add_delta acc d) Pass.zero_delta !deltas in

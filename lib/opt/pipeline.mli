@@ -14,6 +14,9 @@ type config = {
       (** adaptive scenario: which call sites are profile-hot *)
   devirt_oracle : Guarded_devirt.site_oracle option;
       (** adaptive scenario: guard-devirtualize monomorphic virtual sites *)
+  profile : Hotpath.view option;
+      (** adaptive scenario: live call-edge counts for the hot-path
+          inlining strategy; [None] under [Opt] *)
 }
 
 (** The one constructor: [plan] defaults to {!Plan.default}. *)
@@ -21,6 +24,7 @@ val make :
   ?plan:Plan.t ->
   ?hot_site:(site_owner:Ir.mid -> callee:Ir.mid -> bool) ->
   ?devirt_oracle:Guarded_devirt.site_oracle ->
+  ?profile:Hotpath.view ->
   Decider.t ->
   config
 
@@ -40,7 +44,8 @@ val policy_config :
 
 type stats = {
   size_before : int;   (** size estimate of the input method *)
-  size_peak : int;     (** size right after the inline item (compile-cost driver) *)
+  size_peak : int;     (** size right after the last inliner-kind item
+                           (compile-cost driver) *)
   size_after : int;    (** size of the emitted code (I-cache driver) *)
   sites_seen : int;
   sites_inlined : int;

@@ -30,14 +30,20 @@ let item ?(enabled = true) ?(knobs = []) pass = { pass; enabled; knobs }
 
 (* The historical pipeline order: devirtualize (adaptive only), fold to
    expose static calls, inline, then let the dataflow passes collect the
-   payoff, and clean the CFG. *)
+   payoff, and clean the CFG.  The three alternative inlining strategies
+   are scheduled around the decider-driven inline item but ship *disabled*:
+   with them off every measurement is bit-identical to the pre-strategy
+   pipeline, and turning one on is a plan edit (or a plan-genome gene). *)
 let default =
   {
     items =
       [|
         item "guarded_devirt";
         item "constprop";
+        item ~enabled:false "inline_leaves";
+        item ~enabled:false "inline_hot";
         item "inline";
+        item ~enabled:false "inline_region";
         item "constprop";
         item "cse";
         item "copyprop";
@@ -99,15 +105,30 @@ let validate_item ~where it =
     in
     check it.knobs
 
+(* Inliner-kind passes may appear at most once per plan: a second instance
+   would re-expand already-expanded code, and the size trajectory / cache
+   shape analysis both assume a single site for each strategy.  (constprop
+   and friends may legitimately repeat — the default plan schedules
+   constprop twice.) *)
+let duplicate_inliner ~where ~seen it =
+  if Pass.is_inliner_name it.pass && List.mem it.pass seen then
+    Some (Printf.sprintf "%s: duplicate pass '%s'" where it.pass)
+  else None
+
 let validate t =
-  let rec go i =
+  let rec go i seen =
     if i >= Array.length t.items then Ok t
     else
-      match validate_item ~where:(Printf.sprintf "item %d" (i + 1)) t.items.(i) with
-      | Ok () -> go (i + 1)
-      | Error e -> Error e
+      let where = Printf.sprintf "item %d" (i + 1) in
+      let it = t.items.(i) in
+      match duplicate_inliner ~where ~seen it with
+      | Some e -> Error e
+      | None -> (
+        match validate_item ~where it with
+        | Ok () -> go (i + 1) (it.pass :: seen)
+        | Error e -> Error e)
   in
-  go 0
+  go 0 []
 
 (* --- text form ----------------------------------------------------------- *)
 
@@ -174,27 +195,30 @@ let parse_item ~where tokens =
 
 let of_string src =
   let lines = String.split_on_char '\n' src in
-  let rec go lineno seen_header acc = function
+  let rec go lineno seen_header seen acc = function
     | [] ->
       if not seen_header then Error "empty plan (missing 'inltune-plan v1' header)"
       else Ok { items = Array.of_list (List.rev acc) }
     | line :: rest -> (
       let where = Printf.sprintf "line %d" lineno in
       let line = String.trim line in
-      if line = "" || line.[0] = '#' then go (lineno + 1) seen_header acc rest
+      if line = "" || line.[0] = '#' then go (lineno + 1) seen_header seen acc rest
       else if not seen_header then
-        if line = header then go (lineno + 1) true acc rest
+        if line = header then go (lineno + 1) true seen acc rest
         else Error (Printf.sprintf "%s: expected header '%s'" where header)
       else
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
         | "pass" :: tokens -> (
           match parse_item ~where tokens with
-          | Ok it -> go (lineno + 1) seen_header (it :: acc) rest
+          | Ok it -> (
+            match duplicate_inliner ~where ~seen it with
+            | Some e -> Error e
+            | None -> go (lineno + 1) seen_header (it.pass :: seen) (it :: acc) rest)
           | Error e -> Error e)
         | verb :: _ -> Error (Printf.sprintf "%s: unknown directive '%s'" where verb)
-        | [] -> go (lineno + 1) seen_header acc rest)
+        | [] -> go (lineno + 1) seen_header seen acc rest)
   in
-  go 1 false [] lines
+  go 1 false [] [] lines
 
 (* Canonical-text equality: knob defaults are normalized away, so a plan
    that spells out iters=1 equals one that omits it. *)
@@ -207,37 +231,53 @@ let digest t = Digest.to_hex (Digest.string (to_string t))
 
 (* --- fitness-cache compatibility ---------------------------------------- *)
 
-(* Whether [Inline.plan] over once-constprop'd methods reproduces this
-   plan's exact inline-decision sequence under the Opt scenario (no profile
-   inputs).  True iff inlining is enabled and the effective pre-inline
-   schedule is exactly one single-iteration constprop — guarded_devirt is
-   ignored because it is a structural no-op without an oracle, which Opt
-   never has.  Post-inline passes never affect the decisions. *)
-let walk_compatible t =
+(* The first enabled inliner-kind item reached through the canonical
+   pre-inline schedule — optional guarded_devirt (a structural no-op
+   without an oracle, which Opt never has) plus exactly one
+   single-iteration constprop.  [skip] drops items that are structurally
+   inapplicable in the caller's scenario (Fitcache passes the Opt-skips:
+   inline_hot has no profile there).  [None] when the schedule diverges
+   from what [Engine.walk] over once-constprop'd methods assumes, or when
+   no inliner is enabled: the walk would see the wrong methods.  Whatever
+   runs *after* the first inliner never affects that inliner's decisions,
+   so it does not matter here (Fitcache reasons about it separately). *)
+let first_walkable_inliner ?(skip = fun _ -> false) t =
   let n = Array.length t.items in
   let rec scan i saw_constprop =
-    if i >= n then false (* no enabled inline item *)
+    if i >= n then None (* no enabled inliner item *)
     else
       let it = t.items.(i) in
-      if not it.enabled then scan (i + 1) saw_constprop
+      if (not it.enabled) || skip it.pass then scan (i + 1) saw_constprop
+      else if Pass.is_inliner_name it.pass then if saw_constprop then Some it else None
       else
         match it.pass with
-        | "inline" -> saw_constprop
         | "guarded_devirt" -> scan (i + 1) saw_constprop
         | "constprop" ->
-          if saw_constprop || item_knob it "iters" <> 1 then false else scan (i + 1) true
-        | _ -> false
+          if saw_constprop || item_knob it "iters" <> 1 then None else scan (i + 1) true
+        | _ -> None
   in
   scan 0 false
+
+(* Whether [Inline.plan] over once-constprop'd methods reproduces this
+   plan's exact inline-decision sequence under the Opt scenario (no profile
+   inputs): the first walkable inliner is the decider-driven "inline" item.
+   Strategy items scheduled after it are decider-independent functions of
+   its output, so they never break the equal-walk ⇒ equal-code argument. *)
+let walk_compatible t =
+  match first_walkable_inliner ~skip:(fun p -> p = "inline_hot") t with
+  | Some it -> it.pass = "inline"
+  | None -> false
 
 (* --- genome encoding ------------------------------------------------------ *)
 
 (* The plan-genome tail the GA appends to the five Table 1 genes: pass
-   toggles, post-inline strengths, and the relative order of the payoff
-   passes.  The pre-inline constprop and the final cleanup are pinned on —
-   dropping either mostly degenerates the search (and pinning constprop
-   keeps every genome walk-compatible, so plan-genome tuning still benefits
-   from the decision-signature cache). *)
+   toggles, post-inline strengths, the relative order of the payoff
+   passes, and the inlining strategies' toggles and knobs.  The pre-inline
+   constprop and the final cleanup are pinned on — dropping either mostly
+   degenerates the search, and pinning constprop keeps every genome's
+   pre-inline schedule walkable, so plan-genome tuning still benefits from
+   the decision-signature cache (exact heuristic or strategy walks,
+   depending on which inliner leads). *)
 let gene_names =
   [|
     "GUARDED_DEVIRT";    (* 0/1 *)
@@ -249,12 +289,27 @@ let gene_names =
     "DCE";               (* 0/1 *)
     "DCE_ITERS";         (* 1..2 *)
     "DATAFLOW_ORDER";    (* 0..5: permutation of cse/copyprop/dce *)
+    (* Inlining-strategy toggles and knobs (see leaves.ml / hotpath.ml /
+       region.ml); all default off, so the default genome still decodes to
+       the bit-identical historical pipeline. *)
+    "INLINE_LEAVES";     (* 0/1 *)
+    "LEAVES_SIZE";       (* 1..60: inline_leaves leaf_size *)
+    "LEAVES_ROUNDS";     (* 1..5: inline_leaves rounds *)
+    "INLINE_HOT";        (* 0/1 *)
+    "HOT_PERMILLE";      (* 1..500: inline_hot hot_permille *)
+    "HOT_BUDGET";        (* 16..4096: inline_hot budget *)
+    "INLINE_REGION";     (* 0/1 *)
+    "REGION_BUDGET";     (* 16..4096: inline_region budget *)
+    "REGION_DEPTH";      (* 1..12: inline_region depth *)
   |]
 
 let tunable_ranges =
-  [| (0, 1); (0, 1); (0, 1); (1, 3); (0, 1); (0, 1); (0, 1); (1, 2); (0, 5) |]
+  [|
+    (0, 1); (0, 1); (0, 1); (1, 3); (0, 1); (0, 1); (0, 1); (1, 2); (0, 5);
+    (0, 1); (1, 60); (1, 5); (0, 1); (1, 500); (16, 4096); (0, 1); (16, 4096); (1, 12);
+  |]
 
-let default_genes = [| 1; 1; 1; 1; 1; 1; 1; 1; 0 |]
+let default_genes = [| 1; 1; 1; 1; 1; 1; 1; 1; 0; 0; 12; 2; 0; 50; 512; 0; 512; 6 |]
 
 (* The six orders of the three payoff passes; index 0 is the historical
    cse -> copyprop -> dce. *)
@@ -287,6 +342,13 @@ let of_genes g =
     | _ -> assert false
   in
   let order = orders.(v 8) in
+  (* A disabled strategy keeps its declared-default knobs: its knob genes
+     are behaviorally dead, and normalizing them away keeps every
+     genome that differs only there on the same canonical text (one plan
+     digest, one fitness-cache key). *)
+  let strategy_knobs enabled_gene knobs =
+    if on enabled_gene then knobs else []
+  in
   {
     items =
       Array.concat
@@ -294,7 +356,13 @@ let of_genes g =
           [|
             item ~enabled:(on 0) "guarded_devirt";
             item "constprop";
+            item ~enabled:(on 9) "inline_leaves"
+              ~knobs:(strategy_knobs 9 [ ("leaf_size", v 10); ("rounds", v 11) ]);
+            item ~enabled:(on 12) "inline_hot"
+              ~knobs:(strategy_knobs 12 [ ("hot_permille", v 13); ("budget", v 14) ]);
             item ~enabled:(on 1) "inline";
+            item ~enabled:(on 15) "inline_region"
+              ~knobs:(strategy_knobs 15 [ ("budget", v 16); ("depth", v 17) ]);
             item ~enabled:(on 2) ~knobs:(iters_knobs 3) "constprop";
           |];
           Array.map payoff order;

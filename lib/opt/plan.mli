@@ -11,8 +11,12 @@ type item = {
 
 type t = { items : item array }
 
-(** The historical pipeline: guarded_devirt, constprop, inline, constprop,
-    cse, copyprop, dce, cleanup — all enabled, default knobs. *)
+(** The historical pipeline — guarded_devirt, constprop, inline, constprop,
+    cse, copyprop, dce, cleanup, all enabled with default knobs — plus the
+    three alternative inlining strategies (inline_leaves / inline_hot
+    before the inline item, inline_region after it) scheduled *disabled*,
+    so the default plan's behavior is bit-identical to the pre-strategy
+    pipeline. *)
 val default : t
 
 (** {!default} with the inline item disabled (the Fig. 1 baseline and the
@@ -35,7 +39,8 @@ val has_item : string -> t -> bool
 val item_knob : item -> string -> int
 
 (** Check every item against the pass registry: unknown pass, unknown knob,
-    or out-of-range value is a one-line [Error]. *)
+    out-of-range value, or a duplicated inliner-kind pass is a one-line
+    [Error]. *)
 val validate : t -> (t, string) result
 
 (** Canonical text form ("inltune-plan v1" header + one "pass" line per
@@ -55,11 +60,19 @@ val is_default : t -> bool
 (** Hex digest of the canonical text — the plan tag in fitness-cache keys. *)
 val digest : t -> string
 
+(** The first enabled inliner-kind item ({!Pass.inliner_names}) reached
+    through the canonical pre-inline schedule (optional guarded_devirt +
+    exactly one single-iteration constprop), ignoring passes [skip] deems
+    structurally inapplicable; [None] when the schedule diverges from what
+    [Engine.walk] over once-constprop'd methods assumes, or no inliner is
+    enabled.  The decision-signature cache's plan-shape analysis. *)
+val first_walkable_inliner : ?skip:(string -> bool) -> t -> item option
+
 (** Whether [Inline.plan] over once-constprop'd methods reproduces this
-    plan's exact inline decisions under Opt (no profile inputs): inlining
-    enabled and the effective pre-inline schedule is exactly one
-    single-iteration constprop.  The decision-signature cache uses the exact
-    walk signature iff this holds. *)
+    plan's exact inline decisions under Opt (no profile inputs): the first
+    walkable inliner is the decider-driven ["inline"] item.  The
+    decision-signature cache uses the exact heuristic/policy walk signature
+    iff this holds. *)
 val walk_compatible : t -> bool
 
 (** {2 Genome encoding} — the plan-gene tail the GA appends to the five

@@ -1,0 +1,10 @@
+open Inltune_jir
+(** Region/depth-budget inliner strategy: grow an inlined region around
+    each root method within a per-root expansion budget and depth cap. *)
+
+(** [policy ~budget ~depth root] accepts a call site iff the inline chain
+    depth is at most [depth] and the region's total expansion over [root]'s
+    own size, callee included, stays within [budget].  Static: reads only
+    the site record and [root]'s static size, so {!Engine.walk} over it is
+    exact. *)
+val policy : budget:int -> depth:int -> Ir.methd -> Policy.t

@@ -10,6 +10,7 @@ module Platform = Inltune_vm.Platform
 module Heuristic = Inltune_opt.Heuristic
 module Plan = Inltune_opt.Plan
 module Suites = Inltune_workloads.Suites
+module Corpus = Inltune_workloads.Corpus
 module Measure = Inltune_core.Measure
 module Tuner = Inltune_core.Tuner
 module Params = Inltune_core.Params
@@ -201,6 +202,11 @@ let add_quarantine srv gk reason =
 
 (* --- request validation -------------------------------------------------- *)
 
+(* Benchmark names resolve against the hand-modeled suites first, then the
+   generated corpus, so tenants can measure/tune over corpus programs too. *)
+let find_bench name =
+  match Corpus.find_opt name with Some bm -> bm | None -> Suites.find name
+
 type jmeasure = {
   jm_bench : Suites.benchmark;
   jm_scenario : Machine.scenario;
@@ -230,7 +236,7 @@ let validate = function
       in
       let platform = Platform.by_name m.m_platform in
       let heuristic = Params.heuristic_of_string m.m_heuristic in
-      let bench = Suites.find m.m_bench in
+      let bench = find_bench m.m_bench in
       Jmeasure
         {
           jm_bench = bench;
@@ -247,7 +253,7 @@ let validate = function
     match
       let id = Tuner.scenario_of_string u.t_scenario in
       let suite =
-        match u.t_suite with [] -> Suites.spec | names -> List.map Suites.find names
+        match u.t_suite with [] -> Suites.spec | names -> List.map find_bench names
       in
       Jtune
         {

@@ -173,12 +173,27 @@ let pipeline_config vm =
     | None, Some f -> Decider.Policy (f vm.profile)
     | None, None -> Decider.Heuristic vm.cfg.heuristic
   in
+  (* The hot-path strategy's window onto the live profile: same gating as
+     [hot_site] — adaptive scenarios only, honoring the hot-path ablation.
+     Without it the inline_hot pass is structurally inapplicable. *)
+  let profile =
+    match vm.cfg.scenario with
+    | Opt -> None
+    | (Adapt | Ladder) when not vm.cfg.hot_path_enabled -> None
+    | Adapt | Ladder ->
+      Some
+        {
+          Hotpath.edge_count =
+            (fun ~site_owner ~callee -> Profile.edge_count vm.profile ~site_owner ~callee);
+          total_calls = (fun () -> Profile.total_calls vm.profile);
+        }
+  in
   (* The legacy ablation flags are plan edits: no inlining disables the
      inline item, no optimization disables the dataflow items. *)
   let plan = vm.cfg.plan in
   let plan = if vm.cfg.inline_enabled then plan else Plan.disable "inline" plan in
   let plan = if vm.cfg.optimize then plan else Plan.without_dataflow plan in
-  Pipeline.make ~plan ?hot_site ?devirt_oracle decider
+  Pipeline.make ~plan ?hot_site ?devirt_oracle ?profile decider
 
 let trace_compile vm mid ~tier ~cycles ~recompile extra (c : Compile.compiled) =
   Trace.emit "vm.compile"

@@ -1,0 +1,284 @@
+open Inltune_jir
+module B = Builder
+module Rng = Inltune_support.Rng
+
+(* The generated corpus: a seeded family of 110 small programs whose shapes
+   give the alternative inlining strategies (inline_leaves / inline_hot /
+   inline_region) a gradient the 14 hand-modeled suite programs cannot:
+
+   - [chain]    deep leaf chains — long static call chains of small pure
+                methods, where the Fig. 3 depth cut truncates profitable
+                expansion and the region budget / leaf rounds decide;
+   - [dispatch] megamorphic dispatch families — virtual fan-out the inliner
+                cannot touch, whose implementations share small helpers
+                (inlining those into every variant multiplies code);
+   - [recur]    recursion — self- and mutually-recursive methods plus tree
+                build/fold, exercising the engine's recursion guard;
+   - [sweep]    one-shot breadth — setup methods executed exactly once with
+                inline-bait utility callees, where *less* inlining wins
+                total time (compile-time-bound);
+   - [phase]    phase shift — the hot call set drifts mid-run, so a profile
+                captured in phase A misleads hot-path decisions in phase B
+                until the adaptive tiers recompile.
+
+   Every program is deterministic in its (family, index) seed: generating
+   the same benchmark twice — in any process, on any domain — yields
+   byte-identical programs (a test locks this, serial and under [Pool]).
+   Each generator derives all shape choices from its own [Rng] before
+   emitting code, never from global state. *)
+
+let scale_iters ~scale base = max 1 (base * scale / 100)
+
+(* Distinct odd multipliers keep family seed streams disjoint. *)
+let seed ~salt ~index = salt + (index * 7919)
+
+(* --- chain: deep leaf chains -------------------------------------------- *)
+
+let chain_program ~index ?(scale = 100) () =
+  let name = Printf.sprintf "corpus_chain%02d" index in
+  let b = B.create name in
+  let rng = Rng.create (seed ~salt:0xC4A1 ~index) in
+  let len = Rng.range rng 8 16 in
+  let entry =
+    Gen.chain b rng ~name:"work" ~len ~ops:(Rng.range rng 2 6)
+      ~leaf_ops:(Rng.range rng 2 5)
+  in
+  let tiny1 = Gen.leaf b rng ~name:"tiny1" ~nargs:1 ~ops:(Rng.range rng 2 4) in
+  let tiny2 = Gen.leaf b rng ~name:"tiny2" ~nargs:2 ~ops:(Rng.range rng 3 6) in
+  let iters = Rng.range rng 18 40 in
+  let start = Rng.range rng 1 9 in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let acc = B.fresh_reg mb in
+        let z = B.const mb start in
+        B.emit mb (Ir.Move (acc, z));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun i ->
+            let a = B.call mb tiny1 [ i ] in
+            let c = B.call mb tiny2 [ a; acc ] in
+            let x = B.call mb entry [ c; i ] in
+            let s = B.add mb acc x in
+            B.emit mb (Ir.Move (acc, s)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+(* --- dispatch: megamorphic families ------------------------------------- *)
+
+let dispatch_program ~index ?(scale = 100) () =
+  let name = Printf.sprintf "corpus_dispatch%02d" index in
+  let b = B.create name in
+  let rng = Rng.create (seed ~salt:0xD150 ~index) in
+  let variants = Rng.range rng 6 20 in
+  let kids = Gen.dispatch_family b rng ~name:"op" ~variants ~ops:(Rng.range rng 4 10) in
+  let arr_kid = Gen.array_class b ~name:"objs" in
+  let helper =
+    Gen.nested_helper b rng ~name:"shared" ~outer_ops:(Rng.range rng 8 12)
+      ~inner_ops:(Rng.range rng 8 12) ~leaf_ops:(Rng.range rng 3 6)
+  in
+  let iters = Rng.range rng 10 24 in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let arr = B.alloc mb arr_kid ~slots:variants in
+        for v = 0 to variants - 1 do
+          let i = B.const mb v in
+          let f1 = B.const mb (v + 1) in
+          let obj = Gen.make_obj mb ~kid:kids.(v) ~f1 ~f2:i in
+          B.store_idx mb arr i obj
+        done;
+        let acc = B.fresh_reg mb in
+        let z = B.const mb 1 in
+        B.emit mb (Ir.Move (acc, z));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun _ ->
+            Gen.repeat mb ~iters:variants (fun j ->
+                let o = B.load_idx mb arr j in
+                let r = B.call_virt mb ~slot:0 o [ acc ] in
+                let h = B.call mb helper [ r; j ] in
+                let s = B.add mb acc h in
+                B.emit mb (Ir.Move (acc, s))));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+(* --- recur: recursion shapes -------------------------------------------- *)
+
+let recur_program ~index ?(scale = 100) () =
+  let name = Printf.sprintf "corpus_recur%02d" index in
+  let b = B.create name in
+  let rng = Rng.create (seed ~salt:0x4EC0 ~index) in
+  let t = Gen.tree b rng ~name:"t" ~fold_ops:(Rng.range rng 3 8) in
+  (* A mutually recursive pair: the recursion guard stops expansion on the
+     cycle, the local arithmetic around each call is still inline fodder. *)
+  let mut_a = B.declare b ~name:"mut_a" ~nargs:1 in
+  let mut_b = B.declare b ~name:"mut_b" ~nargs:1 in
+  let mut_ops = Rng.range rng 2 5 in
+  let define_mut self other =
+    B.define b self (fun mb ->
+        let zero = B.const mb 0 in
+        let stop = B.cmp mb Ir.Le 0 zero in
+        let result = B.fresh_reg mb in
+        B.if_ mb stop
+          ~then_:(fun () ->
+            let base = B.const mb 1 in
+            B.emit mb (Ir.Move (result, base)))
+          ~else_:(fun () ->
+            let one = B.const mb 1 in
+            let n' = B.sub mb 0 one in
+            let r = B.call mb other [ n' ] in
+            let x = Gen.arith mb rng ~ops:mut_ops [ r ] in
+            B.emit mb (Ir.Move (result, x)));
+        B.ret mb result)
+  in
+  define_mut mut_a mut_b;
+  define_mut mut_b mut_a;
+  let depth = Rng.range rng 3 5 in
+  let iters = Rng.range rng 6 14 in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let d = B.const mb depth in
+        let s0 = B.const mb (Rng.range rng 1 7) in
+        let root = B.call mb t.Gen.build [ d; s0 ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, s0));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun i ->
+            let f = B.call mb t.Gen.fold [ root; d ] in
+            let m = B.call mb mut_a [ i ] in
+            let x = B.add mb f m in
+            let s = B.add mb acc x in
+            B.emit mb (Ir.Move (acc, s)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+(* --- sweep: one-shot breadth -------------------------------------------- *)
+
+let sweep_program ~index ?(scale = 100) () =
+  let name = Printf.sprintf "corpus_sweep%02d" index in
+  let b = B.create name in
+  let rng = Rng.create (seed ~salt:0x53EE ~index) in
+  let count = Rng.range rng 60 130 in
+  let driver =
+    Gen.one_shot_sweep b rng ~name:"swp" ~count ~ops_min:(Rng.range rng 16 24)
+      ~ops_max:(Rng.range rng 60 90) ()
+  in
+  let tiny = Gen.leaf b rng ~name:"tick" ~nargs:1 ~ops:(Rng.range rng 2 4) in
+  let iters = Rng.range rng 8 20 in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let s0 = B.const mb (Rng.range rng 1 5) in
+        let cfg = B.call mb driver [ s0 ] in
+        let acc = B.fresh_reg mb in
+        B.emit mb (Ir.Move (acc, cfg));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun i ->
+            let x = B.call mb tiny [ i ] in
+            let s = B.add mb acc x in
+            B.emit mb (Ir.Move (acc, s)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+(* --- phase: the hot set drifts mid-run ---------------------------------- *)
+
+let phase_program ~index ?(scale = 100) () =
+  let name = Printf.sprintf "corpus_phase%02d" index in
+  let b = B.create name in
+  let rng = Rng.create (seed ~salt:0xFA5E ~index) in
+  (* Two disjoint helper sets.  Phase A hammers set A while set B stays
+     cold, then the loop flips: any hot-path decision frozen from the phase
+     A profile is wrong for the rest of the run until a recompile sees the
+     drifted counts. *)
+  let set_of tag =
+    Array.init 4 (fun i ->
+        Gen.nested_helper b rng
+          ~name:(Printf.sprintf "%s%d" tag i)
+          ~outer_ops:(Rng.range rng 7 12) ~inner_ops:(Rng.range rng 7 12)
+          ~leaf_ops:(Rng.range rng 3 6))
+  in
+  let set_a = set_of "hota" in
+  let set_b = set_of "hotb" in
+  let phase_body tag set =
+    B.method_ b ~name:("phase_" ^ tag) ~nargs:2 (fun mb ->
+        let x =
+          Array.fold_left
+            (fun acc h ->
+              let r = B.call mb h [ acc; 1 ] in
+              B.add mb acc r)
+            0 set
+        in
+        B.ret mb x)
+  in
+  let phase_a = phase_body "a" set_a in
+  let phase_b = phase_body "b" set_b in
+  let iters = Rng.range rng 40 70 in
+  let main =
+    B.method_ b ~name:"main" ~nargs:0 (fun mb ->
+        let acc = B.fresh_reg mb in
+        let z = B.const mb (Rng.range rng 1 9) in
+        B.emit mb (Ir.Move (acc, z));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun i ->
+            let x = B.call mb phase_a [ acc; i ] in
+            B.emit mb (Ir.Move (acc, x)));
+        Gen.repeat mb ~iters:(scale_iters ~scale iters) (fun i ->
+            let x = B.call mb phase_b [ acc; i ] in
+            B.emit mb (Ir.Move (acc, x)));
+        Gen.finish_main mb acc)
+  in
+  B.set_main b main;
+  B.finish b
+
+(* --- registry ----------------------------------------------------------- *)
+
+type family = {
+  fname : string;
+  fcount : int;
+  fdescription : string;
+  fgenerate : index:int -> ?scale:int -> unit -> Ir.program;
+}
+
+let families =
+  [
+    {
+      fname = "chain";
+      fcount = 30;
+      fdescription = "deep leaf chain (depth-cut vs region/leaf gradient)";
+      fgenerate = chain_program;
+    };
+    {
+      fname = "dispatch";
+      fcount = 30;
+      fdescription = "megamorphic dispatch family with shared helpers";
+      fgenerate = dispatch_program;
+    };
+    {
+      fname = "recur";
+      fcount = 25;
+      fdescription = "self/mutual recursion and tree build/fold";
+      fgenerate = recur_program;
+    };
+    {
+      fname = "sweep";
+      fcount = 20;
+      fdescription = "one-shot breadth with inline bait (compile-bound)";
+      fgenerate = sweep_program;
+    };
+    {
+      fname = "phase";
+      fcount = 5;
+      fdescription = "hot call set drifts mid-run (adaptive re-tuning)";
+      fgenerate = phase_program;
+    };
+  ]
+
+let of_family f =
+  List.init f.fcount (fun index ->
+      {
+        Suites.bname = Printf.sprintf "corpus_%s%02d" f.fname index;
+        bdescription = Printf.sprintf "generated corpus: %s" f.fdescription;
+        generate = f.fgenerate ~index;
+      })
+
+let all = List.concat_map of_family families
+let find_opt name = List.find_opt (fun bm -> bm.Suites.bname = name) all

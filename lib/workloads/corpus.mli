@@ -1,0 +1,29 @@
+open Inltune_jir
+
+(** The generated corpus: 110 seeded synthetic programs in five families —
+    deep leaf chains, megamorphic dispatch families, recursion shapes,
+    one-shot compile-bound sweeps, and phase-shift workloads whose hot call
+    set drifts mid-run.  Complements the hand-modeled {!Suites} benchmarks
+    with shapes that separate the alternative inlining strategies
+    (inline_leaves / inline_hot / inline_region) from the Fig. 3 default.
+
+    Generation is deterministic: each program's shape is a pure function of
+    its (family, index) seed, so the same name yields a byte-identical
+    program in any process or domain. *)
+
+(** One corpus family: [fcount] programs named [corpus_<fname>NN]. *)
+type family = {
+  fname : string;
+  fcount : int;
+  fdescription : string;
+  fgenerate : index:int -> ?scale:int -> unit -> Ir.program;
+}
+
+val families : family list
+
+(** Every corpus program, as regular {!Suites.benchmark}s (names
+    [corpus_chain00] .. [corpus_phase04]), in family order. *)
+val all : Suites.benchmark list
+
+(** Look up a corpus benchmark by name. *)
+val find_opt : string -> Suites.benchmark option

@@ -174,6 +174,47 @@ for flag in identical_measurements identical_best identical_history; do
     || { echo "BENCH_passes.json: $flag is not true"; exit 1; }
 done
 
+echo "== inliners smoke =="
+# The pluggable inlining strategies: a plan with every strategy enabled at
+# non-default knobs is a serialization fixpoint through the plan subcommand,
+# a duplicated inliner-kind pass dies one-line + exit 2, corpus benchmark
+# names resolve in run (and unknown ones die with the corpus families named),
+# and the strategy bench writes BENCH_inliners.json with the default-plan
+# identity intact.
+cat > "$plan" <<'PLAN'
+inltune-plan v1
+pass constprop on iters=1
+pass inline_leaves on leaf_size=30 rounds=3
+pass inline_hot on hot_permille=200 budget=100
+pass inline on
+pass inline_region on budget=64 depth=2
+pass cleanup on
+PLAN
+dune exec --no-build bin/main.exe -- plan "$plan" > "$plan2"
+dune exec --no-build bin/main.exe -- plan "$plan2" | cmp -s "$plan2" - \
+  || { echo "strategy plan is not a serialization fixpoint"; exit 1; }
+printf 'inltune-plan v1\npass inline on\npass inline on\n' > "$plan"
+rc=0
+dune exec --no-build bin/main.exe -- run compress --plan "$plan" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "duplicate-inliner plan exited $rc, want 2"; exit 1; }
+dune exec --no-build bin/main.exe -- run corpus_sweep00 > /dev/null \
+  || { echo "corpus benchmark failed to run"; exit 1; }
+rc=0
+corpus_err=$(dune exec --no-build bin/main.exe -- run corpus_chain99 2>&1 > /dev/null) || rc=$?
+[ "$rc" -eq 2 ] || { echo "unknown corpus benchmark exited $rc, want 2"; exit 1; }
+echo "$corpus_err" | grep -q "corpus_chain00" \
+  || { echo "unknown-benchmark error does not name the corpus families"; exit 1; }
+
+echo "== inliners-bench smoke =="
+# bench inliners asserts the strategies-disabled default plan changes no
+# corpus measurement (exits nonzero itself otherwise) and compares default
+# vs each strategy vs a tuned composite on an unseen suite.
+INLTUNE_POP=4 INLTUNE_GENS=2 dune exec --no-build bench/main.exe inliners > /dev/null
+grep -q '"identical_default":true' BENCH_inliners.json \
+  || { echo "BENCH_inliners.json: identical_default is not true"; exit 1; }
+grep -q '"geomean_vs_default"' BENCH_inliners.json \
+  || { echo "BENCH_inliners.json: missing geomean_vs_default"; exit 1; }
+
 echo "== observability smoke =="
 # A profiled, progress-reported tune: per-generation progress lines land on
 # stderr, the exit profile table names the span hierarchy, and the same

@@ -97,6 +97,84 @@ let test_item_knob_defaults_and_rejects () =
     (Invalid_argument "Plan.item_knob: cse has no knob frobnicate") (fun () ->
       ignore (Plan.item_knob it "frobnicate"))
 
+(* --- inlining-strategy passes in the text form --------------------------- *)
+
+(* Plan.default with one strategy switched on (with [knobs]) in place of the
+   decider-driven inline item. *)
+let strategy_plan ?(knobs = []) strategy =
+  let items =
+    Array.map
+      (fun it ->
+        if it.Plan.pass = strategy then { it with Plan.enabled = true; knobs }
+        else if it.Plan.pass = "inline" then { it with Plan.enabled = false }
+        else it)
+      Plan.default.Plan.items
+  in
+  match Plan.validate { Plan.items } with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "strategy plan %s must validate: %s" strategy msg
+
+let test_strategy_knobs_roundtrip () =
+  let text =
+    "inltune-plan v1\n\
+     pass guarded_devirt on\n\
+     pass constprop on iters=1\n\
+     pass inline_leaves on leaf_size=30 rounds=3\n\
+     pass inline_hot on hot_permille=200 budget=100\n\
+     pass inline on\n\
+     pass inline_region on budget=64 depth=2\n\
+     pass dce on\n\
+     pass cleanup on\n"
+  in
+  let p = parse_ok text in
+  let p' = parse_ok (Plan.to_string p) in
+  Alcotest.(check bool) "strategy knobs round-trip" true (Plan.equal p p');
+  Alcotest.(check string) "canonical fixpoint" (Plan.to_string p) (Plan.to_string p');
+  Alcotest.(check bool) "not the default" false (Plan.is_default p);
+  List.iter
+    (fun (pass, knob, v) ->
+      let it =
+        Array.to_list p.Plan.items |> List.find (fun it -> it.Plan.pass = pass)
+      in
+      Alcotest.(check int) (pass ^ "." ^ knob ^ " survives") v (Plan.item_knob it knob))
+    [ ("inline_leaves", "leaf_size", 30); ("inline_leaves", "rounds", 3);
+      ("inline_hot", "hot_permille", 200); ("inline_hot", "budget", 100);
+      ("inline_region", "budget", 64); ("inline_region", "depth", 2) ]
+
+let test_strategy_knob_errors_are_line_numbered () =
+  let err = parse_err "inltune-plan v1\npass constprop on\npass inline_leaves on leaf=3\n" in
+  check_contains "unknown strategy knob" err "unknown knob";
+  check_contains "unknown strategy knob line" err "line 3";
+  let err = parse_err "inltune-plan v1\npass inline_region on depth=99\n" in
+  check_contains "out-of-range strategy knob" err "out of range";
+  check_contains "out-of-range strategy knob line" err "line 2";
+  let err =
+    parse_err "inltune-plan v1\npass constprop on\npass inline on\npass inline on\n"
+  in
+  check_contains "duplicate inliner" err "duplicate pass";
+  check_contains "duplicate inliner line" err "line 4";
+  let err =
+    parse_err
+      "inltune-plan v1\npass inline_leaves on\npass inline on\npass inline_leaves on\n"
+  in
+  check_contains "duplicate strategy" err "duplicate pass";
+  check_contains "duplicate strategy line" err "line 4";
+  (* constprop is not an inliner: scheduling it twice stays legal (the
+     default plan does). *)
+  ignore (parse_ok "inltune-plan v1\npass constprop on\npass inline on\npass constprop on\n")
+
+let test_validate_rejects_duplicate_inliner () =
+  let dup =
+    { Plan.items =
+        [| { Plan.pass = "inline"; enabled = true; knobs = [] };
+           { Plan.pass = "inline"; enabled = false; knobs = [] } |] }
+  in
+  match Plan.validate dup with
+  | Ok _ -> Alcotest.fail "duplicate inliner must not validate"
+  | Error msg ->
+    check_contains "validate duplicate inliner" msg "duplicate pass";
+    Alcotest.(check bool) "single line" false (contains msg "\n")
+
 (* --- default-plan equivalence (the tentpole invariant) ------------------- *)
 
 let each_method bm f =
@@ -191,12 +269,13 @@ let test_pass_spans_feed_summary () =
   Alcotest.(check int) "one span group per executed pass name"
     (List.length (List.sort_uniq compare (List.map fst deltas)))
     (List.length totals);
-  let runs, tr, _, _ = List.assoc "inline" totals in
+  let runs, tr, _, _, inl = List.assoc "inline" totals in
   Alcotest.(check int) "inline ran once" 1 runs;
   Alcotest.(check int) "span transforms = delta" stats.Pipeline.sites_inlined tr;
+  Alcotest.(check int) "span attributes the inlined sites" stats.Pipeline.sites_inlined inl;
   (* Consecutive spans thread the same method, so the per-pass size deltas
      telescope to the whole pipeline's size change. *)
-  let dsize_sum = List.fold_left (fun acc (_, (_, _, _, ds)) -> acc + ds) 0 totals in
+  let dsize_sum = List.fold_left (fun acc (_, (_, _, _, ds, _)) -> acc + ds) 0 totals in
   Alcotest.(check int) "size deltas telescope"
     (stats.Pipeline.size_after - stats.Pipeline.size_before)
     dsize_sum
@@ -268,6 +347,35 @@ let test_signature_respects_plan () =
   Alcotest.(check bool) "default plan keeps the exact walk" true
     (Plan.walk_compatible Plan.default && String.sub (s Plan.default) 0 2 = "w:")
 
+let test_signature_separates_strategies () =
+  let p = W.Suites.program bm_compress in
+  let s ?(heuristic = Heuristic.default) plan =
+    Fitcache.signature ~scenario:Machine.Opt ~heuristic ~inline_enabled:true ~plan p
+  in
+  let leaves = strategy_plan "inline_leaves" in
+  let region = strategy_plan "inline_region" in
+  (* Both plans lead with a static strategy (decider inline off), so the
+     cache takes the exact per-strategy decision walk... *)
+  Alcotest.(check bool) "leaves signature is an exact walk" true
+    (String.sub (s leaves) 0 2 = "w:");
+  Alcotest.(check bool) "region signature is an exact walk" true
+    (String.sub (s region) 0 2 = "w:");
+  (* ...so strategies with different verdict vectors can never share a
+     signature — the cross-strategy false-sharing bug this guards against. *)
+  Alcotest.(check bool) "different strategies, different signatures" true
+    (s leaves <> s region);
+  (* Knob values that flip verdicts change the signature too. *)
+  let tight = strategy_plan ~knobs:[ ("leaf_size", 1); ("rounds", 1) ] "inline_leaves" in
+  Alcotest.(check bool) "verdict-changing knobs change the signature" true
+    (s leaves <> s tight);
+  (* Strategies never consult the heuristic, so a strategy-led plan's
+     signature merges across heuristics — that merge is what makes the
+     cache useful under --tune-passes, and it is sound precisely because
+     the walk replays the strategy's own verdicts. *)
+  Alcotest.(check string) "strategy walk is heuristic-independent"
+    (s ~heuristic:Heuristic.default leaves)
+    (s ~heuristic:Heuristic.never leaves)
+
 (* --- plan-genome tuning -------------------------------------------------- *)
 
 let test_tune_plan_smoke () =
@@ -291,6 +399,10 @@ let suite =
     ("parse errors are one line", `Quick, test_parse_errors_are_one_line);
     ("validate rejects bad items", `Quick, test_validate_rejects_bad_items);
     ("item knob defaults and rejects", `Quick, test_item_knob_defaults_and_rejects);
+    ("strategy knobs round-trip", `Quick, test_strategy_knobs_roundtrip);
+    ("strategy knob errors are line-numbered", `Quick,
+     test_strategy_knob_errors_are_line_numbered);
+    ("validate rejects duplicate inliner", `Quick, test_validate_rejects_duplicate_inliner);
     ("default plan bit-identical pipeline", `Quick, test_default_plan_bit_identical);
     ("no-inline plan bit-identical", `Quick, test_no_inline_plan_bit_identical);
     ("measurements bit-identical across scenarios", `Quick,
@@ -303,5 +415,6 @@ let suite =
     ("plan genome spec is composite", `Quick, test_plan_genome_spec_is_composite);
     ("cache key isolates plans", `Quick, test_cache_key_isolates_plans);
     ("signature respects plan", `Quick, test_signature_respects_plan);
+    ("signature separates strategies", `Quick, test_signature_separates_strategies);
     ("tune_plan smoke", `Quick, test_tune_plan_smoke);
   ]

@@ -234,4 +234,111 @@ let scale_suite =
     ("scaled programs validate", `Quick, test_scaled_programs_validate);
   ]
 
-let suite = suite @ scale_suite
+(* --- generated corpus --- *)
+
+let corpus name =
+  match W.Corpus.find_opt name with
+  | Some bm -> bm
+  | None -> Alcotest.failf "corpus program %s not registered" name
+
+let test_corpus_registry () =
+  Alcotest.(check int) "110 programs" 110 (List.length W.Corpus.all);
+  Alcotest.(check int) "names unique" 110
+    (List.length
+       (List.sort_uniq compare (List.map (fun bm -> bm.W.Suites.bname) W.Corpus.all)));
+  Alcotest.(check bool) "family counts sum" true
+    (List.fold_left (fun acc f -> acc + f.W.Corpus.fcount) 0 W.Corpus.families = 110);
+  ignore (corpus "corpus_chain00");
+  ignore (corpus "corpus_phase04");
+  Alcotest.(check bool) "out-of-range index misses" true
+    (W.Corpus.find_opt "corpus_phase05" = None);
+  (* The corpus namespace is disjoint from the hand-modeled suites. *)
+  List.iter
+    (fun bm ->
+      Alcotest.(check bool) (bm.W.Suites.bname ^ " is not a corpus name") true
+        (W.Corpus.find_opt bm.W.Suites.bname = None))
+    W.Suites.all
+
+let test_corpus_programs_validate () =
+  List.iter
+    (fun bm ->
+      Alcotest.(check (list string))
+        (bm.W.Suites.bname ^ " validates")
+        []
+        (List.map
+           (fun e -> e.Validate.where ^ ": " ^ e.Validate.what)
+           (Validate.check (bm.W.Suites.generate ()))))
+    W.Corpus.all
+
+(* One program per family, regenerated twice: the corpus promise is
+   byte-identical programs for the same name, in any process. *)
+let corpus_sample =
+  [ "corpus_chain17"; "corpus_dispatch23"; "corpus_recur11"; "corpus_sweep07";
+    "corpus_phase02" ]
+
+let test_corpus_deterministic_serial () =
+  List.iter
+    (fun name ->
+      let bm = corpus name in
+      Alcotest.(check string) (name ^ " regenerates byte-identically")
+        (Text.to_string (bm.W.Suites.generate ()))
+        (Text.to_string (bm.W.Suites.generate ())))
+    corpus_sample
+
+let test_corpus_deterministic_under_pool () =
+  (* Parallel generation on pool domains must produce the same bytes as
+     serial generation — no hidden global state in the generators. *)
+  let serial =
+    List.map (fun name -> Text.to_string ((corpus name).W.Suites.generate ())) corpus_sample
+  in
+  let pool = Inltune_support.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Inltune_support.Pool.shutdown pool)
+    (fun () ->
+      let task =
+        Inltune_support.Pool.submit pool
+          (fun name -> Text.to_string ((corpus name).W.Suites.generate ()))
+          (Array.of_list corpus_sample)
+      in
+      let results = Inltune_support.Pool.await task in
+      List.iteri
+        (fun i expect ->
+          match results.(i) with
+          | Ok got ->
+            Alcotest.(check string)
+              (List.nth corpus_sample i ^ " identical under Pool") expect got
+          | Error e -> raise e)
+        serial)
+
+let test_corpus_semantics_preserved () =
+  (* Same checksum whatever the inliner does — corpus programs are real
+     programs, and scaling stretches work without changing shape. *)
+  List.iter
+    (fun name ->
+      let bm = corpus name in
+      let p = W.Suites.program bm in
+      let run heuristic scen =
+        let m = Runner.measure (Machine.config scen heuristic) Platform.x86 p in
+        (m.Runner.ret, m.Runner.out_hash)
+      in
+      let base = run Heuristic.default Machine.Opt in
+      Alcotest.(check (pair int int)) (name ^ " checksum, never-inline") base
+        (run Heuristic.never Machine.Opt);
+      Alcotest.(check (pair int int)) (name ^ " checksum, adapt") base
+        (run Heuristic.default Machine.Adapt);
+      let scaled = W.Suites.program_scaled bm ~scale:30 in
+      Alcotest.(check int) (name ^ " scaled keeps method count")
+        (Array.length p.Ir.methods)
+        (Array.length scaled.Ir.methods))
+    corpus_sample
+
+let corpus_suite =
+  [
+    ("corpus registry", `Quick, test_corpus_registry);
+    ("corpus programs validate", `Slow, test_corpus_programs_validate);
+    ("corpus generation deterministic", `Quick, test_corpus_deterministic_serial);
+    ("corpus deterministic under Pool", `Quick, test_corpus_deterministic_under_pool);
+    ("corpus semantics preserved", `Slow, test_corpus_semantics_preserved);
+  ]
+
+let suite = suite @ scale_suite @ corpus_suite
